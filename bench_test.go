@@ -1,0 +1,298 @@
+package dic
+
+// One benchmark per experiment of DESIGN.md's index (E01..E16), plus
+// micro-benchmarks of the computational kernels. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks measure the cost of regenerating each paper
+// figure/claim; the kernel benchmarks track the geometry engine, the
+// extractor, and both checkers in isolation.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/flat"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// ---- Experiment benchmarks -------------------------------------------
+
+func BenchmarkE01FalseErrorEconomics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.RunE1(tech.NMOS(), 8, 12, 24, 1980)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.DIC.Missed != 0 || res.DIC.False != 0 {
+			b.Fatalf("DIC outcome degraded: %+v", res.DIC)
+		}
+	}
+}
+
+func BenchmarkE02FigurePathologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.E02(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE03ExpandShrink(b *testing.B) {
+	reg := geom.FromRectR(geom.R(0, 0, 5000, 5000))
+	for i := 0; i < b.N; i++ {
+		for _, d := range []int64{250, 500, 1000, 2000} {
+			_ = geom.OrthogonalExpandArea(reg, d)
+			_ = geom.EuclideanExpandArea(reg, d)
+		}
+	}
+}
+
+func BenchmarkE04WidthSpacingPathologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.E04(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPathology(b *testing.B, p workload.Pathology) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.RunPathology(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE05ElectricalEquivalence(b *testing.B) {
+	benchPathology(b, workload.Figure5ElectricalEquivalence())
+}
+
+func BenchmarkE06DeviceDependentRules(b *testing.B) {
+	errCase, _ := workload.Figure6DeviceDependentRules()
+	benchPathology(b, errCase)
+}
+
+func BenchmarkE07ContactOverGate(b *testing.B) {
+	benchPathology(b, workload.Figure7ContactVsButting())
+}
+
+func BenchmarkE08AccidentalTransistor(b *testing.B) {
+	benchPathology(b, workload.Figure8AccidentalTransistor())
+}
+
+func BenchmarkE09HierarchicalPipeline(b *testing.B) {
+	for _, size := range []struct{ rows, cols int }{{4, 5}, {8, 12}, {16, 25}} {
+		b.Run(fmt.Sprintf("cells=%d", size.rows*size.cols), func(b *testing.B) {
+			tc := tech.NMOS()
+			chip := workload.NewChip(tc, "bench", size.rows, size.cols)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := core.Check(chip.Design, tc, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !rep.Clean() {
+					b.Fatal("chip not clean")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE09FlatBaseline(b *testing.B) {
+	for _, size := range []struct{ rows, cols int }{{4, 5}, {8, 12}, {16, 25}} {
+		b.Run(fmt.Sprintf("cells=%d", size.rows*size.cols), func(b *testing.B) {
+			tc := tech.NMOS()
+			chip := workload.NewChip(tc, "bench", size.rows, size.cols)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := flat.Check(chip.Design, tc, flat.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10SkeletalConnectivity(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	type pair struct{ a, b geom.Region }
+	pairs := make([]pair, 64)
+	for i := range pairs {
+		x := int64(rng.Intn(2000))
+		pairs[i] = pair{
+			a: geom.FromRectR(geom.R(0, 0, 4000, 500)),
+			b: geom.FromRectR(geom.R(x, 0, x+4000, 500)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		geom.SkeletalConnected(p.a, p.b, 500)
+	}
+}
+
+func BenchmarkE11InteractionMatrix(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 8, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Check(chip.Design, tc, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.InteractionCandidates == 0 {
+			b.Fatal("no interaction candidates")
+		}
+	}
+}
+
+func BenchmarkE12ProximityExpand(b *testing.B) {
+	m := process.Model{Sigma: 100, Threshold: 0.4}
+	a := geom.FromRectR(geom.R(-2000, -1000, 0, 1000))
+	for i := 0; i < b.N; i++ {
+		for _, gap := range []int64{1000, 500, 250, 200} {
+			bb := geom.FromRectR(geom.R(gap, -1000, gap+2000, 1000))
+			_ = m.PrintedGap(a, bb)
+		}
+	}
+}
+
+func BenchmarkE13RelationalRetreat(b *testing.B) {
+	m := process.Model{Sigma: 250, Threshold: 0.5}
+	for i := 0; i < b.N; i++ {
+		for _, w := range []int64{500, 750, 1000, 1500, 2000} {
+			_ = m.EndRetreat(w)
+		}
+	}
+}
+
+func BenchmarkE14SelfSufficiency(b *testing.B) {
+	benchPathology(b, workload.Figure15SelfSufficiency())
+}
+
+func BenchmarkE15ConstructionRules(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 8, 12)
+	nl, _, err := netlist.Extract(chip.Design, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if issues := netlist.ConstructionRules(nl, tc); len(issues) != 0 {
+			b.Fatalf("clean chip flagged: %v", issues[0])
+		}
+	}
+}
+
+func BenchmarkE16ResidualVisualWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.E16(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Kernel benchmarks ------------------------------------------------
+
+func BenchmarkRegionUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	rects := make([]geom.Rect, 1000)
+	for i := range rects {
+		x, y := int64(rng.Intn(50000)), int64(rng.Intn(50000))
+		rects[i] = geom.R(x, y, x+int64(100+rng.Intn(2000)), y+int64(100+rng.Intn(2000)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geom.FromRects(rects)
+	}
+}
+
+func BenchmarkRegionErodeDilate(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	rects := make([]geom.Rect, 200)
+	for i := range rects {
+		x, y := int64(rng.Intn(20000)), int64(rng.Intn(20000))
+		rects[i] = geom.R(x, y, x+int64(500+rng.Intn(2000)), y+int64(500+rng.Intn(2000)))
+	}
+	reg := geom.FromRects(rects)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Erode(250).Dilate(250)
+	}
+}
+
+func BenchmarkNetlistExtraction(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 8, 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := netlist.Extract(chip.Design, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCIFRoundTrip(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 4, 5)
+	text, err := cif.Write(chip.Design, tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cif.Parse(text, tc, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairFinder(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var pf geom.PairFinder
+	for i := 0; i < 5000; i++ {
+		x, y := int64(rng.Intn(200000)), int64(rng.Intn(200000))
+		pf.AddRect(i, geom.R(x, y, x+1000, y+1000), 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		pf.Pairs(750, nil, func(geom.Pair) { n++ })
+	}
+}
+
+func BenchmarkFlattenDesign(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 16, 25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chip.Design.Flatten(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExposureClosedForm(b *testing.B) {
+	m := process.DefaultModel()
+	mask := geom.FromRects([]geom.Rect{
+		geom.R(0, 0, 400, 200), geom.R(300, 100, 600, 500), geom.R(700, 0, 900, 400),
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.ExposureAt(mask, geom.FPoint{X: 350, Y: 150})
+	}
+}

@@ -1,0 +1,168 @@
+// Command dicheck runs layout verification on an extended-CIF file.
+//
+// By default it runs the design-integrity checker (the paper's five-stage
+// hierarchical pipeline); -flat runs the traditional mask-level baseline
+// instead, and -both runs the two side by side for comparison.
+//
+// Usage:
+//
+//	dicheck [flags] layout.cif
+//
+//	-tech nmos|bipolar   technology (default nmos)
+//	-flat                run only the traditional baseline
+//	-both                run both checkers
+//	-metric euclid|ortho spacing metric for the DIC (default euclid)
+//	-v                   print every violation, not just the summary
+//	-netlist             print the extracted hierarchical net list
+//	-stats               print per-stage statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/flat"
+	"repro/internal/process"
+	"repro/internal/tech"
+)
+
+func main() {
+	techName := flag.String("tech", "nmos", "technology: nmos or bipolar")
+	flatOnly := flag.Bool("flat", false, "run only the traditional mask-level baseline")
+	both := flag.Bool("both", false, "run both checkers")
+	metric := flag.String("metric", "euclid", "DIC spacing metric: euclid or ortho")
+	verbose := flag.Bool("v", false, "print every violation")
+	showNetlist := flag.Bool("netlist", false, "print the extracted net list")
+	showStats := flag.Bool("stats", false, "print per-stage statistics")
+	procModel := flag.Bool("process", false, "give spacing violations a second opinion from the Eq.1 process model")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dicheck [flags] layout.cif")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	var tc *tech.Technology
+	switch *techName {
+	case "nmos":
+		tc = tech.NMOS()
+	case "bipolar":
+		tc = tech.Bipolar()
+	default:
+		fatalf("unknown technology %q", *techName)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	design, err := cif.Parse(string(src), tc, flag.Arg(0))
+	if err != nil {
+		fatalf("parse: %v", err)
+	}
+	st := design.Stats()
+	fmt.Printf("design %q: %d symbols, %d elements, %d flat elements, %d devices\n",
+		design.Name, st.Symbols, st.Elements, st.FlatElements, st.FlatDevices)
+
+	exitCode := 0
+	if !*flatOnly {
+		opts := core.Options{}
+		if *metric == "ortho" {
+			opts.Metric = core.Orthogonal
+		}
+		if *procModel {
+			m := process.DefaultModel()
+			opts.ProcessSpacing = &m
+			opts.ProcessMargin = 100
+		}
+		rep, err := core.Check(design, tc, opts)
+		if err != nil {
+			fatalf("check: %v", err)
+		}
+		printDICReport(rep, *verbose, *showStats, *showNetlist)
+		if !rep.Clean() {
+			exitCode = 1
+		}
+	}
+	if *flatOnly || *both {
+		frep, err := flat.Check(design, tc, flat.Options{})
+		if err != nil {
+			fatalf("flat check: %v", err)
+		}
+		fmt.Printf("\ntraditional baseline: %d violations in %v (%d components)\n",
+			len(frep.Violations), frep.Duration, frep.Components)
+		if *verbose {
+			for _, v := range frep.Violations {
+				fmt.Printf("  %v\n", v)
+			}
+		} else {
+			printRuleCounts(countFlatRules(frep.Violations))
+		}
+		if *flatOnly && len(frep.Violations) > 0 {
+			exitCode = 1
+		}
+	}
+	os.Exit(exitCode)
+}
+
+func printDICReport(rep *core.Report, verbose, stats, nets bool) {
+	errs := rep.Errors()
+	warns := len(rep.Violations) - len(errs)
+	fmt.Printf("design-integrity check: %d errors, %d warnings\n", len(errs), warns)
+	if verbose {
+		for _, v := range rep.Violations {
+			fmt.Printf("  %v\n", v)
+		}
+	} else {
+		printRuleCounts(core.CountByRule(rep.Violations))
+	}
+	if stats {
+		fmt.Println("stages:")
+		for _, s := range rep.Stats.Stages {
+			fmt.Printf("  %-32s %10v  %6d checks  %4d violations\n",
+				s.Name, s.Duration, s.Checks, s.Violations)
+		}
+		st := rep.Stats
+		fmt.Printf("definition-level work: %d elements + %d device defs (chip has %d device instances)\n",
+			st.ElementsChecked, st.SymbolDefsChecked, st.DeviceInstances)
+		fmt.Printf("interactions: %d candidates -> %d measured (skips: %d no-rule, %d same-net, %d related, %d connection)\n",
+			st.InteractionCandidates, st.InteractionChecked,
+			st.SkippedNoRule, st.SkippedSameNetExempt, st.SkippedRelated, st.SkippedConnectionPairs)
+	}
+	if nets && rep.Netlist != nil {
+		fmt.Printf("netlist: %s\n", rep.Netlist.Stats())
+		for i := range rep.Netlist.Nets {
+			n := &rep.Netlist.Nets[i]
+			fmt.Printf("  %-24s %2d elements %2d terminals %v\n",
+				n.Name, n.Elements, len(n.Terminals), rep.Netlist.Signature(n.ID))
+		}
+	}
+}
+
+func printRuleCounts(counts map[string]int) {
+	rules := make([]string, 0, len(counts))
+	for r := range counts {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		fmt.Printf("  %-24s %d\n", r, counts[r])
+	}
+}
+
+func countFlatRules(vs []flat.Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Rule]++
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dicheck: "+format+"\n", args...)
+	os.Exit(2)
+}

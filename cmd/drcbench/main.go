@@ -1,0 +1,73 @@
+// Command drcbench regenerates every experiment of the reproduction: one
+// table per paper figure or quantified claim (see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+// Usage:
+//
+//	drcbench [-quick] [-run E01,E09]
+//
+//	-quick  smaller chip sizes (fast smoke run)
+//	-run    comma-separated experiment ids (default: all)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads")
+	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	flag.Parse()
+
+	type experiment struct {
+		id string
+		fn func() (*eval.Table, error)
+	}
+	q := *quick
+	experiments := []experiment{
+		{"E01", func() (*eval.Table, error) { return eval.E01(q) }},
+		{"E02", eval.E02},
+		{"E03", eval.E03},
+		{"E04", eval.E04},
+		{"E06", func() (*eval.Table, error) { return eval.E06(q) }},
+		{"E09", func() (*eval.Table, error) { return eval.E09(q) }},
+		{"E10", eval.E10},
+		{"E11", eval.E11},
+		{"E12", eval.E12},
+		{"E13", eval.E13},
+		{"E15", eval.E15},
+		{"E16", func() (*eval.Table, error) { return eval.E16(q) }},
+		{"E17", func() (*eval.Table, error) { return eval.E17(q) }},
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tab, err := e.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed = true
+			continue
+		}
+		fmt.Println(tab.Render())
+		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,144 @@
+// Package dic is the public API of the Design Integrity and Immunity
+// Checker — a Go reproduction of McGrath & Whitney, "Design Integrity and
+// Immunity Checking: A New Look at Layout Verification and Design Rule
+// Checking" (DAC 1980).
+//
+// The package re-exports the stable surface of the internal packages:
+//
+//	Technologies:  NMOS, Bipolar
+//	Input/output:  ParseCIF, WriteCIF (extended CIF with 9N/9D/9I)
+//	The checker:   Check (the paper's five-stage hierarchical pipeline)
+//	The baseline:  CheckFlat (traditional mask-level DRC)
+//	Extraction:    ExtractNetlist (hierarchical net list, dot notation)
+//	Process model: ProcessModel (Gaussian exposure, Eq. 1)
+//	Workloads:     NewChip, InjectErrors, Pathologies
+//
+// Quickstart:
+//
+//	tc := dic.NMOS()
+//	design, err := dic.ParseCIF(cifText, tc, "mychip")
+//	if err != nil { ... }
+//	report, err := dic.Check(design, tc, dic.Options{})
+//	for _, v := range report.Errors() { fmt.Println(v) }
+package dic
+
+import (
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/flat"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// Re-exported types. These aliases are the supported public names; the
+// internal packages may reorganize behind them.
+type (
+	// Technology describes a fabrication process: layers, width rules, the
+	// Figure 12 interaction matrix, and device types.
+	Technology = tech.Technology
+	// Design is a hierarchical layout database.
+	Design = layout.Design
+	// Symbol is a layout symbol definition (possibly a device).
+	Symbol = layout.Symbol
+	// Element is a primitive geometric element.
+	Element = layout.Element
+	// Options configures the design-integrity checker.
+	Options = core.Options
+	// Report is the checker's result.
+	Report = core.Report
+	// Violation is one reported finding.
+	Violation = core.Violation
+	// Netlist is the extracted hierarchical net list.
+	Netlist = netlist.Netlist
+	// NetlistIssue is a netlist-level consistency finding.
+	NetlistIssue = netlist.Issue
+	// Reference is an expected netlist for consistency checking.
+	Reference = netlist.Reference
+	// FlatOptions configures the traditional baseline checker.
+	FlatOptions = flat.Options
+	// FlatReport is the baseline checker's result.
+	FlatReport = flat.Report
+	// Model is the Gaussian-exposure process model of Eq. 1.
+	Model = process.Model
+	// Chip is a generated workload.
+	Chip = workload.Chip
+	// Injected is one ground-truth injected error.
+	Injected = workload.Injected
+	// Pathology is one paper-figure pathology case.
+	Pathology = workload.Pathology
+	// Outcome classifies checker output against ground truth.
+	Outcome = eval.Outcome
+)
+
+// Severity levels for violations.
+const (
+	Error   = core.Error
+	Warning = core.Warning
+)
+
+// Spacing metrics for Options.Metric.
+const (
+	Euclidean  = core.Euclidean
+	Orthogonal = core.Orthogonal
+)
+
+// NMOS returns the λ=250 silicon-gate nMOS technology (Mead–Conway style).
+func NMOS() *Technology { return tech.NMOS() }
+
+// Bipolar returns the simplified bipolar technology of Figure 6.
+func Bipolar() *Technology { return tech.Bipolar() }
+
+// ParseCIF reads extended CIF text into a design.
+func ParseCIF(src string, tc *Technology, name string) (*Design, error) {
+	return cif.Parse(src, tc, name)
+}
+
+// WriteCIF renders a design as extended CIF text.
+func WriteCIF(d *Design, tc *Technology) (string, error) {
+	return cif.Write(d, tc)
+}
+
+// NewDesign creates an empty design for programmatic construction.
+func NewDesign(name string) *Design { return layout.NewDesign(name) }
+
+// Check runs the paper's five-stage design-integrity pipeline.
+func Check(d *Design, tc *Technology, opts Options) (*Report, error) {
+	return core.Check(d, tc, opts)
+}
+
+// CheckFlat runs the traditional mask-level baseline checker.
+func CheckFlat(d *Design, tc *Technology, opts FlatOptions) (*FlatReport, error) {
+	return flat.Check(d, tc, opts)
+}
+
+// ExtractNetlist generates the hierarchical net list with consistency
+// issues.
+func ExtractNetlist(d *Design, tc *Technology) (*Netlist, []NetlistIssue, error) {
+	return netlist.Extract(d, tc)
+}
+
+// ProcessModel returns the default Gaussian exposure model (σ = λ/2,
+// print-at-drawn-edge threshold).
+func ProcessModel() Model { return process.DefaultModel() }
+
+// NewChip generates a rows×cols inverter-array workload chip.
+func NewChip(tc *Technology, name string, rows, cols int) *Chip {
+	return workload.NewChip(tc, name, rows, cols)
+}
+
+// InjectErrors plants n seeded ground-truth errors into a chip.
+func InjectErrors(c *Chip, n int, seed int64) []Injected {
+	return workload.InjectErrors(c, n, seed)
+}
+
+// Pathologies returns the paper-figure pathology library.
+func Pathologies() []Pathology { return workload.AllPathologies() }
+
+// ScoreAgainstGroundTruth classifies a DIC report against injected errors.
+func ScoreAgainstGroundTruth(injected []Injected, rep *Report) Outcome {
+	return eval.ScoreDIC(injected, rep)
+}

@@ -1,0 +1,65 @@
+// Pathology: a guided tour of the paper's figures. Every pathology case in
+// the library is a tiny layout reproducing one figure; this example runs
+// both checkers over each and prints what happened — the paper's argument
+// in executable form.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	dic "repro"
+)
+
+func main() {
+	for _, p := range dic.Pathologies() {
+		fmt.Printf("== %s (%s)\n", p.Name, p.Figure)
+		fmt.Printf("   %s\n", p.Notes)
+
+		rep, err := dic.Check(p.Design, p.Tech, dic.Options{SkipConstruction: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		errs := rep.Errors()
+		if len(errs) == 0 {
+			fmt.Println("   DIC: clean")
+		} else {
+			fmt.Printf("   DIC: %d error(s)\n", len(errs))
+			for _, v := range errs {
+				fmt.Printf("        %v\n", v)
+			}
+		}
+
+		frep, err := dic.CheckFlat(p.Design, p.Tech, dic.FlatOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(frep.Violations) == 0 {
+			verdict := "clean"
+			if p.FlatMisses {
+				verdict = "clean — MISSES the defect (region 1 of Figure 1)"
+			}
+			fmt.Printf("   baseline: %s\n", verdict)
+		} else {
+			suffix := ""
+			if p.FlatFalse {
+				suffix = " — includes FALSE errors (region 3 of Figure 1)"
+			}
+			fmt.Printf("   baseline: %d violation(s)%s\n", len(frep.Violations), suffix)
+			counts := map[string]int{}
+			for _, v := range frep.Violations {
+				counts[v.Rule]++
+			}
+			rules := make([]string, 0, len(counts))
+			for r := range counts {
+				rules = append(rules, r)
+			}
+			sort.Strings(rules)
+			for _, r := range rules {
+				fmt.Printf("        %s ×%d\n", r, counts[r])
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Proximity: the paper's 2-D process model (Figures 13-14, Equation 1) in
+// action. Renders an ASCII map of the printed image of two close boxes —
+// showing the proximity-effect bulge between them — then prints the
+// end-retreat curve behind the Figure 14 relational rule.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	dic "repro"
+	"repro/internal/geom"
+)
+
+func main() {
+	m := dic.Model{Sigma: 100, Threshold: 0.4} // over-exposed: features grow
+
+	// Two boxes with a narrow gap; their exposure tails add in between.
+	a := geom.FromRectR(geom.R(-900, -500, -150, 500))
+	b := geom.FromRectR(geom.R(150, -500, 900, 500))
+	mask := a.Union(b)
+
+	fmt.Println("printed image of two boxes, 300 apart, over-exposed (σ=100, T=0.4)")
+	fmt.Println("'#' drawn mask, '+' prints beyond the drawn mask, '.' clear:")
+	fmt.Println()
+	const cell = 50
+	for y := int64(650); y >= -650; y -= cell {
+		var sb strings.Builder
+		for x := int64(-1100); x <= 1100; x += cell {
+			p := geom.FPoint{X: float64(x), Y: float64(y)}
+			inMask := mask.ContainsPoint(geom.Pt(x, y))
+			prints := m.Prints(mask, p)
+			switch {
+			case inMask:
+				sb.WriteByte('#')
+			case prints:
+				sb.WriteByte('+')
+			default:
+				sb.WriteByte('.')
+			}
+		}
+		fmt.Println(sb.String())
+	}
+
+	shift := m.IsolatedEdgeShift()
+	fmt.Printf("\nisolated edge growth: %.1f per side\n", shift)
+	fmt.Println("printed gap vs drawn gap (unary model = drawn - 2×growth):")
+	fmt.Printf("%10s %10s %10s %12s\n", "drawn", "unary", "printed", "prox effect")
+	for _, gap := range []int64{800, 500, 400, 300, 250, 200} {
+		la := geom.FromRectR(geom.R(-2000, -1000, 0, 1000))
+		rb := geom.FromRectR(geom.R(gap, -1000, gap+2000, 1000))
+		printed := m.PrintedGap(la, rb)
+		unary := float64(gap) - 2*shift
+		fmt.Printf("%10d %10.1f %10.1f %12.2f\n", gap, unary, printed, unary-printed)
+	}
+
+	fmt.Println("\nFigure 14 — end retreat vs wire width (σ=λ=250, T=0.5):")
+	rel := dic.Model{Sigma: 250, Threshold: 0.5}
+	fmt.Printf("%14s %12s %18s\n", "width (λ)", "retreat", "required overlap")
+	for _, wLam := range []int64{2, 3, 4, 6, 8} {
+		w := wLam * 250
+		fmt.Printf("%14d %12.1f %18.1f\n", wLam, rel.EndRetreat(w), rel.RequiredGateOverlap(w, 125))
+	}
+	fmt.Println("\nthe required gate overlap is a FUNCTION of the poly width —")
+	fmt.Println("the relational rule no single design-rule number can express.")
+}

@@ -1,0 +1,85 @@
+// Quickstart: parse an extended-CIF design, run the design-integrity
+// checker, and print the report — the five-minute tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dic "repro"
+)
+
+// A tiny two-cell design in extended CIF. The 9D extension declares the
+// transistor symbol's device type; the 9N extension attaches net names to
+// elements. The second transistor's gate deliberately stops flush with the
+// channel — the unchecked error of the paper's Figure 8 that mask-level
+// checkers cannot see.
+const layoutCIF = `
+(quickstart: one good transistor, one with a missing gate overlap);
+9 quickstart;
+DS 1;
+9 goodtran;
+9D nmos-enh;
+L NP; B 500 2000 0 0;
+L ND; B 2000 500 0 0;
+DF;
+DS 2;
+9 badtran;
+9D nmos-enh;
+L NP; B 500 500 0 0;
+L ND; B 2000 500 0 0;
+DF;
+DS 3;
+9 top;
+9I t1;
+C 1 T 0 0;
+9I t2;
+C 2 T 8000 0;
+L ND;
+9N in1;
+W 500 -500 0 -3000 0;
+L ND;
+9N out1;
+W 500 500 0 3000 0;
+L NP;
+9N g1;
+W 500 0 750 0 3000;
+DF;
+E
+`
+
+func main() {
+	tc := dic.NMOS()
+	design, err := dic.ParseCIF(layoutCIF, tc, "quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := design.Stats()
+	fmt.Printf("parsed %q: %d symbols, %d device instances\n\n",
+		design.Name, st.Symbols, st.FlatDevices)
+
+	report, err := dic.Check(design, tc, dic.Options{SkipConstruction: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("violations (%d):\n", len(report.Violations))
+	for _, v := range report.Violations {
+		fmt.Printf("  %v\n", v)
+	}
+
+	fmt.Printf("\nextracted netlist: %s\n", report.Netlist.Stats())
+	for i := range report.Netlist.Nets {
+		n := &report.Netlist.Nets[i]
+		fmt.Printf("  net %-8s elements=%d attachments=%v\n",
+			n.Name, n.Elements, report.Netlist.Signature(n.ID))
+	}
+
+	// The same design through the traditional mask-level checker: the
+	// missing gate overlap is invisible to it.
+	flatRep, err := dic.CheckFlat(design, tc, dic.FlatOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraditional baseline violations: %d", len(flatRep.Violations))
+	fmt.Println(" (the missing gate overlap cannot be measured on masks)")
+}

@@ -1,0 +1,313 @@
+package cif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+const sampleCIF = `
+(a two-level design with extensions);
+9 sample;
+DS 1 1 1;
+9 tran;
+9D nmos-enh;
+L NP; B 200 1000 0 0;
+L ND; B 1000 200 0 0;
+DF;
+DS 2 1 1;
+9 cell;
+9I t1;
+C 1 T 1000 1000;
+L ND;
+9N out;
+W 500 0 0 2000 0;
+DF;
+DS 3 1 1;
+9 top;
+9I c1;
+C 2;
+9I c2;
+C 2 T 5000 0;
+DF;
+E
+`
+
+func TestParseSample(t *testing.T) {
+	tc := tech.NMOS()
+	d, err := Parse(sampleCIF, tc, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "sample" {
+		t.Fatalf("design name = %q", d.Name)
+	}
+	if d.Top == nil || d.Top.Name != "top" {
+		t.Fatalf("top = %v", d.Top)
+	}
+	tran, ok := d.Symbol("tran")
+	if !ok {
+		t.Fatal("tran missing")
+	}
+	if tran.DeviceType != "nmos-enh" || tran.Checked {
+		t.Fatalf("tran device = %q checked=%v", tran.DeviceType, tran.Checked)
+	}
+	if len(tran.Elements) != 2 {
+		t.Fatalf("tran elements = %d", len(tran.Elements))
+	}
+	poly := tran.Elements[0]
+	if poly.Kind != layout.KindBox || poly.Box != geom.R(-100, -500, 100, 500) {
+		t.Fatalf("poly box = %v", poly.Box)
+	}
+	cell, _ := d.Symbol("cell")
+	if len(cell.Calls) != 1 || cell.Calls[0].Name != "t1" {
+		t.Fatalf("cell calls = %v", cell.Calls)
+	}
+	if cell.Calls[0].T.Trans != geom.Pt(1000, 1000) {
+		t.Fatalf("call transform = %v", cell.Calls[0].T)
+	}
+	wire := cell.Elements[0]
+	if wire.Kind != layout.KindWire || wire.Net != "out" || wire.Width != 500 {
+		t.Fatalf("wire = %+v", wire)
+	}
+	st := d.Stats()
+	if st.FlatDevices != 2 {
+		t.Fatalf("flat devices = %d", st.FlatDevices)
+	}
+}
+
+func TestParseCheckedDevice(t *testing.T) {
+	src := `DS 1; 9 odd; 9D special-dev CHK; L ND; B 100 100 0 0; DF; E`
+	tc := tech.NMOS()
+	tc.AddDevice("special-dev", tech.DeviceSpec{Class: "resistor"})
+	d, err := Parse(src, tc, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Symbol("odd")
+	if !s.Checked {
+		t.Fatal("CHK flag lost")
+	}
+}
+
+func TestParseTransforms(t *testing.T) {
+	src := `
+DS 1; 9 leaf; L ND; B 200 100 100 50; DF;
+DS 2; 9 top;
+C 1 R 0 1 T 1000 0;
+C 1 M X T 0 1000;
+C 1 M Y R -1 0;
+DF; E`
+	d, err := Parse(src, tech.NMOS(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, _ := d.Symbol("top")
+	if len(top.Calls) != 3 {
+		t.Fatalf("calls = %d", len(top.Calls))
+	}
+	// leaf box is R(0,0,200,100).
+	// Call 0: rotate 90 then translate (1000,0): box -> R(900,0,1000,200).
+	if got := top.Calls[0].T.ApplyRect(geom.R(0, 0, 200, 100)); got != geom.R(900, 0, 1000, 200) {
+		t.Fatalf("call0 box = %v", got)
+	}
+	// Call 1: mirror X (negate x) then translate (0,1000): -> R(-200,1000,0,1100).
+	if got := top.Calls[1].T.ApplyRect(geom.R(0, 0, 200, 100)); got != geom.R(-200, 1000, 0, 1100) {
+		t.Fatalf("call1 box = %v", got)
+	}
+	// Call 2: mirror Y then rotate 180: (x,y)->(x,-y)->(-x,y): same as M X.
+	if got := top.Calls[2].T.ApplyRect(geom.R(0, 0, 200, 100)); got != geom.R(-200, 0, 0, 100) {
+		t.Fatalf("call2 box = %v", got)
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	src := `
+DS 2; 9 top; C 1 T 10 10; DF;
+DS 1; 9 leaf; L ND; B 10 10 0 0; DF;
+E`
+	d, err := Parse(src, tech.NMOS(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Last-defined symbol is leaf, but leaf is called by top... the top
+	// heuristic picks the last DEFINED symbol; here that is "leaf".
+	// Forward references must still resolve.
+	topSym, _ := d.Symbol("top")
+	if len(topSym.Calls) != 1 || topSym.Calls[0].Target.Name != "leaf" {
+		t.Fatalf("forward call unresolved: %v", topSym.Calls)
+	}
+}
+
+func TestParseTopLevelContent(t *testing.T) {
+	src := `
+DS 1; 9 leaf; L ND; B 10 10 5 5; DF;
+C 1 T 100 0;
+L NM; B 300 300 0 0;
+E`
+	d, err := Parse(src, tech.NMOS(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Top.Name != "(top)" {
+		t.Fatalf("top = %q", d.Top.Name)
+	}
+	if len(d.Top.Calls) != 1 || len(d.Top.Elements) != 1 {
+		t.Fatalf("top content: %d calls %d elements", len(d.Top.Calls), len(d.Top.Elements))
+	}
+}
+
+func TestParseDSScale(t *testing.T) {
+	src := `DS 1 2 1; 9 s; L ND; B 100 100 50 50; DF; E`
+	d, err := Parse(src, tech.NMOS(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distances double: the 100-box centered at (50,50) becomes a 200-box
+	// centered at (100,100).
+	s, _ := d.Symbol("s")
+	if got := s.Elements[0].Box; got != geom.R(0, 0, 200, 200) {
+		t.Fatalf("scaled box = %v", got)
+	}
+	// Non-divisible scale must fail.
+	if _, err := Parse(`DS 1 1 3; L ND; B 100 100 50 50; DF; E`, tech.NMOS(), "x"); err == nil {
+		t.Fatal("non-divisible scale should error")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tc := tech.NMOS()
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no layer", `DS 1; B 10 10 0 0; DF; E`, "before any L"},
+		{"bad layer", `DS 1; L ZZ; DF; E`, "unknown layer"},
+		{"unterminated DS", `DS 1; L ND;`, "unterminated"},
+		{"undefined call", `DS 1; C 9; DF; E`, "undefined symbol"},
+		{"nested DS", `DS 1; DS 2; DF; DF; E`, "nested"},
+		{"redefined", `DS 1; DF; DS 1; DF; E`, "redefined"},
+		{"rotation", `DS 1; 9 a; L ND; B 4 4 0 0; DF; DS 2; C 1 R 1 1; DF; E`, "non-Manhattan rotation"},
+		{"roundflash", `DS 1; R 100 0 0; DF; E`, "round flash"},
+		{"empty", `E`, "empty design"},
+		{"odd wire", `DS 1; L ND; W 10 0 0 5; DF; E`, "point pairs"},
+		{"comment", `(unterminated`, "comment"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src, tc, "x"); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	tc := tech.NMOS()
+	orig, err := Parse(sampleCIF, tc, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Write(orig, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(text, tc, "y")
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text)
+	}
+	// Structural equivalence.
+	so, sb := orig.Stats(), back.Stats()
+	if so != sb {
+		t.Fatalf("stats changed: %+v vs %+v", so, sb)
+	}
+	if back.Top.Name != orig.Top.Name {
+		t.Fatalf("top changed: %q vs %q", back.Top.Name, orig.Top.Name)
+	}
+	// Geometric equivalence: identical flattened layer regions.
+	ro, err := orig.FlatLayerRegions(tc.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := back.FlatLayerRegions(tc.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range ro {
+		if !ro[l].Equal(rb[l]) {
+			t.Fatalf("layer %d geometry changed", l)
+		}
+	}
+	// Net and device annotations survive.
+	cell, _ := back.Symbol("cell")
+	if cell.Elements[0].Net != "out" {
+		t.Fatalf("net lost: %+v", cell.Elements[0])
+	}
+	tran, _ := back.Symbol("tran")
+	if tran.DeviceType != "nmos-enh" {
+		t.Fatal("device type lost")
+	}
+}
+
+func TestWriteOddBoxAsPolygon(t *testing.T) {
+	tc := tech.NMOS()
+	d := layout.NewDesign("odd")
+	s := d.MustSymbol("s")
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	s.AddBox(diff, geom.R(0, 0, 7, 9), "")
+	d.Top = s
+	text, err := Write(d, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "P 0 0 7 0 7 9 0 9;") {
+		t.Fatalf("odd box not written as polygon:\n%s", text)
+	}
+	back, err := Parse(text, tc, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := back.FlatLayerRegions(tc.NumLayers())
+	if r[diff].Area() != 63 {
+		t.Fatalf("area = %d", r[diff].Area())
+	}
+}
+
+func TestRoundTripWithTransforms(t *testing.T) {
+	tc := tech.NMOS()
+	d := layout.NewDesign("tr")
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	leaf := d.MustSymbol("leaf")
+	leaf.AddBox(diff, geom.R(0, 0, 200, 100), "")
+	top := d.MustSymbol("top")
+	for o := geom.Orient(0); o < 8; o++ {
+		top.AddCall(leaf, geom.NewTransform(o, geom.Pt(int64(o)*1000, 500)), "")
+	}
+	d.Top = top
+	text, err := Write(d, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(text, tc, "x")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	ro, _ := d.FlatLayerRegions(tc.NumLayers())
+	rb, _ := back.FlatLayerRegions(tc.NumLayers())
+	if !ro[diff].Equal(rb[diff]) {
+		t.Fatalf("transform geometry changed:\n%s", text)
+	}
+}
+
+func TestFieldsTokenizer(t *testing.T) {
+	got := fields("B 20,30 -5 7")
+	want := []string{"B", "20", "30", "-5", "7"}
+	if len(got) != len(want) {
+		t.Fatalf("fields = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("fields = %v", got)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/process"
+	"repro/internal/tech"
+)
+
+// Metric selects the spacing geometry model for the interaction stage.
+type Metric uint8
+
+// Spacing metrics.
+const (
+	// Euclidean measures true Euclidean clearance — no Figure 4
+	// corner-to-corner false errors. The DIC default.
+	Euclidean Metric = iota
+	// Orthogonal is the traditional expand-check-overlap L∞ metric,
+	// provided for the Figure 4 pathology experiments.
+	Orthogonal
+)
+
+// Options configures a check run.
+type Options struct {
+	// Metric is the spacing metric (default Euclidean).
+	Metric Metric
+	// Reference, when non-nil, is compared against the extracted netlist
+	// (the paper's input-netlist consistency check).
+	Reference netlist.Reference
+	// SkipConstruction disables the non-geometric construction rules.
+	SkipConstruction bool
+	// SkipInteractions disables the chip-level interaction stage (used by
+	// ablation benches).
+	SkipInteractions bool
+	// NoExemptions is an ablation switch: ignore the same-net and
+	// related-through-device subcases and check every interaction as if
+	// the elements were unrelated — i.e. throw away exactly the
+	// topological information the paper argues for. On a clean chip the
+	// resulting violations are all false errors, measuring what the net
+	// and device knowledge buys (Figures 5 and 12).
+	NoExemptions bool
+
+	// ProcessSpacing, when non-nil, gives every spacing violation a second
+	// opinion from the paper's 2-D process model (Figure 13, Eq. 1): the
+	// pair is re-evaluated along the line of closest approach, with
+	// worst-case mask misalignment for cross-layer pairs, and a violation
+	// whose printed images still keep at least ProcessMargin of clearance
+	// is downgraded to a warning. This is the paper's "more correct"
+	// physics-based check layered over the fixed-number rules.
+	ProcessSpacing *process.Model
+	// ProcessMargin is the minimum printed gap the process model must
+	// predict for a downgrade (centimicrons; 0 = any positive gap).
+	ProcessMargin float64
+	// Misalign is the worst-case cross-layer mask misalignment for the
+	// process model (default: half the technology λ when zero).
+	Misalign float64
+}
+
+// StageStats times one pipeline stage.
+type StageStats struct {
+	Name       string
+	Duration   time.Duration
+	Checks     int // geometric predicates evaluated
+	Violations int
+}
+
+// Stats aggregates checker metrics. The Skipped* counters audit the
+// Figure 12 claim that most interaction subcases require no check.
+type Stats struct {
+	Stages []StageStats
+
+	ElementsChecked   int // element definitions width-checked (once per def)
+	SymbolDefsChecked int // primitive symbol definitions checked
+	DeviceInstances   int // device instances on the chip (for comparison)
+
+	InteractionCandidates  int // candidate pairs from the sweep
+	InteractionChecked     int // pairs geometrically measured
+	SkippedNoRule          int // layer pair has no rule at all
+	SkippedSameNetExempt   int // same net, no same-net rule (Figure 5a)
+	SkippedRelated         int // same device, related exemption
+	SkippedConnectionPairs int // handled by the connection stage
+	ProcessDowngrades      int // rule violations the process model cleared
+}
+
+// Report is the result of a DIC run.
+type Report struct {
+	Design     *layout.Design
+	Tech       *tech.Technology
+	Violations []Violation
+	Netlist    *netlist.Netlist
+	Stats      Stats
+}
+
+// Errors returns only the error-severity violations.
+func (r *Report) Errors() []Violation {
+	var out []Violation
+	for _, v := range r.Violations {
+		if v.Severity == Error {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clean reports whether no error-severity violations were found.
+func (r *Report) Clean() bool { return len(r.Errors()) == 0 }
+
+// Check runs the full DIC pipeline on a design.
+func Check(d *layout.Design, tc *tech.Technology, opts Options) (*Report, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Design: d, Tech: tc}
+	c := &checker{design: d, tech: tc, opts: opts, rep: rep}
+
+	c.stage("check elements", c.checkElements)
+	c.stage("check primitive symbols", c.checkPrimitiveSymbols)
+	// Stages 3-5 share the extraction artifacts.
+	var ex *netlist.Extraction
+	c.stage("generate hierarchical net list", func() {
+		var issues []netlist.Issue
+		var err error
+		ex, issues, err = netlist.ExtractFull(d, tc)
+		if err != nil {
+			c.add(Violation{Rule: "STRUCT.EXTRACT", Severity: Error, Detail: err.Error()})
+			return
+		}
+		rep.Netlist = ex.Netlist
+		for _, is := range issues {
+			c.add(Violation{Rule: is.Rule, Severity: Warning, Detail: is.Detail, Where: is.Where})
+		}
+	})
+	if ex != nil {
+		c.stage("check legal connections", func() { c.checkConnections(ex) })
+		if !opts.SkipInteractions {
+			c.stage("check interactions", func() { c.checkInteractions(ex) })
+		}
+		if !opts.SkipConstruction {
+			c.stage("check construction rules", func() {
+				for _, is := range netlist.ConstructionRules(ex.Netlist, tc) {
+					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
+				}
+			})
+		}
+		if opts.Reference != nil {
+			c.stage("check netlist reference", func() {
+				for _, is := range netlist.Compare(ex.Netlist, opts.Reference) {
+					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
+				}
+			})
+		}
+	}
+	sortViolations(rep.Violations)
+	return rep, nil
+}
+
+type checker struct {
+	design *layout.Design
+	tech   *tech.Technology
+	opts   Options
+	rep    *Report
+
+	curStage *StageStats
+}
+
+// stage runs one pipeline stage with timing and violation accounting.
+func (c *checker) stage(name string, fn func()) {
+	st := StageStats{Name: name}
+	c.rep.Stats.Stages = append(c.rep.Stats.Stages, st)
+	c.curStage = &c.rep.Stats.Stages[len(c.rep.Stats.Stages)-1]
+	before := len(c.rep.Violations)
+	start := time.Now()
+	fn()
+	c.curStage.Duration = time.Since(start)
+	c.curStage.Violations = len(c.rep.Violations) - before
+	c.curStage = nil
+}
+
+func (c *checker) add(v Violation) {
+	c.rep.Violations = append(c.rep.Violations, v)
+}
+
+func (c *checker) countCheck() {
+	if c.curStage != nil {
+		c.curStage.Checks++
+	}
+}
+
+// checkElements is pipeline stage 1: interconnect width, checked in the
+// symbol definition, not in each instance — "this is done in the symbol
+// definition, not in each instance of a symbol".
+func (c *checker) checkElements() {
+	for _, s := range c.design.SortedSymbols() {
+		if s.IsPrimitive() {
+			continue // device geometry is stage 2's business
+		}
+		for _, e := range s.Elements {
+			c.rep.Stats.ElementsChecked++
+			reg, err := e.Region()
+			if err != nil {
+				c.add(Violation{
+					Rule: "STRUCT.ELEM", Severity: Error,
+					Detail: err.Error(), Where: e.Bounds(),
+					Symbol: s.Name, Layer: e.Layer,
+				})
+				continue
+			}
+			layer := c.tech.Layer(e.Layer)
+			if layer.MinWidth <= 0 {
+				continue
+			}
+			c.countCheck()
+			for _, w := range geom.WidthViolations(reg, layer.MinWidth) {
+				c.add(Violation{
+					Rule:     "W." + layer.CIF,
+					Severity: Error,
+					Detail: fmt.Sprintf("%s %s narrower than %d (self-sufficiency: every element must be legal alone)",
+						layer.Name, e.Kind, layer.MinWidth),
+					Where: w, Symbol: s.Name, Layer: e.Layer,
+				})
+			}
+		}
+	}
+}
+
+// checkPrimitiveSymbols is stage 2: device-internal rules, once per
+// definition. Devices marked CHK are exempt (their Analyze already
+// suppresses problems).
+func (c *checker) checkPrimitiveSymbols() {
+	for _, s := range c.design.SortedSymbols() {
+		if !s.IsPrimitive() {
+			continue
+		}
+		c.rep.Stats.SymbolDefsChecked++
+		c.countCheck()
+		_, probs := device.Analyze(s, c.tech)
+		for _, p := range probs {
+			c.add(Violation{
+				Rule: p.Rule, Severity: Error, Detail: p.Detail,
+				Where: p.Where, Symbol: s.Name,
+			})
+		}
+	}
+}
+
+// checkConnections is stage 3: same-layer element pairs that touch without
+// being skeletally connected are illegal connections (Figures 11/15); the
+// extractor has already enumerated them.
+func (c *checker) checkConnections(ex *netlist.Extraction) {
+	c.rep.Stats.DeviceInstances = len(ex.Netlist.Devices)
+	for _, pair := range ex.IllegalPairs {
+		a, b := ex.Items[pair[0]], ex.Items[pair[1]]
+		c.countCheck()
+		layer := c.tech.Layer(a.Layer)
+		c.add(Violation{
+			Rule:     "CONN.ILLEGAL",
+			Severity: Error,
+			Detail: fmt.Sprintf("%s elements touch without skeletal connection (butting or shallow overlap; overlap by at least the minimum width instead)",
+				layer.Name),
+			Where: a.Bounds.Intersect(b.Bounds),
+			Path:  a.Path,
+			Layer: a.Layer,
+			Nets:  c.netNames(ex, a.Net, b.Net),
+		})
+	}
+}
+
+func (c *checker) netNames(ex *netlist.Extraction, ids ...netlist.NetID) []string {
+	var out []string
+	for _, id := range ids {
+		if id >= 0 && int(id) < len(ex.Netlist.Nets) {
+			out = append(out, ex.Netlist.Nets[id].Name)
+		}
+	}
+	return out
+}

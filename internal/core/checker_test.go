@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+func TestCleanChipReportsNoErrors(t *testing.T) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "clean", 2, 3)
+	rep, err := Check(chip.Design, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Errors() {
+		t.Errorf("unexpected: %v", v)
+	}
+	if t.Failed() {
+		t.Logf("stats: %+v", rep.Stats)
+	}
+	// Sanity: the chip has real content.
+	if rep.Netlist == nil || len(rep.Netlist.Devices) != 2*3*5+2 {
+		t.Fatalf("devices = %v, want %d", rep.Netlist.Stats(), 2*3*5+2)
+	}
+	// Rails are single nets.
+	vdd, ok := rep.Netlist.NetByName("VDD")
+	if !ok {
+		t.Fatal("VDD missing")
+	}
+	gnd, ok := rep.Netlist.NetByName("GND")
+	if !ok {
+		t.Fatal("GND missing")
+	}
+	if vdd == gnd {
+		t.Fatal("rails merged")
+	}
+}
+
+func TestWidthViolationReported(t *testing.T) {
+	tc := tech.NMOS()
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	d := layout.NewDesign("narrow")
+	top := d.MustSymbol("top")
+	top.AddWire(diff, 300, "", geom.Pt(0, 0), geom.Pt(3000, 0)) // min is 500
+	d.Top = top
+	rep, err := Check(d, tc, Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountByRule(rep.Violations)["W.ND"]; n != 1 {
+		t.Fatalf("W.ND = %d, want 1 (%v)", n, rep.Violations)
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// checkInteractions is pipeline stage 5: everything that remains after
+// element, symbol, and connection checking is spacing between elements
+// and/or primitive symbols, enumerated by the upper-triangular interaction
+// matrix of Figure 12 with its same-net / different-net / device-related
+// subcases — plus the device-dependent cross-symbol rules: accidental
+// transistors (Figure 8), contacts over gates (Figure 7), and bipolar base
+// versus isolation (Figure 6).
+func (c *checker) checkInteractions(ex *netlist.Extraction) {
+	tc := c.tech
+	maxGap := tc.MaxSpacing()
+
+	var pf geom.PairFinder
+	for i := range ex.Items {
+		pf.AddRect(i, ex.Items[i].Bounds, int(ex.Items[i].Layer))
+	}
+
+	polyID, hasPoly := tc.LayerByName(tech.NMOSPoly)
+	diffID, hasDiff := tc.LayerByName(tech.NMOSDiff)
+	isoID, hasIso := tc.LayerByName(tech.BipIso)
+
+	// Terminal-net sets per device: an element is "related" to a device
+	// when it shares a net with one of the device's terminals (the paper:
+	// "the subcases depend on whether or not the elements are related").
+	devNets := make([]map[netlist.NetID]bool, len(ex.Netlist.Devices))
+	netDevs := make(map[netlist.NetID]map[int]bool)
+	for di := range ex.Netlist.Devices {
+		set := make(map[netlist.NetID]bool, len(ex.Netlist.Devices[di].TerminalNets))
+		for _, nid := range ex.Netlist.Devices[di].TerminalNets {
+			set[nid] = true
+			if netDevs[nid] == nil {
+				netDevs[nid] = make(map[int]bool)
+			}
+			netDevs[nid][di] = true
+		}
+		devNets[di] = set
+	}
+	related := func(a, b *netlist.ConnItem) bool {
+		if a.Dev >= 0 && a.Dev == b.Dev {
+			return true
+		}
+		if a.Dev >= 0 && b.Net != netlist.NoNet && devNets[a.Dev][b.Net] {
+			return true
+		}
+		if b.Dev >= 0 && a.Net != netlist.NoNet && devNets[b.Dev][a.Net] {
+			return true
+		}
+		// Two interconnect elements whose nets meet at a common device are
+		// related through it — e.g. the source and drain feed wires of one
+		// transistor, whose separation is the channel, not a spacing rule.
+		if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+			da, db := netDevs[a.Net], netDevs[b.Net]
+			if len(da) > len(db) {
+				da, db = db, da
+			}
+			for di := range da {
+				if db[di] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	st := &c.rep.Stats
+	pf.Pairs(maxGap, nil, func(p geom.Pair) {
+		st.InteractionCandidates++
+		a := &ex.Items[p.A.ID]
+		b := &ex.Items[p.B.ID]
+		sameDevice := a.Dev >= 0 && a.Dev == b.Dev
+
+		// Accidental transistor (Figure 8): poly over diffusion outside a
+		// single declared device. Implicit devices are not allowed.
+		if hasPoly && hasDiff && !sameDevice &&
+			((a.Layer == polyID && b.Layer == diffID) || (a.Layer == diffID && b.Layer == polyID)) {
+			if a.Bounds.Overlaps(b.Bounds) {
+				c.countCheck()
+				if ov := a.Reg.Intersect(b.Reg); !ov.Empty() {
+					c.add(Violation{
+						Rule:     "DEV.ACCIDENTAL",
+						Severity: Error,
+						Detail:   "poly crosses diffusion outside a transistor symbol (implicit devices are not allowed)",
+						Where:    ov.Bounds(),
+						Path:     a.Path,
+						Nets:     c.netNames(ex, a.Net, b.Net),
+					})
+					return // the spacing cell would double-report this overlap
+				}
+			}
+		}
+
+		rule := tc.Spacing(a.Layer, b.Layer)
+		if rule.DiffNet == 0 && rule.SameNet == 0 {
+			st.SkippedNoRule++
+			return
+		}
+		// Figure 5b: a resistor keeps its spacing checks even against
+		// related or same-net elements — a short across the body changes
+		// the circuit. Its own internal geometry (same device) is stage
+		// 2's business, not an interaction.
+		resException := !sameDevice &&
+			(c.devKeepsSameNetSpacing(ex, a.Dev) || c.devKeepsSameNetSpacing(ex, b.Dev))
+		isRelated := related(a, b)
+		if !c.opts.NoExemptions {
+			if rule.ExemptRelated && isRelated && !resException {
+				st.SkippedRelated++
+				return
+			}
+		}
+		if sameDevice {
+			// Device-internal geometry is stage 2's business even under
+			// the ablation; measuring a device against itself is
+			// meaningless in any model.
+			st.SkippedRelated++
+			return
+		}
+
+		sameNet := a.Net != netlist.NoNet && a.Net == b.Net
+		need := rule.DiffNet
+		if sameNet && !c.opts.NoExemptions {
+			need = rule.SameNet
+			if need == 0 && resException {
+				need = rule.DiffNet
+			}
+			if need == 0 {
+				st.SkippedSameNetExempt++
+				return
+			}
+		}
+		if need == 0 {
+			st.SkippedNoRule++
+			return
+		}
+
+		// Figure 6b: devices that may legally touch isolation are exempt
+		// from the base-isolation spacing cell.
+		if hasIso && (a.Layer == isoID || b.Layer == isoID) {
+			other := a
+			if a.Layer == isoID {
+				other = b
+			}
+			if c.devMayTouchIsolation(ex, other.Dev) {
+				st.SkippedRelated++
+				return
+			}
+		}
+
+		// Same-layer touching pairs were adjudicated by the connection
+		// stage (legal skeletal connection or CONN.ILLEGAL); measuring
+		// them again would double-report.
+		if a.Layer == b.Layer && a.Reg.Overlaps(b.Reg) {
+			st.SkippedConnectionPairs++
+			return
+		}
+
+		st.InteractionChecked++
+		c.countCheck()
+		var dist float64
+		if c.opts.Metric == Orthogonal {
+			dist = float64(geom.RegionOrthoDist(a.Reg, b.Reg))
+		} else {
+			d, _, _ := geom.RegionDist(a.Reg, b.Reg)
+			dist = d
+		}
+		// A touching, related element under the resistor exception is the
+		// legitimate connection into the resistor terminal, not a short.
+		if resException && isRelated && dist == 0 {
+			st.SkippedRelated++
+			return
+		}
+		if dist < float64(need) {
+			severity := Error
+			extra := ""
+			if m := c.opts.ProcessSpacing; m != nil && dist > 0 {
+				// Second opinion from the Eq. 1 process model: translate
+				// by worst-case misalignment when the layers differ, then
+				// require the printed images to keep the margin.
+				mis := 0.0
+				if a.Layer != b.Layer {
+					mis = c.opts.Misalign
+					if mis == 0 && tc.Lambda > 0 {
+						mis = float64(tc.Lambda) / 2
+					}
+				}
+				if m.SpacingOK(a.Reg, b.Reg, mis, c.opts.ProcessMargin) {
+					severity = Warning
+					extra = " (process model predicts a safe printed gap; downgraded)"
+					st.ProcessDowngrades++
+				}
+			}
+			sub := "diff"
+			if sameNet {
+				sub = "same"
+			}
+			la, lb := tc.Layer(a.Layer).CIF, tc.Layer(b.Layer).CIF
+			if la > lb {
+				la, lb = lb, la
+			}
+			c.add(Violation{
+				Rule:     fmt.Sprintf("S.%s.%s.%s", la, lb, sub),
+				Severity: severity,
+				Detail: fmt.Sprintf("spacing %.0f < %d between %s and %s (%s net)%s",
+					dist, need, tc.Layer(a.Layer).Name, tc.Layer(b.Layer).Name, sub, extra),
+				Where: a.Bounds.Union(b.Bounds).Intersect(a.Bounds.Expand(need).Union(b.Bounds.Expand(need))),
+				Path:  a.Path,
+				Layer: a.Layer,
+				Nets:  c.netNames(ex, a.Net, b.Net),
+			})
+		}
+	})
+
+	// Contact cuts over gates, cross-symbol (Figure 7): a cut from any
+	// OTHER device or interconnect must not land on a transistor channel.
+	c.checkGateKeepouts(ex)
+	// Bipolar base vs isolation, cross-symbol (Figure 6a).
+	c.checkBaseKeepouts(ex)
+}
+
+// devKeepsSameNetSpacing reports whether the item's device demands spacing
+// checks even on its own net (resistors, Figure 5b).
+func (c *checker) devKeepsSameNetSpacing(ex *netlist.Extraction, dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := ex.Netlist.Devices[dev].Info
+	return info != nil && !info.SpacingExemptSameNet
+}
+
+// devMayTouchIsolation reports whether the item's device may legally
+// connect to isolation (Figure 6b resistors).
+func (c *checker) devMayTouchIsolation(ex *netlist.Extraction, dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := ex.Netlist.Devices[dev].Info
+	return info != nil && info.MayTouchIsolation
+}
+
+// checkGateKeepouts flags contact cuts overlapping MOS channels of other
+// devices.
+func (c *checker) checkGateKeepouts(ex *netlist.Extraction) {
+	if len(ex.Gates) == 0 {
+		return
+	}
+	cutID, ok := c.tech.LayerByName(tech.NMOSContact)
+	if !ok {
+		return
+	}
+	var pf geom.PairFinder
+	for i := range ex.Items {
+		if ex.Items[i].Layer == cutID {
+			pf.AddRect(i, ex.Items[i].Bounds, 0)
+		}
+	}
+	n := pf.Len()
+	for gi := range ex.Gates {
+		pf.AddRect(len(ex.Items)+gi, ex.Gates[gi].Bounds, 1)
+	}
+	if n == 0 {
+		return
+	}
+	pf.Pairs(0, func(a, b geom.Item) bool { return a.Tag != b.Tag }, func(p geom.Pair) {
+		cutItem, gateItem := p.A, p.B
+		if cutItem.Tag == 1 {
+			cutItem, gateItem = gateItem, cutItem
+		}
+		item := &ex.Items[cutItem.ID]
+		gate := &ex.Gates[gateItem.ID-len(ex.Items)]
+		if item.Dev == gate.Dev {
+			return // in-symbol case handled by stage 2
+		}
+		c.countCheck()
+		if ov := item.Reg.Intersect(gate.Reg); !ov.Empty() {
+			c.add(Violation{
+				Rule:     "DEV.GATE.CONTACT",
+				Severity: Error,
+				Detail:   "contact cut over the active gate of a transistor (Figure 7)",
+				Where:    ov.Bounds(),
+				Path:     item.Path,
+			})
+		}
+	})
+}
+
+// checkBaseKeepouts flags isolation geometry approaching a bipolar
+// transistor base (Figure 6a), from any other symbol or interconnect.
+func (c *checker) checkBaseKeepouts(ex *netlist.Extraction) {
+	if len(ex.BaseKeepouts) == 0 {
+		return
+	}
+	isoID, ok := c.tech.LayerByName(tech.BipIso)
+	if !ok {
+		return
+	}
+	for ki := range ex.BaseKeepouts {
+		ko := &ex.BaseKeepouts[ki]
+		search := ko.Bounds.Expand(ko.Clearance)
+		for i := range ex.Items {
+			item := &ex.Items[i]
+			if item.Layer != isoID || item.Dev == ko.Dev {
+				continue
+			}
+			if !item.Bounds.Touches(search) {
+				continue
+			}
+			c.countCheck()
+			d, _, _ := geom.RegionDist(item.Reg, ko.Reg)
+			if d < float64(ko.Clearance) || (ko.Clearance == 0 && item.Reg.Overlaps(ko.Reg)) {
+				c.add(Violation{
+					Rule:     "DEV.NPN.ISO",
+					Severity: Error,
+					Detail:   "isolation touches or approaches a transistor base (Figure 6a)",
+					Where:    item.Bounds.Intersect(search),
+					Path:     ex.Netlist.Devices[ko.Dev].Path,
+				})
+			}
+		}
+	}
+}

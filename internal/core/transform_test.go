@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/cif"
+	"repro/internal/geom"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// TestRotatedInstancesStayClean places the verified-clean inverter cell
+// under all eight Manhattan orientations, far enough apart not to
+// interact. Every orientation must check clean: the pipeline must be
+// transform-invariant (symbol-level checks are shared; instance-level
+// geometry is transformed exactly).
+func TestRotatedInstancesStayClean(t *testing.T) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "rot", 1, 1)
+	d := chip.Design
+	cell, ok := d.Symbol("inv")
+	if !ok {
+		t.Fatal("inv cell missing")
+	}
+	top := d.Top
+	for o := geom.Orient(0); o < 8; o++ {
+		top.AddCall(cell, geom.NewTransform(o, geom.Pt(int64(o+1)*40000, 40000)), fmt.Sprintf("o%d", o))
+	}
+	rep, err := Check(d, tc, Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Errors() {
+		t.Errorf("rotated instance broke: %v", v)
+	}
+}
+
+// TestDeepHierarchy nests one clean cell under ten wrapper levels: the
+// pipeline must stay clean, definition-level work must stay constant, and
+// the dot-notation instance paths must carry the full depth.
+func TestDeepHierarchy(t *testing.T) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "deep", 1, 1)
+	d := chip.Design
+	inner := d.Top
+	for i := 0; i < 10; i++ {
+		wrap := d.MustSymbol(fmt.Sprintf("wrap%d", i))
+		wrap.AddCall(inner, geom.Identity, fmt.Sprintf("w%d", i))
+		inner = wrap
+	}
+	d.Top = inner
+	rep, err := Check(d, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Errors() {
+		t.Errorf("deep hierarchy broke: %v", v)
+	}
+	// Wrapping must not add definition-level checks beyond the wrappers'
+	// (empty) element lists.
+	if rep.Stats.SymbolDefsChecked != 6 {
+		t.Fatalf("device defs checked = %d, want 6", rep.Stats.SymbolDefsChecked)
+	}
+	// Device paths carry all ten wrapper levels.
+	found := false
+	for _, dev := range rep.Netlist.Devices {
+		if strings.Count(dev.Path, ".") >= 10 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no deep dot-notation path; sample: %q", rep.Netlist.Devices[0].Path)
+	}
+}
+
+// TestCheckedDeviceEndToEnd exercises the paper's "flag specific devices
+// as checked" mechanism through the whole stack: a rule-breaking device
+// marked CHK passes the pipeline, survives a CIF round trip, and still
+// contributes its terminals to the netlist; without CHK it is flagged.
+func TestCheckedDeviceEndToEnd(t *testing.T) {
+	tc := tech.NMOS()
+	build := func(checked bool) string {
+		chk := ""
+		if checked {
+			chk = " CHK"
+		}
+		return fmt.Sprintf(`
+DS 1; 9 oddball; 9D nmos-enh%s;
+L NP; B 500 500 0 0;
+L ND; B 2000 500 0 0;
+DF;
+DS 2; 9 top;
+9I u1;
+C 1;
+DF;
+E`, chk)
+	}
+
+	// Unchecked: the missing gate extension is flagged.
+	d1, err := cif.Parse(build(false), tc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := Check(d1, tc, Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CountByRule(rep1.Violations)["DEV.MOS.GATEEXT"] == 0 {
+		t.Fatalf("unchecked oddball not flagged: %v", rep1.Violations)
+	}
+
+	// Checked: clean, and the device still extracts.
+	d2, err := cif.Parse(build(true), tc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Check(d2, tc, Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Clean() {
+		t.Fatalf("checked oddball flagged: %v", rep2.Errors())
+	}
+	if len(rep2.Netlist.Devices) != 1 {
+		t.Fatalf("checked device missing from netlist: %s", rep2.Netlist.Stats())
+	}
+
+	// The CHK flag survives writing and re-parsing.
+	text, err := cif.Write(d2, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3, err := cif.Parse(text, tc, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, ok := d3.Symbol("oddball")
+	if !ok || !odd.Checked {
+		t.Fatalf("CHK lost in round trip:\n%s", text)
+	}
+}

@@ -1,0 +1,53 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+func TestAllPathologies(t *testing.T) {
+	for _, p := range workload.AllPathologies() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			res, err := RunPathology(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.DICOk {
+				t.Errorf("DIC behaviour wrong (%s): want rules %v, got %v",
+					p.Figure, p.ExpectDICRules, res.DICRules)
+			}
+			if !res.FlatAsDoc {
+				t.Errorf("baseline behaviour wrong (%s): want %v (misses=%v), got %v",
+					p.Figure, p.ExpectFlatRules, p.FlatMisses, res.FlatRules)
+			}
+		})
+	}
+}
+
+func TestE1SmallChip(t *testing.T) {
+	res, err := RunE1(tech.NMOS(), 3, 4, 7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The DIC must catch every injected error with no false reports.
+	if res.DIC.Missed != 0 {
+		t.Errorf("DIC missed %d injections: %+v", res.DIC.Missed, res.DIC)
+	}
+	if res.DIC.False != 0 {
+		t.Errorf("DIC produced %d false errors: %+v", res.DIC.False, res.DIC)
+	}
+	// The baseline must miss the device/net-level errors and produce false
+	// errors (one butting contact per cell at minimum).
+	if res.Flat.Missed == 0 {
+		t.Errorf("baseline unexpectedly caught everything: %+v", res.Flat)
+	}
+	if res.Flat.False == 0 {
+		t.Errorf("baseline produced no false errors: %+v", res.Flat)
+	}
+	if res.Flat.Effectiveness() >= res.DIC.Effectiveness() {
+		t.Errorf("baseline effectiveness %v >= DIC %v", res.Flat.Effectiveness(), res.DIC.Effectiveness())
+	}
+}

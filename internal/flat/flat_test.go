@@ -1,0 +1,164 @@
+package flat
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+func countRules(vs []Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Rule]++
+	}
+	return out
+}
+
+func TestFlatWidthAndSpacing(t *testing.T) {
+	tc := tech.NMOS()
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	d := layout.NewDesign("t")
+	top := d.MustSymbol("top")
+	top.AddBox(diff, geom.R(0, 0, 2000, 300), "")     // too narrow (min 500)
+	top.AddBox(diff, geom.R(0, 2000, 2000, 2500), "") // fine
+	top.AddBox(diff, geom.R(0, 3000, 2000, 3500), "") // 500 from previous (min 750)
+	d.Top = top
+	rep, err := Check(d, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := countRules(rep.Violations)
+	if rules["FLAT.W.ND"] != 1 {
+		t.Fatalf("width flags = %d, want 1 (%v)", rules["FLAT.W.ND"], rep.Violations)
+	}
+	if rules["FLAT.S.ND"] != 1 {
+		t.Fatalf("spacing flags = %d, want 1 (%v)", rules["FLAT.S.ND"], rep.Violations)
+	}
+}
+
+func TestFlatUnionHidesNarrowFigures(t *testing.T) {
+	// Figure 2 right: two half-width boxes union into legal geometry; the
+	// union-first baseline sees nothing.
+	tc := tech.NMOS()
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	d := layout.NewDesign("t")
+	top := d.MustSymbol("top")
+	top.AddBox(diff, geom.R(0, 0, 2000, 250), "")
+	top.AddBox(diff, geom.R(0, 250, 2000, 500), "")
+	d.Top = top
+	rep, err := Check(d, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("baseline should miss the composition: %v", rep.Violations)
+	}
+}
+
+func TestFlatGateContactFalseFlagsButting(t *testing.T) {
+	// Figure 7: the mask rule flags legal butting contacts.
+	tc := tech.NMOS()
+	d := layout.NewDesign("t")
+	chip := workload.NewChip(tc, "chip", 1, 2)
+	_ = d
+	rep, err := Check(chip.Design, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := countRules(rep.Violations)
+	if rules["FLAT.GATECONTACT"] != 2 {
+		t.Fatalf("gate-contact flags = %d, want 2 (one per butting contact): %v",
+			rules["FLAT.GATECONTACT"], rep.Violations)
+	}
+	// Everything else on the clean chip must be quiet.
+	for rule, n := range rules {
+		if rule != "FLAT.GATECONTACT" && n > 0 {
+			t.Errorf("unexpected baseline rule %s ×%d on clean chip", rule, n)
+		}
+	}
+}
+
+func TestFlatMissesAccidentalTransistor(t *testing.T) {
+	tc := tech.NMOS()
+	p := workload.Figure8AccidentalTransistor()
+	rep, err := Check(p.Design, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("baseline should be silent on fig8: %v", v)
+	}
+}
+
+func TestFlatEuclideanSECFlagsCorners(t *testing.T) {
+	// Figure 4: the Euclidean shrink-expand-compare flags every convex
+	// corner of perfectly legal geometry.
+	tc := tech.NMOS()
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	d := layout.NewDesign("t")
+	top := d.MustSymbol("top")
+	top.AddBox(diff, geom.R(0, 0, 2000, 2000), "")
+	d.Top = top
+	rep, err := Check(d, tc, Options{EuclideanSECWidth: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corners := 0
+	for _, v := range rep.Violations {
+		if strings.HasPrefix(v.Rule, "FLAT.W.") {
+			corners++
+		}
+	}
+	if corners != 4 {
+		t.Fatalf("corner flags = %d, want 4: %v", corners, rep.Violations)
+	}
+	// The orthogonal variant reports nothing.
+	rep2, _ := Check(d, tc, Options{})
+	if len(rep2.Violations) != 0 {
+		t.Fatalf("orthogonal baseline should pass the square: %v", rep2.Violations)
+	}
+}
+
+func TestFlatOrthogonalCornerPathology(t *testing.T) {
+	// Figure 4 right: expand-check-overlap flags diagonal pairs whose true
+	// Euclidean clearance satisfies the rule.
+	tc := tech.NMOS()
+	diff, _ := tc.LayerByName(tech.NMOSDiff)
+	d := layout.NewDesign("t")
+	top := d.MustSymbol("top")
+	top.AddBox(diff, geom.R(0, 0, 2000, 2000), "")
+	// Diagonal neighbour: gaps (600, 600) -> L∞ 600 < 750, Euclidean 849 > 750.
+	top.AddBox(diff, geom.R(2600, 2600, 4600, 4600), "")
+	d.Top = top
+
+	ortho, err := Check(d, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRules(ortho.Violations)["FLAT.S.ND"] != 1 {
+		t.Fatalf("orthogonal baseline should flag the diagonal pair: %v", ortho.Violations)
+	}
+	euc, err := Check(d, tc, Options{Metric: Euclidean})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countRules(euc.Violations)["FLAT.S.ND"] != 0 {
+		t.Fatalf("euclidean baseline should pass the diagonal pair: %v", euc.Violations)
+	}
+}
+
+func TestFlatReportMetadata(t *testing.T) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "chip", 2, 2)
+	rep, err := Check(chip.Design, tc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlatElems == 0 || rep.Components == 0 || rep.Duration <= 0 {
+		t.Fatalf("metadata missing: %+v", rep)
+	}
+}

@@ -1,0 +1,236 @@
+package geom
+
+import "sort"
+
+// bseg is a directed boundary segment used during contour stitching.
+type bseg struct {
+	a, b Point
+}
+
+// Contours extracts the boundary loops of the region as rectilinear
+// polygons with collinear vertices merged. Outer boundaries wind
+// counterclockwise and hole boundaries clockwise, so the interior always
+// lies to the left of the direction of travel. Loops are returned in
+// deterministic order (sorted by their lowest-then-leftmost vertex).
+func (r Region) Contours() []Polygon {
+	if r.Empty() {
+		return nil
+	}
+	var segs []bseg
+
+	// Vertical boundary segments: the left end of every span travels
+	// downward (interior on the left of -y is +x), the right end upward.
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			segs = append(segs, bseg{Point{s.X1, b.y2}, Point{s.X1, b.y1}})
+			segs = append(segs, bseg{Point{s.X2, b.y1}, Point{s.X2, b.y2}})
+		}
+	}
+
+	// Horizontal boundary segments at each band boundary: covered above but
+	// not below ⇒ bottom edge (+x); covered below but not above ⇒ top (-x).
+	levels := make(map[int64][2][]Span) // y -> [coverage below, coverage above]
+	for _, b := range r.bands {
+		e := levels[b.y1]
+		e[1] = b.spans
+		levels[b.y1] = e
+		e2 := levels[b.y2]
+		e2[0] = b.spans
+		levels[b.y2] = e2
+	}
+	ys := make([]int64, 0, len(levels))
+	for y := range levels {
+		ys = append(ys, y)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	diff := func(a, b []Span) []Span {
+		return combineSpans(a, b, func(x, y bool) bool { return x && !y })
+	}
+	for _, y := range ys {
+		e := levels[y]
+		for _, s := range diff(e[1], e[0]) { // bottom edges, +x
+			segs = append(segs, bseg{Point{s.X1, y}, Point{s.X2, y}})
+		}
+		for _, s := range diff(e[0], e[1]) { // top edges, -x
+			segs = append(segs, bseg{Point{s.X2, y}, Point{s.X1, y}})
+		}
+	}
+
+	// Horizontal segments produced by the span differences above may run
+	// through interior corners of other loops; split both horizontal and
+	// vertical segments at every potential vertex coordinate so stitching
+	// sees exactly matching endpoints.
+	xSet := make(map[int64]bool)
+	ySet := make(map[int64]bool, len(ys))
+	for _, y := range ys {
+		ySet[y] = true
+	}
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			xSet[s.X1] = true
+			xSet[s.X2] = true
+		}
+	}
+	var split []bseg
+	for _, s := range segs {
+		if s.a.X == s.b.X {
+			split = append(split, splitSegAt(s, ySet, false)...)
+		} else {
+			split = append(split, splitSegAt(s, xSet, true)...)
+		}
+	}
+	segs = split
+
+	// Stitch segments into loops. At a degree-4 vertex where two loops
+	// touch (a crossing corner) the interior occupies two diagonal
+	// quadrants; the turn that keeps each loop simple depends on which
+	// pair: interior NE+SW needs the sharpest LEFT turn, interior NW+SE
+	// the sharpest RIGHT. The NE cell membership discriminates (half-open
+	// ContainsPoint(v) tests exactly the cell northeast of v).
+	bySrc := make(map[Point][]int, len(segs))
+	for i, s := range segs {
+		bySrc[s.a] = append(bySrc[s.a], i)
+	}
+	used := make([]bool, len(segs))
+	var loops []Polygon
+	for start := range segs {
+		if used[start] {
+			continue
+		}
+		var verts []Point
+		cur := start
+		for {
+			used[cur] = true
+			verts = append(verts, segs[cur].a)
+			v := segs[cur].b
+			preferLeft := r.ContainsPoint(v)
+			next := pickTurn(segs[cur].a, v, bySrc[v], used, segs, preferLeft)
+			if next == -1 {
+				break
+			}
+			cur = next
+		}
+		if p := mergeCollinear(verts); len(p) >= 4 {
+			loops = append(loops, p)
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		a, b := loopKey(loops[i]), loopKey(loops[j])
+		if a.Y != b.Y {
+			return a.Y < b.Y
+		}
+		return a.X < b.X
+	})
+	return loops
+}
+
+// splitSegAt splits a segment at every coordinate in cuts that falls
+// strictly inside it, preserving direction. horizontal selects which axis
+// the cut coordinates apply to.
+func splitSegAt(s bseg, cuts map[int64]bool, horizontal bool) []bseg {
+	var lo, hi int64
+	if horizontal {
+		lo, hi = s.a.X, s.b.X
+	} else {
+		lo, hi = s.a.Y, s.b.Y
+	}
+	rev := false
+	if lo > hi {
+		lo, hi = hi, lo
+		rev = true
+	}
+	var inner []int64
+	for c := range cuts {
+		if lo < c && c < hi {
+			inner = append(inner, c)
+		}
+	}
+	if len(inner) == 0 {
+		return []bseg{s}
+	}
+	sort.Slice(inner, func(i, j int) bool { return inner[i] < inner[j] })
+	pts := make([]int64, 0, len(inner)+2)
+	pts = append(pts, lo)
+	pts = append(pts, inner...)
+	pts = append(pts, hi)
+	if rev {
+		for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+			pts[i], pts[j] = pts[j], pts[i]
+		}
+	}
+	out := make([]bseg, 0, len(pts)-1)
+	for i := 0; i+1 < len(pts); i++ {
+		if horizontal {
+			out = append(out, bseg{Point{pts[i], s.a.Y}, Point{pts[i+1], s.a.Y}})
+		} else {
+			out = append(out, bseg{Point{s.a.X, pts[i]}, Point{s.a.X, pts[i+1]}})
+		}
+	}
+	return out
+}
+
+// pickTurn chooses the unused candidate segment continuing from b, given
+// the incoming direction a→b. preferLeft selects whether the sharpest left
+// or sharpest right turn keeps the loop simple at crossing vertices;
+// straight continuations rank between the two turn directions either way.
+func pickTurn(a, b Point, cands []int, used []bool, segs []bseg, preferLeft bool) int {
+	in := b.Sub(a)
+	best, bestRank := -1, -3
+	for _, c := range cands {
+		if used[c] {
+			continue
+		}
+		out := segs[c].b.Sub(segs[c].a)
+		cross := in.Cross(out)
+		dot := in.Dot(out)
+		var rank int
+		switch {
+		case cross > 0:
+			rank = 2 // left turn
+		case cross == 0 && dot > 0:
+			rank = 1 // straight
+		case cross == 0:
+			rank = -2 // U-turn
+		default:
+			rank = 0 // right turn
+		}
+		if !preferLeft && (rank == 2 || rank == 0) {
+			rank = 2 - rank // swap left/right preference
+		}
+		if rank > bestRank {
+			bestRank, best = rank, c
+		}
+	}
+	return best
+}
+
+// mergeCollinear removes vertices interior to straight runs.
+func mergeCollinear(verts []Point) Polygon {
+	if len(verts) < 3 {
+		return Polygon(verts)
+	}
+	var out Polygon
+	n := len(verts)
+	for i := 0; i < n; i++ {
+		prev := verts[(i-1+n)%n]
+		cur := verts[i]
+		next := verts[(i+1)%n]
+		if cur.Sub(prev).Cross(next.Sub(cur)) != 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+func loopKey(p Polygon) Point {
+	if len(p) == 0 {
+		return Point{}
+	}
+	best := p[0]
+	for _, q := range p[1:] {
+		if q.Y < best.Y || (q.Y == best.Y && q.X < best.X) {
+			best = q
+		}
+	}
+	return best
+}

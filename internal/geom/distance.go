@@ -1,0 +1,62 @@
+package geom
+
+import "math"
+
+// RegionDist returns the minimum Euclidean distance between two regions
+// (0 if they touch or overlap) along with a realizing pair of points — the
+// paper's "line of closest approach", along which the 2-D process model
+// translates one element and evaluates the exposure function.
+func RegionDist(a, b Region) (float64, Point, Point) {
+	ra, rb := a.Rects(), b.Rects()
+	best := math.Inf(1)
+	var pa, pb Point
+	for _, qa := range ra {
+		for _, qb := range rb {
+			// Cheap lower bound before the exact computation.
+			if lb := float64(qa.OrthogonalDist(qb)); lb >= best {
+				continue
+			}
+			d := qa.EuclideanDist(qb)
+			if d < best {
+				best = d
+				pa, pb = qa.ClosestPoints(qb)
+				if best == 0 {
+					return 0, pa, pb
+				}
+			}
+		}
+	}
+	return best, pa, pb
+}
+
+// RegionOrthoDist returns the minimum orthogonal (L∞) separation between
+// two regions: the smallest s such that dilating a by s overlaps b. This is
+// the distance measured by traditional expand-check-overlap spacing.
+func RegionOrthoDist(a, b Region) int64 {
+	var best int64 = math.MaxInt64
+	for _, qa := range a.Rects() {
+		for _, qb := range b.Rects() {
+			if d := qa.OrthogonalDist(qb); d < best {
+				best = d
+				if best == 0 {
+					return 0
+				}
+			}
+		}
+	}
+	return best
+}
+
+// LineOfClosestApproach returns the unit direction from a toward b along
+// the closest-approach segment, the two endpoints, and the distance. For
+// overlapping regions the direction is zero.
+func LineOfClosestApproach(a, b Region) (dir FPoint, from, to Point, dist float64) {
+	dist, from, to = RegionDist(a, b)
+	if dist == 0 {
+		return FPoint{}, from, to, 0
+	}
+	dx := float64(to.X - from.X)
+	dy := float64(to.Y - from.Y)
+	n := math.Hypot(dx, dy)
+	return FPoint{dx / n, dy / n}, from, to, dist
+}

@@ -1,0 +1,27 @@
+// Package geom is the integer-coordinate geometry kernel underlying the
+// design-integrity checker.
+//
+// All coordinates are int64 centimicrons, following the CIF convention used
+// by the paper (McGrath & Whitney, DAC 1980). The kernel provides:
+//
+//   - Point, Rect and rectilinear Polygon primitives with Manhattan
+//     transforms (90-degree rotations, mirrors, translation).
+//   - Region, a canonical slab decomposition of a rectilinear set, with the
+//     full boolean algebra (union, intersection, difference, symmetric
+//     difference), morphology (orthogonal dilate/erode, i.e. the paper's
+//     "orthogonal expand and shrink"), connected components, and contour
+//     extraction.
+//   - Euclidean expansion (Figure 3 of the paper): exact areas and polygonal
+//     contours with rounded convex corners, for contrasting orthogonal and
+//     Euclidean expand pathologies (Figure 4).
+//   - Distance engines: Euclidean and orthogonal separations between rects,
+//     regions and components, including the "line of closest approach" used
+//     by the 2-D process model.
+//   - Width checking via shrink-expand-compare in both orthogonal and
+//     Euclidean flavours, with violation localization.
+//   - A sweepline pair finder for interaction candidate generation.
+//
+// Everything is deterministic and allocation-conscious; no floating point is
+// used except where the paper itself is analog (Euclidean metrics and the
+// exposure model's erf integrals).
+package geom

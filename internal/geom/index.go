@@ -1,0 +1,87 @@
+package geom
+
+import "sort"
+
+// Item is an identified bounding box registered with a PairFinder.
+type Item struct {
+	ID   int
+	Box  Rect
+	Tag  int // caller-defined classification (e.g. layer), carried through
+	Data any // optional payload
+}
+
+// Pair is an unordered candidate interaction between two items
+// (A.ID < B.ID is not guaranteed; A precedes B in sweep order).
+type Pair struct {
+	A, B Item
+}
+
+// PairFinder finds all pairs of items whose bounding boxes approach within
+// a given orthogonal gap, using a plane sweep over x with an active set
+// ordered by y. This is the hierarchical checker's interaction-candidate
+// generator: the expected output is near-linear for real layouts.
+type PairFinder struct {
+	items []Item
+}
+
+// Add registers an item.
+func (pf *PairFinder) Add(it Item) { pf.items = append(pf.items, it) }
+
+// AddRect registers a rect with the given id and tag.
+func (pf *PairFinder) AddRect(id int, r Rect, tag int) {
+	pf.items = append(pf.items, Item{ID: id, Box: r, Tag: tag})
+}
+
+// Len returns the number of registered items.
+func (pf *PairFinder) Len() int { return len(pf.items) }
+
+// Pairs invokes fn for every unordered pair of items whose boxes are within
+// maxGap of each other in the L∞ sense (touching and overlapping pairs are
+// always reported). The filter, when non-nil, prunes pairs before the
+// geometric test (e.g. rejecting layer combinations with no rules).
+// Iteration order is deterministic.
+func (pf *PairFinder) Pairs(maxGap int64, filter func(a, b Item) bool, fn func(Pair)) {
+	items := make([]Item, len(pf.items))
+	copy(items, pf.items)
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Box.X1 != items[j].Box.X1 {
+			return items[i].Box.X1 < items[j].Box.X1
+		}
+		return items[i].ID < items[j].ID
+	})
+	// active holds indices into items of boxes whose x-extent (plus maxGap)
+	// still reaches the sweep line.
+	var active []int
+	for i := range items {
+		cur := items[i]
+		// Evict boxes that can no longer interact.
+		keep := active[:0]
+		for _, j := range active {
+			if items[j].Box.X2+maxGap >= cur.Box.X1 {
+				keep = append(keep, j)
+			}
+		}
+		active = keep
+		for _, j := range active {
+			other := items[j]
+			if other.Box.GapY(cur.Box) > maxGap {
+				continue
+			}
+			if filter != nil && !filter(other, cur) {
+				continue
+			}
+			fn(Pair{A: other, B: cur})
+		}
+		active = append(active, i)
+	}
+}
+
+// AllPairs invokes fn for every unordered pair without geometric pruning;
+// useful as a correctness oracle in tests.
+func (pf *PairFinder) AllPairs(fn func(Pair)) {
+	for i := 0; i < len(pf.items); i++ {
+		for j := i + 1; j < len(pf.items); j++ {
+			fn(Pair{A: pf.items[i], B: pf.items[j]})
+		}
+	}
+}

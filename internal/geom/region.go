@@ -1,0 +1,603 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is a half-open horizontal interval [X1, X2).
+type Span struct {
+	X1, X2 int64
+}
+
+// band is a horizontal slab [Y1, Y2) carrying a canonical span list:
+// spans are sorted, pairwise disjoint, and non-adjacent (touching spans are
+// merged), and every span is non-degenerate.
+type band struct {
+	y1, y2 int64
+	spans  []Span
+}
+
+// Region is a finite union of axis-aligned rectangles held in canonical
+// slab form: bands are sorted by y, non-overlapping, maximal (vertically
+// adjacent bands with identical span lists are merged). All set semantics
+// are half-open ([x1,x2)×[y1,y2)), matching area semantics: shapes that
+// share only an edge or corner have disjoint interiors but an edge-sharing
+// pair still fuses into a single connected component (corner-sharing does
+// not), which is the physical connectivity of fabricated geometry.
+//
+// The zero value is the empty region and is ready to use.
+type Region struct {
+	bands []band
+}
+
+// EmptyRegion returns an empty region.
+func EmptyRegion() Region { return Region{} }
+
+// FromRectR returns the region covering a single rect.
+func FromRectR(r Rect) Region {
+	if r.Empty() {
+		return Region{}
+	}
+	return Region{bands: []band{{r.Y1, r.Y2, []Span{{r.X1, r.X2}}}}}
+}
+
+// FromRects returns the union of the given rects. Degenerate rects are
+// ignored. The construction is a single y-sweep with per-band 1-D union,
+// O((n + bands) log n).
+func FromRects(rs []Rect) Region {
+	live := rs[:0:0]
+	for _, r := range rs {
+		if !r.Empty() {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return Region{}
+	}
+	ys := make([]int64, 0, 2*len(live))
+	for _, r := range live {
+		ys = append(ys, r.Y1, r.Y2)
+	}
+	ys = dedupSortedInt64(ys)
+
+	// Event lists: rects starting and ending at each elementary band edge.
+	starts := make(map[int64][]int)
+	ends := make(map[int64][]int)
+	for i, r := range live {
+		starts[r.Y1] = append(starts[r.Y1], i)
+		ends[r.Y2] = append(ends[r.Y2], i)
+	}
+	active := make(map[int]bool)
+	var out Region
+	for i := 0; i+1 < len(ys); i++ {
+		yLo, yHi := ys[i], ys[i+1]
+		for _, id := range starts[yLo] {
+			active[id] = true
+		}
+		for _, id := range ends[yLo] {
+			delete(active, id)
+		}
+		if len(active) == 0 {
+			continue
+		}
+		spans := make([]Span, 0, len(active))
+		for id := range active {
+			spans = append(spans, Span{live[id].X1, live[id].X2})
+		}
+		spans = unionSpans(spans)
+		out.appendBand(yLo, yHi, spans)
+	}
+	return out
+}
+
+// FromPolygon converts a simple rectilinear polygon to a region.
+func FromPolygon(p Polygon) (Region, error) {
+	rects, err := p.ToRects()
+	if err != nil {
+		return Region{}, err
+	}
+	return FromRects(rects), nil
+}
+
+// appendBand adds a band to the region under construction, merging it with
+// the previous band when they are vertically adjacent with equal spans.
+func (r *Region) appendBand(y1, y2 int64, spans []Span) {
+	if y1 >= y2 || len(spans) == 0 {
+		return
+	}
+	if n := len(r.bands); n > 0 {
+		prev := &r.bands[n-1]
+		if prev.y2 == y1 && spansEqual(prev.spans, spans) {
+			prev.y2 = y2
+			return
+		}
+	}
+	r.bands = append(r.bands, band{y1, y2, spans})
+}
+
+// unionSpans canonicalizes an arbitrary span list: sort, merge overlapping
+// and touching intervals, drop degenerates.
+func unionSpans(spans []Span) []Span {
+	live := spans[:0]
+	for _, s := range spans {
+		if s.X1 < s.X2 {
+			live = append(live, s)
+		}
+	}
+	if len(live) <= 1 {
+		return live
+	}
+	sort.Slice(live, func(a, b int) bool { return live[a].X1 < live[b].X1 })
+	out := live[:1]
+	for _, s := range live[1:] {
+		last := &out[len(out)-1]
+		if s.X1 <= last.X2 {
+			if s.X2 > last.X2 {
+				last.X2 = s.X2
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func spansEqual(a, b []Span) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the region covers zero area.
+func (r Region) Empty() bool { return len(r.bands) == 0 }
+
+// Area returns the covered area.
+func (r Region) Area() int64 {
+	var a int64
+	for _, b := range r.bands {
+		h := b.y2 - b.y1
+		for _, s := range b.spans {
+			a += (s.X2 - s.X1) * h
+		}
+	}
+	return a
+}
+
+// Bounds returns the bounding box of the region.
+func (r Region) Bounds() Rect {
+	if r.Empty() {
+		return Rect{}
+	}
+	out := Rect{Y1: r.bands[0].y1, Y2: r.bands[len(r.bands)-1].y2}
+	first := true
+	for _, b := range r.bands {
+		x1 := b.spans[0].X1
+		x2 := b.spans[len(b.spans)-1].X2
+		if first {
+			out.X1, out.X2 = x1, x2
+			first = false
+			continue
+		}
+		out.X1 = minInt64(out.X1, x1)
+		out.X2 = maxInt64(out.X2, x2)
+	}
+	return out
+}
+
+// Rects returns the band decomposition of the region as non-overlapping
+// rects (one per band×span). The list is in canonical order.
+func (r Region) Rects() []Rect {
+	var out []Rect
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			out = append(out, Rect{s.X1, b.y1, s.X2, b.y2})
+		}
+	}
+	return out
+}
+
+// NumRects returns the number of rects in the canonical decomposition.
+func (r Region) NumRects() int {
+	n := 0
+	for _, b := range r.bands {
+		n += len(b.spans)
+	}
+	return n
+}
+
+// ContainsPoint reports whether p lies in the half-open covered set.
+func (r Region) ContainsPoint(p Point) bool {
+	i := sort.Search(len(r.bands), func(i int) bool { return r.bands[i].y2 > p.Y })
+	if i >= len(r.bands) || r.bands[i].y1 > p.Y {
+		return false
+	}
+	b := r.bands[i]
+	j := sort.Search(len(b.spans), func(j int) bool { return b.spans[j].X2 > p.X })
+	return j < len(b.spans) && b.spans[j].X1 <= p.X
+}
+
+// binaryOp computes the pointwise boolean combination of a and b.
+func binaryOp(a, b Region, op func(inA, inB bool) bool) Region {
+	if a.Empty() && b.Empty() {
+		return Region{}
+	}
+	ys := make([]int64, 0, 2*(len(a.bands)+len(b.bands)))
+	for _, bd := range a.bands {
+		ys = append(ys, bd.y1, bd.y2)
+	}
+	for _, bd := range b.bands {
+		ys = append(ys, bd.y1, bd.y2)
+	}
+	ys = dedupSortedInt64(ys)
+
+	var out Region
+	ai, bi := 0, 0
+	for i := 0; i+1 < len(ys); i++ {
+		yLo, yHi := ys[i], ys[i+1]
+		for ai < len(a.bands) && a.bands[ai].y2 <= yLo {
+			ai++
+		}
+		for bi < len(b.bands) && b.bands[bi].y2 <= yLo {
+			bi++
+		}
+		var sa, sb []Span
+		if ai < len(a.bands) && a.bands[ai].y1 <= yLo && yHi <= a.bands[ai].y2 {
+			sa = a.bands[ai].spans
+		}
+		if bi < len(b.bands) && b.bands[bi].y1 <= yLo && yHi <= b.bands[bi].y2 {
+			sb = b.bands[bi].spans
+		}
+		spans := combineSpans(sa, sb, op)
+		out.appendBand(yLo, yHi, spans)
+	}
+	return out
+}
+
+// combineSpans evaluates op over the elementary x-intervals induced by the
+// two canonical span lists and merges the resulting intervals.
+func combineSpans(sa, sb []Span, op func(bool, bool) bool) []Span {
+	if len(sa) == 0 && len(sb) == 0 {
+		if op(false, false) {
+			panic("geom: unbounded span combination")
+		}
+		return nil
+	}
+	xs := make([]int64, 0, 2*(len(sa)+len(sb)))
+	for _, s := range sa {
+		xs = append(xs, s.X1, s.X2)
+	}
+	for _, s := range sb {
+		xs = append(xs, s.X1, s.X2)
+	}
+	xs = dedupSortedInt64(xs)
+	var out []Span
+	ia, ib := 0, 0
+	for i := 0; i+1 < len(xs); i++ {
+		xLo, xHi := xs[i], xs[i+1]
+		for ia < len(sa) && sa[ia].X2 <= xLo {
+			ia++
+		}
+		for ib < len(sb) && sb[ib].X2 <= xLo {
+			ib++
+		}
+		inA := ia < len(sa) && sa[ia].X1 <= xLo
+		inB := ib < len(sb) && sb[ib].X1 <= xLo
+		if !op(inA, inB) {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].X2 == xLo {
+			out[n-1].X2 = xHi
+		} else {
+			out = append(out, Span{xLo, xHi})
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s.
+func (r Region) Union(s Region) Region {
+	return binaryOp(r, s, func(a, b bool) bool { return a || b })
+}
+
+// Intersect returns r ∩ s.
+func (r Region) Intersect(s Region) Region {
+	return binaryOp(r, s, func(a, b bool) bool { return a && b })
+}
+
+// Subtract returns r \ s.
+func (r Region) Subtract(s Region) Region {
+	return binaryOp(r, s, func(a, b bool) bool { return a && !b })
+}
+
+// Xor returns the symmetric difference of r and s.
+func (r Region) Xor(s Region) Region {
+	return binaryOp(r, s, func(a, b bool) bool { return a != b })
+}
+
+// Equal reports whether r and s cover exactly the same set.
+func (r Region) Equal(s Region) bool {
+	if len(r.bands) != len(s.bands) {
+		return false
+	}
+	for i := range r.bands {
+		if r.bands[i].y1 != s.bands[i].y1 || r.bands[i].y2 != s.bands[i].y2 {
+			return false
+		}
+		if !spansEqual(r.bands[i].spans, s.bands[i].spans) {
+			return false
+		}
+	}
+	return true
+}
+
+// Overlaps reports whether r and s share any interior area, without
+// materializing the intersection.
+func (r Region) Overlaps(s Region) bool {
+	ri, si := 0, 0
+	for ri < len(r.bands) && si < len(s.bands) {
+		rb, sb := r.bands[ri], s.bands[si]
+		if rb.y2 <= sb.y1 {
+			ri++
+			continue
+		}
+		if sb.y2 <= rb.y1 {
+			si++
+			continue
+		}
+		if spansOverlap(rb.spans, sb.spans) {
+			return true
+		}
+		if rb.y2 <= sb.y2 {
+			ri++
+		} else {
+			si++
+		}
+	}
+	return false
+}
+
+func spansOverlap(sa, sb []Span) bool {
+	ia, ib := 0, 0
+	for ia < len(sa) && ib < len(sb) {
+		a, b := sa[ia], sb[ib]
+		if a.X2 <= b.X1 {
+			ia++
+			continue
+		}
+		if b.X2 <= a.X1 {
+			ib++
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// OverlapsRect reports whether r shares interior area with rect q.
+func (r Region) OverlapsRect(q Rect) bool {
+	if q.Empty() {
+		return false
+	}
+	return r.Overlaps(FromRectR(q))
+}
+
+// ContainsRegion reports whether s ⊆ r.
+func (r Region) ContainsRegion(s Region) bool {
+	return s.Subtract(r).Empty()
+}
+
+// Clip returns r ∩ rect.
+func (r Region) Clip(q Rect) Region { return r.Intersect(FromRectR(q)) }
+
+// Translate returns the region moved by d.
+func (r Region) Translate(d Point) Region {
+	out := Region{bands: make([]band, len(r.bands))}
+	for i, b := range r.bands {
+		nb := band{b.y1 + d.Y, b.y2 + d.Y, make([]Span, len(b.spans))}
+		for j, s := range b.spans {
+			nb.spans[j] = Span{s.X1 + d.X, s.X2 + d.X}
+		}
+		out.bands[i] = nb
+	}
+	return out
+}
+
+// Scale returns the region with all coordinates multiplied by k (k > 0).
+func (r Region) Scale(k int64) Region {
+	if k <= 0 {
+		panic("geom: Region.Scale requires k > 0")
+	}
+	out := Region{bands: make([]band, len(r.bands))}
+	for i, b := range r.bands {
+		nb := band{b.y1 * k, b.y2 * k, make([]Span, len(b.spans))}
+		for j, s := range b.spans {
+			nb.spans[j] = Span{s.X1 * k, s.X2 * k}
+		}
+		out.bands[i] = nb
+	}
+	return out
+}
+
+// TransformBy returns the region mapped through a Manhattan transform.
+func (r Region) TransformBy(t Transform) Region {
+	if t == Identity {
+		return r
+	}
+	if t.Orient == R0 {
+		return r.Translate(t.Trans)
+	}
+	rects := r.Rects()
+	for i := range rects {
+		rects[i] = t.ApplyRect(rects[i])
+	}
+	return FromRects(rects)
+}
+
+// Dilate returns the Minkowski sum of r with the square [-d,d]² (the
+// paper's orthogonal expand). Dilation distributes over union, so the
+// result is the union of the dilated canonical rects. d must be >= 0.
+func (r Region) Dilate(d int64) Region {
+	if d < 0 {
+		panic("geom: Dilate requires d >= 0; use Erode")
+	}
+	if d == 0 || r.Empty() {
+		return r
+	}
+	rects := r.Rects()
+	for i := range rects {
+		rects[i] = rects[i].Expand(d)
+	}
+	return FromRects(rects)
+}
+
+// DilateXY dilates by dx horizontally and dy vertically.
+func (r Region) DilateXY(dx, dy int64) Region {
+	if dx < 0 || dy < 0 {
+		panic("geom: DilateXY requires dx,dy >= 0")
+	}
+	if (dx == 0 && dy == 0) || r.Empty() {
+		return r
+	}
+	rects := r.Rects()
+	for i := range rects {
+		rects[i] = rects[i].ExpandXY(dx, dy)
+	}
+	return FromRects(rects)
+}
+
+// Erode returns the orthogonal shrink of r by d: the set of points whose
+// surrounding [-d,d]² square lies entirely inside r. Implemented by the
+// complement-dilate-complement duality within an enlarged frame.
+func (r Region) Erode(d int64) Region {
+	if d < 0 {
+		panic("geom: Erode requires d >= 0; use Dilate")
+	}
+	if d == 0 || r.Empty() {
+		return r
+	}
+	frame := r.Bounds().Expand(2*d + 2)
+	comp := FromRectR(frame).Subtract(r)
+	return r.Subtract(comp.Dilate(d))
+}
+
+// ErodeXY erodes by dx horizontally and dy vertically.
+func (r Region) ErodeXY(dx, dy int64) Region {
+	if dx < 0 || dy < 0 {
+		panic("geom: ErodeXY requires dx,dy >= 0")
+	}
+	if (dx == 0 && dy == 0) || r.Empty() {
+		return r
+	}
+	frame := r.Bounds().ExpandXY(2*dx+2, 2*dy+2)
+	comp := FromRectR(frame).Subtract(r)
+	return r.Subtract(comp.DilateXY(dx, dy))
+}
+
+// Components splits the region into edge-connected components (corner
+// adjacency does not connect, matching physical continuity of fabricated
+// geometry). Components are returned in deterministic order (by their
+// first canonical rect).
+func (r Region) Components() []Region {
+	rects := r.Rects()
+	if len(rects) == 0 {
+		return nil
+	}
+	uf := newUnionFind(len(rects))
+	// Within the canonical form, rects in the same band never touch, so it
+	// suffices to link rects of vertically adjacent bands whose x intervals
+	// overlap with positive length.
+	type idxRect struct {
+		idx int
+		r   Rect
+	}
+	byBand := make(map[int64][]idxRect) // key: y1 of band
+	for i, q := range rects {
+		byBand[q.Y1] = append(byBand[q.Y1], idxRect{i, q})
+	}
+	for i, q := range rects {
+		for _, other := range byBand[q.Y2] {
+			o := other.r
+			if q.X1 < o.X2 && o.X1 < q.X2 {
+				uf.union(i, other.idx)
+			}
+		}
+	}
+	groups := make(map[int][]Rect)
+	order := make([]int, 0)
+	for i, q := range rects {
+		root := uf.find(i)
+		if _, seen := groups[root]; !seen {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], q)
+	}
+	out := make([]Region, 0, len(order))
+	for _, root := range order {
+		out = append(out, FromRects(groups[root]))
+	}
+	return out
+}
+
+// String renders a compact description for debugging.
+func (r Region) String() string {
+	if r.Empty() {
+		return "Region{}"
+	}
+	var sb strings.Builder
+	sb.WriteString("Region{")
+	for i, b := range r.bands {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "y[%d,%d):", b.y1, b.y2)
+		for _, s := range b.spans {
+			fmt.Fprintf(&sb, "[%d,%d)", s.X1, s.X2)
+		}
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// unionFind is a tiny weighted union-find used for component labelling.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

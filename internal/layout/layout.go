@@ -1,0 +1,459 @@
+// Package layout is the hierarchical design database of the
+// design-integrity checker.
+//
+// A Design is a set of Symbols; a Symbol holds primitive Elements (boxes,
+// wires, polygons on mask layers) and Calls to other symbols placed under
+// Manhattan transforms. Following the paper, a symbol may be declared a
+// *primitive device symbol* by carrying a device type (the extended-CIF 9D
+// extension): devices exist only as such symbols, and every element may
+// carry a declared net identifier (the 9N extension).
+//
+// The key property the checker relies on (and the reason this package
+// exists instead of a polygon soup): the chip is never fully instantiated —
+// "the information about what symbol the piece of geometry came from is
+// never lost". A flattener is provided, but only the traditional mask-level
+// baseline uses it.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// ElemKind distinguishes the CIF primitive element forms.
+type ElemKind uint8
+
+// Element kinds.
+const (
+	KindBox ElemKind = iota
+	KindWire
+	KindPolygon
+)
+
+// String implements fmt.Stringer.
+func (k ElemKind) String() string {
+	switch k {
+	case KindBox:
+		return "box"
+	case KindWire:
+		return "wire"
+	case KindPolygon:
+		return "polygon"
+	}
+	return fmt.Sprintf("ElemKind(%d)", uint8(k))
+}
+
+// Element is one primitive geometric element on a mask layer.
+type Element struct {
+	Kind  ElemKind
+	Layer tech.LayerID
+
+	// Box geometry (KindBox).
+	Box geom.Rect
+
+	// Wire geometry (KindWire): a path with total width; ends are squared
+	// off flush with the endpoints (the CIF round ends are approximated
+	// orthogonally, documented in DESIGN.md).
+	Path  []geom.Point
+	Width int64
+
+	// Polygon geometry (KindPolygon).
+	Poly geom.Polygon
+
+	// Net is the declared net identifier from the 9N extension ("" if the
+	// element is anonymous and must inherit connectivity by extraction).
+	Net string
+
+	// Index is the element's position within its symbol, assigned by
+	// Symbol.AddElement; it makes violation references stable.
+	Index int
+}
+
+// Region materializes the element's covered area. Wires with non-Manhattan
+// segments and non-rectilinear polygons return an error — the checker
+// reports these as structural violations.
+func (e *Element) Region() (geom.Region, error) {
+	switch e.Kind {
+	case KindBox:
+		if e.Box.Empty() {
+			return geom.Region{}, fmt.Errorf("layout: degenerate box %v", e.Box)
+		}
+		return geom.FromRectR(e.Box), nil
+	case KindWire:
+		return wireRegion(e.Path, e.Width)
+	case KindPolygon:
+		return geom.FromPolygon(e.Poly)
+	}
+	return geom.Region{}, fmt.Errorf("layout: unknown element kind %d", e.Kind)
+}
+
+// Bounds returns the element's bounding box without materializing a region.
+func (e *Element) Bounds() geom.Rect {
+	switch e.Kind {
+	case KindBox:
+		return e.Box
+	case KindWire:
+		if len(e.Path) == 0 {
+			return geom.Rect{}
+		}
+		b := geom.Rect{X1: e.Path[0].X, Y1: e.Path[0].Y, X2: e.Path[0].X, Y2: e.Path[0].Y}
+		for _, p := range e.Path[1:] {
+			if p.X < b.X1 {
+				b.X1 = p.X
+			}
+			if p.X > b.X2 {
+				b.X2 = p.X
+			}
+			if p.Y < b.Y1 {
+				b.Y1 = p.Y
+			}
+			if p.Y > b.Y2 {
+				b.Y2 = p.Y
+			}
+		}
+		h := e.Width / 2
+		return geom.Rect{X1: b.X1 - h, Y1: b.Y1 - h, X2: b.X2 + (e.Width - h), Y2: b.Y2 + (e.Width - h)}
+	case KindPolygon:
+		return e.Poly.Bounds()
+	}
+	return geom.Rect{}
+}
+
+// wireRegion converts a Manhattan wire path to a region: each segment
+// becomes a rect of the given width, extended by half the width at both
+// ends (square end caps), matching how CIF wires print on rectilinear
+// processes.
+func wireRegion(path []geom.Point, width int64) (geom.Region, error) {
+	if width <= 0 {
+		return geom.Region{}, fmt.Errorf("layout: wire width %d", width)
+	}
+	if len(path) == 0 {
+		return geom.Region{}, fmt.Errorf("layout: empty wire path")
+	}
+	h := width / 2
+	h2 := width - h // preserves odd widths exactly
+	if len(path) == 1 {
+		p := path[0]
+		return geom.FromRectR(geom.Rect{X1: p.X - h, Y1: p.Y - h, X2: p.X + h2, Y2: p.Y + h2}), nil
+	}
+	rects := make([]geom.Rect, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		a, b := path[i], path[i+1]
+		switch {
+		case a.Y == b.Y: // horizontal
+			x1, x2 := a.X, b.X
+			if x1 > x2 {
+				x1, x2 = x2, x1
+			}
+			rects = append(rects, geom.Rect{X1: x1 - h, Y1: a.Y - h, X2: x2 + h2, Y2: a.Y + h2})
+		case a.X == b.X: // vertical
+			y1, y2 := a.Y, b.Y
+			if y1 > y2 {
+				y1, y2 = y2, y1
+			}
+			rects = append(rects, geom.Rect{X1: a.X - h, Y1: y1 - h, X2: a.X + h2, Y2: y2 + h2})
+		default:
+			return geom.Region{}, fmt.Errorf("layout: non-Manhattan wire segment %v-%v", a, b)
+		}
+	}
+	return geom.FromRects(rects), nil
+}
+
+// Call is an instance of another symbol under a Manhattan transform.
+type Call struct {
+	Target *Symbol
+	T      geom.Transform
+	// Name is the instance name used in hierarchical net identifiers
+	// (dot notation "a.b"); assigned automatically if empty.
+	Name string
+}
+
+// Symbol is a definition: elements plus calls. A symbol with a non-empty
+// DeviceType is a primitive device symbol (the paper's "elemental symbol"):
+// it must contain only geometry (no calls), and it is the only construct
+// that may define a device.
+type Symbol struct {
+	Name string
+	ID   int
+
+	// DeviceType is the declared device type name ("" for composite
+	// symbols). Declared via the 9D extension.
+	DeviceType string
+
+	// Checked marks a special device as already verified by its designer,
+	// suppressing internal device checks — the paper's mechanism for
+	// devices that intentionally break the rules.
+	Checked bool
+
+	Elements []*Element
+	Calls    []*Call
+
+	bboxValid bool
+	bbox      geom.Rect
+}
+
+// AddElement appends an element, assigning its Index.
+func (s *Symbol) AddElement(e *Element) *Element {
+	e.Index = len(s.Elements)
+	s.Elements = append(s.Elements, e)
+	s.bboxValid = false
+	return e
+}
+
+// AddBox is a convenience for adding a box element.
+func (s *Symbol) AddBox(layer tech.LayerID, r geom.Rect, net string) *Element {
+	return s.AddElement(&Element{Kind: KindBox, Layer: layer, Box: r, Net: net})
+}
+
+// AddWire is a convenience for adding a wire element.
+func (s *Symbol) AddWire(layer tech.LayerID, width int64, net string, path ...geom.Point) *Element {
+	return s.AddElement(&Element{Kind: KindWire, Layer: layer, Width: width, Path: path, Net: net})
+}
+
+// AddPolygon is a convenience for adding a polygon element.
+func (s *Symbol) AddPolygon(layer tech.LayerID, p geom.Polygon, net string) *Element {
+	return s.AddElement(&Element{Kind: KindPolygon, Layer: layer, Poly: p, Net: net})
+}
+
+// AddCall instantiates target under transform t with the given instance
+// name (auto-named "iN" when empty).
+func (s *Symbol) AddCall(target *Symbol, t geom.Transform, name string) *Call {
+	if name == "" {
+		name = fmt.Sprintf("i%d", len(s.Calls))
+	}
+	c := &Call{Target: target, T: t, Name: name}
+	s.Calls = append(s.Calls, c)
+	s.bboxValid = false
+	return c
+}
+
+// IsPrimitive reports whether the symbol declares a device type.
+func (s *Symbol) IsPrimitive() bool { return s.DeviceType != "" }
+
+// Bounds returns the symbol's bounding box including called symbols,
+// cached until the symbol is modified.
+func (s *Symbol) Bounds() geom.Rect {
+	if s.bboxValid {
+		return s.bbox
+	}
+	var b geom.Rect
+	for _, e := range s.Elements {
+		b = b.Union(e.Bounds())
+	}
+	for _, c := range s.Calls {
+		b = b.Union(c.T.ApplyRect(c.Target.Bounds()))
+	}
+	s.bbox = b
+	s.bboxValid = true
+	return b
+}
+
+// LayerRegion returns the union of this symbol's own elements on one layer
+// (calls excluded). Elements that fail to materialize are skipped; the
+// checker reports them separately.
+func (s *Symbol) LayerRegion(layer tech.LayerID) geom.Region {
+	out := geom.EmptyRegion()
+	for _, e := range s.Elements {
+		if e.Layer != layer {
+			continue
+		}
+		reg, err := e.Region()
+		if err != nil {
+			continue
+		}
+		out = out.Union(reg)
+	}
+	return out
+}
+
+// Design is a named set of symbols with a designated top.
+type Design struct {
+	Name    string
+	symbols []*Symbol
+	byName  map[string]*Symbol
+	Top     *Symbol
+}
+
+// NewDesign creates an empty design.
+func NewDesign(name string) *Design {
+	return &Design{Name: name, byName: make(map[string]*Symbol)}
+}
+
+// NewSymbol creates and registers a symbol. Duplicate names are rejected.
+func (d *Design) NewSymbol(name string) (*Symbol, error) {
+	if _, dup := d.byName[name]; dup {
+		return nil, fmt.Errorf("layout: duplicate symbol %q", name)
+	}
+	s := &Symbol{Name: name, ID: len(d.symbols)}
+	d.symbols = append(d.symbols, s)
+	d.byName[name] = s
+	return s, nil
+}
+
+// MustSymbol is NewSymbol for construction code with static names.
+func (d *Design) MustSymbol(name string) *Symbol {
+	s, err := d.NewSymbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Symbol looks a symbol up by name.
+func (d *Design) Symbol(name string) (*Symbol, bool) {
+	s, ok := d.byName[name]
+	return s, ok
+}
+
+// Rename changes a registered symbol's name, keeping the lookup table
+// consistent. Renaming to an existing different symbol's name panics; the
+// caller is expected to have checked.
+func (d *Design) Rename(s *Symbol, name string) {
+	if other, exists := d.byName[name]; exists && other != s {
+		panic(fmt.Sprintf("layout: rename %q to existing name %q", s.Name, name))
+	}
+	delete(d.byName, s.Name)
+	s.Name = name
+	d.byName[name] = s
+}
+
+// Symbols returns all symbols in definition order.
+func (d *Design) Symbols() []*Symbol { return d.symbols }
+
+// Validate checks structural soundness: a top symbol exists, the call
+// graph is acyclic, primitive device symbols contain no calls, and all
+// calls target registered symbols.
+func (d *Design) Validate() error {
+	if d.Top == nil {
+		return fmt.Errorf("layout: design %q has no top symbol", d.Name)
+	}
+	state := make(map[*Symbol]int) // 0 unvisited, 1 in-stack, 2 done
+	var visit func(s *Symbol) error
+	visit = func(s *Symbol) error {
+		switch state[s] {
+		case 1:
+			return fmt.Errorf("layout: recursive call cycle through symbol %q", s.Name)
+		case 2:
+			return nil
+		}
+		state[s] = 1
+		if s.IsPrimitive() && len(s.Calls) > 0 {
+			return fmt.Errorf("layout: primitive device symbol %q contains calls", s.Name)
+		}
+		for _, c := range s.Calls {
+			if c.Target == nil {
+				return fmt.Errorf("layout: symbol %q calls nil target", s.Name)
+			}
+			if d.byName[c.Target.Name] != c.Target {
+				return fmt.Errorf("layout: symbol %q calls unregistered symbol %q", s.Name, c.Target.Name)
+			}
+			if err := visit(c.Target); err != nil {
+				return err
+			}
+		}
+		state[s] = 2
+		return nil
+	}
+	return visit(d.Top)
+}
+
+// Stats summarizes a design for reports.
+type Stats struct {
+	Symbols          int
+	PrimitiveSymbols int
+	Elements         int // total element definitions
+	Calls            int // total call sites
+	FlatElements     int // elements after full instantiation
+	FlatDevices      int // device symbol instances after instantiation
+}
+
+// Stats computes design statistics from the top symbol.
+func (d *Design) Stats() Stats {
+	st := Stats{}
+	seen := make(map[*Symbol]bool)
+	// flatCounts memoizes (elements, devices) per symbol.
+	type fc struct{ elems, devs int64 }
+	memo := make(map[*Symbol]fc)
+	var count func(s *Symbol) fc
+	count = func(s *Symbol) fc {
+		if v, ok := memo[s]; ok {
+			return v
+		}
+		v := fc{elems: int64(len(s.Elements))}
+		if s.IsPrimitive() {
+			v.devs = 1
+		}
+		for _, c := range s.Calls {
+			sub := count(c.Target)
+			v.elems += sub.elems
+			v.devs += sub.devs
+		}
+		memo[s] = v
+		return v
+	}
+	var walk func(s *Symbol)
+	walk = func(s *Symbol) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		st.Symbols++
+		if s.IsPrimitive() {
+			st.PrimitiveSymbols++
+		}
+		st.Elements += len(s.Elements)
+		st.Calls += len(s.Calls)
+		for _, c := range s.Calls {
+			walk(c.Target)
+		}
+	}
+	if d.Top != nil {
+		walk(d.Top)
+		f := count(d.Top)
+		st.FlatElements = int(f.elems)
+		st.FlatDevices = int(f.devs)
+	}
+	return st
+}
+
+// SortedSymbols returns symbols reachable from Top in topological order
+// (callees before callers), deterministically.
+func (d *Design) SortedSymbols() []*Symbol {
+	var order []*Symbol
+	seen := make(map[*Symbol]bool)
+	var visit func(s *Symbol)
+	visit = func(s *Symbol) {
+		if seen[s] {
+			return
+		}
+		seen[s] = true
+		// Deterministic child order: by call order.
+		for _, c := range s.Calls {
+			visit(c.Target)
+		}
+		order = append(order, s)
+	}
+	if d.Top != nil {
+		visit(d.Top)
+	}
+	return order
+}
+
+// UsedLayers returns the set of layers used by reachable elements, sorted.
+func (d *Design) UsedLayers() []tech.LayerID {
+	set := make(map[tech.LayerID]bool)
+	for _, s := range d.SortedSymbols() {
+		for _, e := range s.Elements {
+			set[e.Layer] = true
+		}
+	}
+	out := make([]tech.LayerID, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

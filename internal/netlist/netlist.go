@@ -1,0 +1,267 @@
+// Package netlist generates the hierarchical net list of the paper's
+// Figure 10 pipeline.
+//
+// Connectivity follows the paper's *skeletal* criterion (Figure 11): two
+// same-layer elements are connected iff their skeletons — each element
+// shrunk by half its layer's minimum width — touch, overlap, or enclose
+// one another. Geometric contact that is not skeletal is deliberately NOT
+// a connection here: it is an illegal connection, which the checker
+// reports separately. The netlist therefore describes the *intended*
+// circuit.
+//
+// Cross-layer connectivity exists only through devices (contacts, butting
+// and buried contacts), and devices exist only as primitive device symbols,
+// so device recognition reduces to device-terminal lookup.
+//
+// Net names use the paper's dot notation: a net declared "q" inside
+// instance "row3.bit7" becomes "row3.bit7.q". Power and ground names are
+// global. Declared names never *create* connectivity; instead the
+// extractor cross-checks declarations against extracted connectivity and
+// reports NET.MERGED (two names on one extracted net) and NET.OPEN (one
+// name on several extracted nets) — the paper's "check the net list
+// against an input net list for consistency".
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// NetID indexes a net within a Netlist.
+type NetID int
+
+// TermRef names one device terminal attachment.
+type TermRef struct {
+	Device   int    // index into Netlist.Devices
+	Terminal string // terminal name within the device
+}
+
+// Net is one extracted electrical net.
+type Net struct {
+	ID   NetID
+	Name string // canonical name: lexically smallest declared name, else "n<k>"
+	// Declared lists every declared (possibly path-qualified) name merged
+	// into this net, sorted.
+	Declared []string
+	// Terminals lists the device terminals on this net, in deterministic
+	// order.
+	Terminals []TermRef
+	// Elements counts the interconnect elements on the net.
+	Elements int
+	// Bounds is the bounding box of the net's geometry.
+	Bounds geom.Rect
+}
+
+// IsAnonymous reports whether the net has no declared name.
+func (n *Net) IsAnonymous() bool { return len(n.Declared) == 0 }
+
+// DeviceUse is one instantiated device.
+type DeviceUse struct {
+	Path   string // hierarchical instance path ("" for a top-level device)
+	Symbol *layout.Symbol
+	Type   string // declared device type
+	Class  string // device class
+	T      geom.Transform
+	// TerminalNets maps terminal names to nets.
+	TerminalNets map[string]NetID
+	// Info is the cached electrical analysis of the defining symbol.
+	Info *device.Info
+}
+
+// Issue is a netlist-level finding (not necessarily fatal).
+type Issue struct {
+	Rule   string // NET.MERGED, NET.OPEN, NET.ELEM, DEV.*
+	Detail string
+	Where  geom.Rect
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s at %v: %s", i.Rule, i.Where, i.Detail) }
+
+// Netlist is the extraction result.
+type Netlist struct {
+	Nets    []Net
+	Devices []DeviceUse
+	byName  map[string]NetID
+}
+
+// NetByName resolves a declared or canonical net name.
+func (nl *Netlist) NetByName(name string) (NetID, bool) {
+	id, ok := nl.byName[name]
+	return id, ok
+}
+
+// NumNets returns the number of nets.
+func (nl *Netlist) NumNets() int { return len(nl.Nets) }
+
+// Stats summarizes the netlist.
+func (nl *Netlist) Stats() string {
+	return fmt.Sprintf("%d nets, %d devices", len(nl.Nets), len(nl.Devices))
+}
+
+// footprint is one connectable piece of geometry during extraction.
+type footprint struct {
+	layer  tech.LayerID
+	bounds geom.Rect
+	reg    geom.Region // chip coordinates
+	node   int         // union-find node
+	// declared net name (path-qualified), "" if none
+	declared string
+	elements int // number of interconnect elements represented (0 or 1)
+}
+
+// Extract builds the netlist of a validated design. The second return value
+// carries consistency issues; the error is reserved for structural failures
+// (unmaterializable geometry is reported as a NET.ELEM issue instead).
+// Extract is a thin wrapper over ExtractFull for callers that only need the
+// netlist.
+func Extract(d *layout.Design, tc *tech.Technology) (*Netlist, []Issue, error) {
+	ex, issues, err := ExtractFull(d, tc)
+	if err != nil {
+		return nil, issues, err
+	}
+	return ex.Netlist, issues, nil
+}
+
+// qualifyNet applies dot-notation qualification: rails are global.
+func qualifyNet(net, path string, tc *tech.Technology) string {
+	if tc.IsRail(net) || path == "" {
+		return net
+	}
+	return path + "." + net
+}
+
+func joinPath(base, name string) string {
+	if base == "" {
+		return name
+	}
+	return base + "." + name
+}
+
+// assemble converts union-find classes into the final Netlist.
+func assemble(foots []footprint, devices []DeviceUse, uf *uf, tc *tech.Technology, issues []Issue) (*Netlist, []Issue, error) {
+	rootToNet := make(map[int]NetID)
+	nl := &Netlist{byName: make(map[string]NetID)}
+
+	// Deterministic net order: first footprint index per class.
+	for i := range foots {
+		root := uf.find(i)
+		if _, ok := rootToNet[root]; !ok {
+			rootToNet[root] = NetID(len(nl.Nets))
+			nl.Nets = append(nl.Nets, Net{ID: NetID(len(nl.Nets))})
+		}
+		net := &nl.Nets[rootToNet[root]]
+		net.Elements += foots[i].elements
+		net.Bounds = net.Bounds.Union(foots[i].bounds)
+		if foots[i].declared != "" {
+			net.Declared = append(net.Declared, foots[i].declared)
+		}
+	}
+
+	// Resolve device terminal nets from provisional footprint ids.
+	for di := range devices {
+		dev := &devices[di]
+		for term, provisional := range dev.TerminalNets {
+			dev.TerminalNets[term] = rootToNet[uf.find(int(provisional))]
+		}
+		// Deterministic terminal order for the net's view.
+		terms := make([]string, 0, len(dev.TerminalNets))
+		for t := range dev.TerminalNets {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			nid := dev.TerminalNets[t]
+			nl.Nets[nid].Terminals = append(nl.Nets[nid].Terminals, TermRef{Device: di, Terminal: t})
+		}
+	}
+	nl.Devices = devices
+
+	// Names: dedupe declared, detect merges, synthesize anonymous names.
+	nameFirstNet := make(map[string]NetID)
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		net.Declared = dedupeStrings(net.Declared)
+		if len(net.Declared) > 0 {
+			net.Name = net.Declared[0]
+			if len(net.Declared) > 1 {
+				issues = append(issues, Issue{
+					Rule:   "NET.MERGED",
+					Detail: fmt.Sprintf("declared nets %v are physically connected", net.Declared),
+					Where:  net.Bounds,
+				})
+			}
+		} else {
+			net.Name = fmt.Sprintf("n%d", i)
+		}
+		for _, dn := range net.Declared {
+			if prev, seen := nameFirstNet[dn]; seen {
+				issues = append(issues, Issue{
+					Rule:   "NET.OPEN",
+					Detail: fmt.Sprintf("net %q is split across unconnected pieces", dn),
+					Where:  nl.Nets[prev].Bounds.Union(net.Bounds),
+				})
+			} else {
+				nameFirstNet[dn] = net.ID
+				nl.byName[dn] = net.ID
+			}
+		}
+		if _, taken := nl.byName[net.Name]; !taken {
+			nl.byName[net.Name] = net.ID
+		}
+	}
+	return nl, issues, nil
+}
+
+func dedupeStrings(ss []string) []string {
+	if len(ss) <= 1 {
+		return ss
+	}
+	sort.Strings(ss)
+	out := ss[:1]
+	for _, s := range ss[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// uf is a weighted quick-union structure.
+type uf struct {
+	parent []int
+	size   []int
+}
+
+func newUF(n int) *uf {
+	u := &uf{parent: make([]int, n), size: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+func (u *uf) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *uf) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+}

@@ -1,0 +1,181 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/tech"
+)
+
+// ConstructionRules checks the paper's four non-geometric composition rules
+// on an extracted netlist:
+//
+//  1. a net must have at least two "devices" on it,
+//  2. power and ground must not be shorted,
+//  3. a "bus" may not connect to power or ground,
+//  4. a depletion device may not connect to ground.
+//
+// Bus nets are recognized by declared names beginning with "bus" (case
+// insensitive), e.g. "bus0", "BUS_data".
+func ConstructionRules(nl *Netlist, tc *tech.Technology) []Issue {
+	var issues []Issue
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		power, ground, bus := false, false, false
+		for _, n := range net.Declared {
+			base := lastComponent(n)
+			if tc.IsPower(base) {
+				power = true
+			}
+			if tc.IsGround(base) {
+				ground = true
+			}
+			if isBusName(base) {
+				bus = true
+			}
+		}
+		// Rule 2: power-ground short.
+		if power && ground {
+			issues = append(issues, Issue{
+				Rule:   "NET.PGSHORT",
+				Detail: fmt.Sprintf("power and ground shorted on net %q (%v)", net.Name, net.Declared),
+				Where:  net.Bounds,
+			})
+		}
+		// Rule 3: bus to rail.
+		if bus && (power || ground) {
+			issues = append(issues, Issue{
+				Rule:   "NET.BUSRAIL",
+				Detail: fmt.Sprintf("bus net %q connects to a supply rail (%v)", net.Name, net.Declared),
+				Where:  net.Bounds,
+			})
+		}
+		// Rule 1: fanout — every non-rail net needs at least two device
+		// terminals; a zero-terminal net is floating interconnect.
+		if !power && !ground && len(net.Terminals) < 2 {
+			issues = append(issues, Issue{
+				Rule: "NET.FANOUT",
+				Detail: fmt.Sprintf("net %q has %d device terminal(s), need at least 2",
+					net.Name, len(net.Terminals)),
+				Where: net.Bounds,
+			})
+		}
+	}
+	// Rule 4: depletion device to ground. Both the bare depletion
+	// transistor and the depletion pullup count.
+	for di := range nl.Devices {
+		dev := &nl.Devices[di]
+		if dev.Type != tech.DevNMOSDep && dev.Type != tech.DevNMOSPullup {
+			continue
+		}
+		for term, nid := range dev.TerminalNets {
+			if term == "g" {
+				continue // the gate is tied back to the source by design
+			}
+			for _, n := range nl.Nets[nid].Declared {
+				if tc.IsGround(lastComponent(n)) {
+					issues = append(issues, Issue{
+						Rule: "NET.DEPGND",
+						Detail: fmt.Sprintf("depletion device %s terminal %q connects to ground",
+							devName(dev), term),
+						Where: nl.Nets[nid].Bounds,
+					})
+				}
+			}
+		}
+	}
+	sortIssues(issues)
+	return issues
+}
+
+func devName(d *DeviceUse) string {
+	if d.Path == "" {
+		return d.Symbol.Name
+	}
+	return d.Path
+}
+
+// lastComponent strips the dot-notation path from a qualified net name.
+func lastComponent(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func isBusName(name string) bool {
+	return len(name) >= 3 && strings.EqualFold(name[:3], "bus")
+}
+
+func sortIssues(issues []Issue) {
+	sort.Slice(issues, func(i, j int) bool {
+		if issues[i].Rule != issues[j].Rule {
+			return issues[i].Rule < issues[j].Rule
+		}
+		return issues[i].Detail < issues[j].Detail
+	})
+}
+
+// Reference is an expected netlist for consistency checking: declared net
+// name to the multiset of expected device attachments, each written
+// "deviceType:terminal".
+type Reference map[string][]string
+
+// Signature returns the sorted device attachments of a net, in the
+// Reference's "deviceType:terminal" notation.
+func (nl *Netlist) Signature(id NetID) []string {
+	net := &nl.Nets[id]
+	out := make([]string, 0, len(net.Terminals))
+	for _, tr := range net.Terminals {
+		out = append(out, nl.Devices[tr.Device].Type+":"+tr.Terminal)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compare checks the extracted netlist against a reference: every
+// referenced net must exist and carry exactly the expected attachments.
+// This is the paper's "check the net list against an input net list for
+// consistency".
+func Compare(nl *Netlist, ref Reference) []Issue {
+	var issues []Issue
+	names := make([]string, 0, len(ref))
+	for name := range ref {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := append([]string(nil), ref[name]...)
+		sort.Strings(want)
+		id, ok := nl.NetByName(name)
+		if !ok {
+			issues = append(issues, Issue{
+				Rule:   "NET.MISSING",
+				Detail: fmt.Sprintf("reference net %q not found in layout", name),
+			})
+			continue
+		}
+		got := nl.Signature(id)
+		if !equalStrings(got, want) {
+			issues = append(issues, Issue{
+				Rule:   "NET.MISMATCH",
+				Detail: fmt.Sprintf("net %q: layout has %v, reference wants %v", name, got, want),
+				Where:  nl.Nets[id].Bounds,
+			})
+		}
+	}
+	return issues
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

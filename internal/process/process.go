@@ -1,0 +1,218 @@
+// Package process implements the paper's 2-D process model for design rule
+// checking (Figures 13 and 14, Equation 1): the exposure at a point is the
+// convolution of a Gaussian kernel — representing exposure and etching
+// variation — with the binary mask function, clipped at the photoresist
+// threshold:
+//
+//	I(p) = ∬ A·exp(-r²/2σ²) · M(x,y) dx dy            (Eq. 1)
+//
+// For rectangle masks the integral has the closed-form solution in error
+// functions the paper points out, so the model is exact and fast; a
+// brute-force numeric convolution is provided as a validation oracle.
+//
+// On top of the exposure function the package builds the paper's checks:
+//
+//   - printed-edge positions and proximity-effect expansion (Figure 13:
+//     Euclidean, orthogonal and proximity expand disagree, and the
+//     proximity expansion of an edge depends on its neighbours — "bias
+//     effects in fact are not unary"),
+//   - the line-of-closest-approach spacing check with mask misalignment
+//     for different-layer pairs,
+//   - the relational end-retreat rule of Figure 14: the printed end of a
+//     wire retreats further the narrower the wire, so the required gate
+//     overlap is a function of the poly width.
+package process
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Model is a Gaussian exposure model. Exposure is normalized so that a
+// point deep inside a large mask opening sees 1.0 and a point exactly on a
+// long straight edge sees 0.5. Threshold is the clip level of the resist:
+// with Threshold = 0.5 long straight edges print exactly where drawn;
+// lower thresholds over-expose (features grow), higher under-expose.
+type Model struct {
+	Sigma     float64 // Gaussian radius in centimicrons
+	Threshold float64 // resist clip level in normalized exposure units
+}
+
+// DefaultModel returns the model used by the experiments: σ of half the
+// nMOS λ and a print-at-drawn-edge threshold.
+func DefaultModel() Model {
+	return Model{Sigma: 125, Threshold: 0.5}
+}
+
+// erfStep computes the 1-D edge integral term erf((hi-p)/(σ√2)) -
+// erf((lo-p)/(σ√2)); the product of two of these, divided by 4, is the
+// exposure contribution of a rectangle.
+func (m Model) erfStep(lo, hi, p float64) float64 {
+	s := m.Sigma * math.Sqrt2
+	return math.Erf((hi-p)/s) - math.Erf((lo-p)/s)
+}
+
+// ExposureAt evaluates Eq. 1 at point p for a mask given as a region. The
+// canonical rect decomposition is disjoint, so contributions add exactly.
+func (m Model) ExposureAt(mask geom.Region, p geom.FPoint) float64 {
+	var e float64
+	for _, r := range mask.Rects() {
+		e += 0.25 *
+			m.erfStep(float64(r.X1), float64(r.X2), p.X) *
+			m.erfStep(float64(r.Y1), float64(r.Y2), p.Y)
+	}
+	return e
+}
+
+// ExposureAtNumeric validates ExposureAt by direct 2-D convolution with
+// grid spacing step (centimicrons). It is O((extent/step)²) and intended
+// for tests only.
+func (m Model) ExposureAtNumeric(mask geom.Region, p geom.FPoint, step float64) float64 {
+	// Integrate over the mask ± 6σ window around p.
+	w := 6 * m.Sigma
+	norm := 1 / (2 * math.Pi * m.Sigma * m.Sigma)
+	var sum float64
+	for x := p.X - w; x <= p.X+w; x += step {
+		for y := p.Y - w; y <= p.Y+w; y += step {
+			if !mask.ContainsPoint(geom.Pt(int64(math.Floor(x)), int64(math.Floor(y)))) {
+				continue
+			}
+			dx, dy := x-p.X, y-p.Y
+			sum += math.Exp(-(dx*dx+dy*dy)/(2*m.Sigma*m.Sigma)) * step * step
+		}
+	}
+	return sum * norm
+}
+
+// Prints reports whether the resist at p clears the threshold (the point
+// is part of the printed image).
+func (m Model) Prints(mask geom.Region, p geom.FPoint) bool {
+	return m.ExposureAt(mask, p) >= m.Threshold
+}
+
+// EdgePosition finds the printed edge along the ray from origin in
+// direction dir (unit vector): the distance t at which exposure crosses
+// the threshold, searched by bisection over [0, limit]. It returns NaN if
+// the exposure does not cross in the interval.
+func (m Model) EdgePosition(mask geom.Region, origin, dir geom.FPoint, limit float64) float64 {
+	at := func(t float64) float64 {
+		return m.ExposureAt(mask, geom.FPoint{X: origin.X + dir.X*t, Y: origin.Y + dir.Y*t})
+	}
+	lo, hi := 0.0, limit
+	fl, fh := at(lo), at(hi)
+	if (fl >= m.Threshold) == (fh >= m.Threshold) {
+		return math.NaN()
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if (at(mid) >= m.Threshold) == (fl >= m.Threshold) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// IsolatedEdgeShift returns how far a long straight edge moves under the
+// model: positive = outward growth (over-exposure), negative = shrink.
+// Closed form: the printed edge sits where 0.5(1-erf(d/(σ√2))) = T.
+func (m Model) IsolatedEdgeShift() float64 {
+	return math.Erfinv(1-2*m.Threshold) * m.Sigma * math.Sqrt2
+}
+
+// PrintedGap returns the printed spacing between two mask regions along
+// the line of closest approach: the length of the sub-threshold interval
+// between their printed edges. A non-positive value means the images
+// bridge — the spacing failure the rule exists to prevent. The search uses
+// the combined exposure of both masks, which is what makes the proximity
+// effect appear: each mask's tail exposure pushes the other's printed edge
+// outward.
+func (m Model) PrintedGap(a, b geom.Region) float64 {
+	dir, from, to, dist := geom.LineOfClosestApproach(a, b)
+	if dist == 0 {
+		return 0
+	}
+	combined := a.Union(b)
+	origin := geom.FPoint{X: float64(from.X), Y: float64(from.Y)}
+	// Find the printed edge of the combined image walking from a's
+	// boundary toward b, and symmetrically from b toward a.
+	t1 := m.EdgePosition(combined, origin, dir, dist/2)
+	originB := geom.FPoint{X: float64(to.X), Y: float64(to.Y)}
+	back := geom.FPoint{X: -dir.X, Y: -dir.Y}
+	t2 := m.EdgePosition(combined, originB, back, dist/2)
+	if math.IsNaN(t1) || math.IsNaN(t2) {
+		// No crossing: either the whole gap prints (bridge) or none of it
+		// does. Decide by the midpoint.
+		mid := geom.FPoint{
+			X: (float64(from.X) + float64(to.X)) / 2,
+			Y: (float64(from.Y) + float64(to.Y)) / 2,
+		}
+		if m.Prints(combined, mid) {
+			return 0
+		}
+		return dist
+	}
+	return dist - t1 - t2
+}
+
+// SpacingOK implements the paper's process-model spacing check: translate
+// one element along the line of closest approach by the worst-case mask
+// misalignment (zero for same-layer pairs, where only bias effects apply),
+// then require the printed images to keep a positive gap of at least
+// minPrintedGap.
+func (m Model) SpacingOK(a, b geom.Region, misalign float64, minPrintedGap float64) bool {
+	if misalign > 0 {
+		dir, _, _, dist := geom.LineOfClosestApproach(a, b)
+		if dist == 0 {
+			return false
+		}
+		shift := misalign
+		if shift > dist {
+			shift = dist
+		}
+		b = b.Translate(geom.Pt(int64(math.Round(-dir.X*shift)), int64(math.Round(-dir.Y*shift))))
+	}
+	return m.PrintedGap(a, b) >= minPrintedGap
+}
+
+// EndRetreat returns how far the printed end of a long wire of the given
+// width retreats behind the drawn end (Figure 14). Wide wires retreat by
+// -IsolatedEdgeShift; narrow wires retreat more because the side edges rob
+// exposure from the end region — the relational effect.
+func (m Model) EndRetreat(width int64) float64 {
+	const length = 40000 // long enough that the far end is irrelevant
+	wire := geom.FromRectR(geom.R(0, -width/2, length, width-width/2))
+	// Start the search safely outside the drawn end (exposure ≈ 0) and
+	// walk inward along the axis until the resist threshold is crossed;
+	// the crossing relative to the drawn end is the retreat (negative
+	// values mean the end grows under over-exposure).
+	pad := 8 * m.Sigma
+	start := geom.FPoint{X: length + pad, Y: 0}
+	in := geom.FPoint{X: -1, Y: 0}
+	t := m.EdgePosition(wire, start, in, float64(length)/2+pad)
+	if math.IsNaN(t) {
+		return math.Inf(1) // the whole wire fails to print
+	}
+	return t - pad
+}
+
+// RequiredGateOverlap returns the Figure 14 relational rule: the poly gate
+// must extend past the channel by the end retreat of a wire of that width
+// plus the safety margin.
+func (m Model) RequiredGateOverlap(polyWidth int64, margin float64) float64 {
+	r := m.EndRetreat(polyWidth)
+	if math.IsInf(r, 1) {
+		return math.Inf(1)
+	}
+	if r < 0 {
+		r = 0
+	}
+	return r + margin
+}
+
+// RelationalGateCheck applies the relational rule to a drawn overlap.
+func (m Model) RelationalGateCheck(polyWidth, drawnOverlap int64, margin float64) bool {
+	return float64(drawnOverlap) >= m.RequiredGateOverlap(polyWidth, margin)
+}

@@ -1,0 +1,196 @@
+package process
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestExposureBasics(t *testing.T) {
+	m := Model{Sigma: 100, Threshold: 0.5}
+	big := geom.FromRectR(geom.R(-10000, -10000, 10000, 10000))
+	// Deep inside a large opening: exposure -> 1.
+	if got := m.ExposureAt(big, geom.FPoint{X: 0, Y: 0}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("center exposure = %v, want 1", got)
+	}
+	// On a long straight edge: exactly 0.5.
+	if got := m.ExposureAt(big, geom.FPoint{X: 10000, Y: 0}); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("edge exposure = %v, want 0.5", got)
+	}
+	// At a convex corner: exactly 0.25 (two half-plane factors).
+	if got := m.ExposureAt(big, geom.FPoint{X: 10000, Y: 10000}); math.Abs(got-0.25) > 1e-9 {
+		t.Fatalf("corner exposure = %v, want 0.25", got)
+	}
+	// Far outside: ~0.
+	if got := m.ExposureAt(big, geom.FPoint{X: 12000, Y: 0}); got > 1e-6 {
+		t.Fatalf("outside exposure = %v", got)
+	}
+}
+
+func TestExposureMatchesNumericConvolution(t *testing.T) {
+	m := Model{Sigma: 80, Threshold: 0.5}
+	mask := geom.FromRects([]geom.Rect{
+		geom.R(0, 0, 400, 200),
+		geom.R(300, 100, 600, 500),
+	})
+	pts := []geom.FPoint{
+		{X: 200, Y: 100}, {X: 0, Y: 0}, {X: 450, Y: 300},
+		{X: -100, Y: 50}, {X: 650, Y: 480}, {X: 300, Y: 150},
+	}
+	for _, p := range pts {
+		exact := m.ExposureAt(mask, p)
+		numeric := m.ExposureAtNumeric(mask, p, 4)
+		if math.Abs(exact-numeric) > 0.02 {
+			t.Errorf("at %v: closed form %.4f vs numeric %.4f", p, exact, numeric)
+		}
+	}
+}
+
+// Property: exposure is additive over disjoint masks and monotone in mask
+// area.
+func TestQuickExposureAdditive(t *testing.T) {
+	m := Model{Sigma: 60, Threshold: 0.5}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := geom.FromRectR(geom.R(0, 0, int64(100+rng.Intn(300)), int64(100+rng.Intn(300))))
+		b := geom.FromRectR(geom.R(500, 0, 500+int64(100+rng.Intn(300)), int64(100+rng.Intn(300))))
+		p := geom.FPoint{X: float64(rng.Intn(700)), Y: float64(rng.Intn(400))}
+		ea := m.ExposureAt(a, p)
+		eb := m.ExposureAt(b, p)
+		eu := m.ExposureAt(a.Union(b), p)
+		return math.Abs(ea+eb-eu) < 1e-9 && eu <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedEdgeShift(t *testing.T) {
+	// Threshold 0.5: edges print where drawn.
+	m := Model{Sigma: 100, Threshold: 0.5}
+	if got := m.IsolatedEdgeShift(); math.Abs(got) > 1e-9 {
+		t.Fatalf("shift at T=0.5 = %v, want 0", got)
+	}
+	// Over-exposure (T<0.5) grows features.
+	over := Model{Sigma: 100, Threshold: 0.3}
+	if got := over.IsolatedEdgeShift(); got <= 0 {
+		t.Fatalf("over-exposed shift = %v, want > 0", got)
+	}
+	// Under-exposure shrinks.
+	under := Model{Sigma: 100, Threshold: 0.7}
+	if got := under.IsolatedEdgeShift(); got >= 0 {
+		t.Fatalf("under-exposed shift = %v, want < 0", got)
+	}
+}
+
+func TestProximityEffectOnGap(t *testing.T) {
+	// Figure 13: bias effects are not unary. The printed gap between two
+	// boxes shrinks MORE than twice the isolated edge shift when the boxes
+	// are close, because each box's exposure tail adds to the other's.
+	m := Model{Sigma: 100, Threshold: 0.4} // over-exposed: features grow
+	shift := m.IsolatedEdgeShift()
+	if shift <= 0 {
+		t.Fatal("test needs a growing process")
+	}
+	mk := func(gap int64) (geom.Region, geom.Region) {
+		a := geom.FromRectR(geom.R(-2000, -1000, 0, 1000))
+		b := geom.FromRectR(geom.R(gap, -1000, gap+2000, 1000))
+		return a, b
+	}
+	// Far apart: printed gap ≈ drawn gap - 2·shift (unary prediction).
+	aFar, bFar := mk(2000)
+	farGap := m.PrintedGap(aFar, bFar)
+	unary := 2000 - 2*shift
+	if math.Abs(farGap-unary) > 2 {
+		t.Fatalf("far gap %v, unary prediction %v", farGap, unary)
+	}
+	// Close together (within ~2.5σ): the printed gap is smaller than the
+	// unary model predicts — each box's Gaussian tail adds exposure at the
+	// other's edge. This is the proximity effect.
+	aNear, bNear := mk(250)
+	nearGap := m.PrintedGap(aNear, bNear)
+	unaryNear := 250 - 2*shift
+	if nearGap >= unaryNear-1 {
+		t.Fatalf("near gap %v not below unary prediction %v (no proximity effect?)", nearGap, unaryNear)
+	}
+	if nearGap <= 0 {
+		t.Fatalf("near gap bridged entirely: %v", nearGap)
+	}
+}
+
+func TestPrintedGapBridging(t *testing.T) {
+	m := Model{Sigma: 150, Threshold: 0.35}
+	a := geom.FromRectR(geom.R(-2000, -1000, 0, 1000))
+	b := geom.FromRectR(geom.R(120, -1000, 2120, 1000))
+	if gap := m.PrintedGap(a, b); gap > 0 {
+		t.Fatalf("120 drawn gap at σ=150 over-exposed should bridge, got %v", gap)
+	}
+}
+
+func TestSpacingOKMisalignment(t *testing.T) {
+	m := Model{Sigma: 100, Threshold: 0.5}
+	a := geom.FromRectR(geom.R(-2000, -500, 0, 500))
+	b := geom.FromRectR(geom.R(700, -500, 2700, 500))
+	// Same layer (no misalignment): 700 gap prints fine.
+	if !m.SpacingOK(a, b, 0, 100) {
+		t.Fatal("same-layer 700 gap should pass")
+	}
+	// Different layer with 600 worst-case misalignment: the translated
+	// element nearly touches; must fail.
+	if m.SpacingOK(a, b, 600, 100) {
+		t.Fatal("600 misalignment over 700 gap should fail")
+	}
+}
+
+func TestEndRetreatRelational(t *testing.T) {
+	// Figure 14: narrower wires retreat more. At T=0.5 a very wide wire
+	// retreats ~0.
+	m := Model{Sigma: 125, Threshold: 0.5}
+	wide := m.EndRetreat(4000)
+	if math.Abs(wide) > 1 {
+		t.Fatalf("wide wire retreat = %v, want ~0", wide)
+	}
+	r2 := m.EndRetreat(500) // 2λ
+	r3 := m.EndRetreat(750)
+	r4 := m.EndRetreat(1000)
+	if !(r2 > r3 && r3 > r4 && r4 > wide) {
+		t.Fatalf("retreat not monotone: w500=%v w750=%v w1000=%v wide=%v", r2, r3, r4, wide)
+	}
+	if r2 <= 0 {
+		t.Fatalf("2λ wire should retreat, got %v", r2)
+	}
+}
+
+func TestRelationalGateCheck(t *testing.T) {
+	m := Model{Sigma: 125, Threshold: 0.5}
+	// A 2λ poly with 2λ drawn overlap: must clear the retreat plus a λ/2
+	// margin (the rule the fixed-number checkers approximate).
+	need := m.RequiredGateOverlap(500, 125)
+	if need <= 125 {
+		t.Fatalf("required overlap = %v, should exceed the margin", need)
+	}
+	if !m.RelationalGateCheck(500, 500, 125) {
+		t.Fatalf("2λ overlap should satisfy the relational rule (need %v)", need)
+	}
+	if m.RelationalGateCheck(500, int64(need)-130, 125) {
+		t.Fatal("overlap below requirement should fail")
+	}
+	// Wider poly needs less overlap.
+	needWide := m.RequiredGateOverlap(1000, 125)
+	if needWide >= need {
+		t.Fatalf("wider poly should need less overlap: %v vs %v", needWide, need)
+	}
+}
+
+func TestEdgePositionStraightEdge(t *testing.T) {
+	m := Model{Sigma: 100, Threshold: 0.5}
+	mask := geom.FromRectR(geom.R(0, -5000, 10000, 5000))
+	// Walk from outside (x=-1000) toward the edge at x=0.
+	tpos := m.EdgePosition(mask, geom.FPoint{X: -1000, Y: 0}, geom.FPoint{X: 1, Y: 0}, 3000)
+	if math.IsNaN(tpos) || math.Abs(tpos-1000) > 1 {
+		t.Fatalf("edge found at %v from -1000, want 1000 (drawn edge)", tpos)
+	}
+}

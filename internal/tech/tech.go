@@ -1,0 +1,220 @@
+// Package tech describes fabrication technologies for the design-integrity
+// checker: mask layers with their width rules, the layer-interaction
+// spacing matrix of the paper's Figure 12 (upper-triangular, with same-net
+// and different-net subcases), and the device types that primitive symbols
+// may declare, with the parameters their internal checks need.
+//
+// Two technologies are shipped: a λ-based silicon-gate nMOS process in the
+// Mead–Conway style (the paper's running example, Figure 12 uses its D, P,
+// M, C layers) and a simplified bipolar process for the device-dependent
+// rules of Figure 6 (transistor base vs. resistor base against isolation).
+package tech
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LayerID identifies a mask layer within a technology.
+type LayerID uint8
+
+// NoLayer is the invalid layer id.
+const NoLayer LayerID = 0xFF
+
+// Layer describes one mask layer.
+type Layer struct {
+	ID       LayerID
+	Name     string // human name, e.g. "diffusion"
+	CIF      string // CIF layer name, e.g. "ND"
+	MinWidth int64  // minimum feature width (centimicrons); 0 = unchecked
+	MinSpace int64  // default same-layer different-net spacing
+}
+
+// SpacingRule is one cell of the Figure 12 interaction matrix: the spacing
+// required between elements of a layer pair, split into the same-net and
+// different-net subcases. A zero entry means "no check required" — the
+// paper's point is that most cells are zero. TransistorRelated controls the
+// device subcase: when true, elements related through the same transistor
+// are exempt even on different nets (gate and implant cannot be assigned to
+// a net).
+type SpacingRule struct {
+	DiffNet       int64  // required spacing when nets differ (0 = none)
+	SameNet       int64  // required spacing when nets are equal (0 = none)
+	ExemptRelated bool   // skip when both elements belong to the same device
+	Note          string // why the cell is or is not checked (audit output)
+}
+
+// LayerPair is a normalized (A <= B) unordered pair of layers.
+type LayerPair struct {
+	A, B LayerID
+}
+
+// Pair normalizes a layer pair.
+func Pair(a, b LayerID) LayerPair {
+	if a > b {
+		a, b = b, a
+	}
+	return LayerPair{a, b}
+}
+
+// DeviceSpec declares a device type that primitive symbols may carry.
+type DeviceSpec struct {
+	Class    string           // checker registry key, e.g. "mos-transistor"
+	Params   map[string]int64 // rule margins used by the class checker
+	Describe string           // one-line human description
+}
+
+// Technology is a complete process description.
+type Technology struct {
+	Name    string
+	Lambda  int64 // scale unit in centimicrons (0 if not λ-based)
+	layers  []Layer
+	byName  map[string]LayerID
+	byCIF   map[string]LayerID
+	spacing map[LayerPair]SpacingRule
+	devices map[string]DeviceSpec
+
+	// Rails are the net names treated as power and ground by the
+	// non-geometric construction rules.
+	PowerNets  []string
+	GroundNets []string
+}
+
+// New creates an empty technology.
+func New(name string, lambda int64) *Technology {
+	return &Technology{
+		Name:    name,
+		Lambda:  lambda,
+		byName:  make(map[string]LayerID),
+		byCIF:   make(map[string]LayerID),
+		spacing: make(map[LayerPair]SpacingRule),
+		devices: make(map[string]DeviceSpec),
+	}
+}
+
+// AddLayer registers a layer and returns its id.
+func (t *Technology) AddLayer(l Layer) LayerID {
+	id := LayerID(len(t.layers))
+	l.ID = id
+	t.layers = append(t.layers, l)
+	t.byName[l.Name] = id
+	t.byCIF[l.CIF] = id
+	return id
+}
+
+// Layers returns all layers in id order.
+func (t *Technology) Layers() []Layer { return t.layers }
+
+// NumLayers returns the number of layers.
+func (t *Technology) NumLayers() int { return len(t.layers) }
+
+// Layer returns the layer with the given id.
+func (t *Technology) Layer(id LayerID) Layer {
+	return t.layers[id]
+}
+
+// LayerByName looks a layer up by human name.
+func (t *Technology) LayerByName(name string) (LayerID, bool) {
+	id, ok := t.byName[name]
+	return id, ok
+}
+
+// LayerByCIF looks a layer up by CIF name.
+func (t *Technology) LayerByCIF(name string) (LayerID, bool) {
+	id, ok := t.byCIF[name]
+	return id, ok
+}
+
+// SetSpacing sets the interaction-matrix cell for a layer pair.
+func (t *Technology) SetSpacing(a, b LayerID, rule SpacingRule) {
+	t.spacing[Pair(a, b)] = rule
+}
+
+// Spacing returns the interaction-matrix cell for a layer pair; the zero
+// rule (no checks) is returned for unset cells.
+func (t *Technology) Spacing(a, b LayerID) SpacingRule {
+	return t.spacing[Pair(a, b)]
+}
+
+// MaxSpacing returns the largest spacing value anywhere in the matrix —
+// the interaction search radius for candidate generation.
+func (t *Technology) MaxSpacing() int64 {
+	var m int64
+	for _, r := range t.spacing {
+		if r.DiffNet > m {
+			m = r.DiffNet
+		}
+		if r.SameNet > m {
+			m = r.SameNet
+		}
+	}
+	return m
+}
+
+// AddDevice registers a device type under the given type name (the name a
+// primitive symbol declares with the 9D extension).
+func (t *Technology) AddDevice(name string, spec DeviceSpec) {
+	t.devices[name] = spec
+}
+
+// Device returns the spec for a declared device type.
+func (t *Technology) Device(name string) (DeviceSpec, bool) {
+	s, ok := t.devices[name]
+	return s, ok
+}
+
+// DeviceTypes returns the registered type names, sorted.
+func (t *Technology) DeviceTypes() []string {
+	out := make([]string, 0, len(t.devices))
+	for n := range t.devices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsPower reports whether the net name is a power rail.
+func (t *Technology) IsPower(net string) bool { return contains(t.PowerNets, net) }
+
+// IsGround reports whether the net name is a ground rail.
+func (t *Technology) IsGround(net string) bool { return contains(t.GroundNets, net) }
+
+// IsRail reports whether the net is power or ground.
+func (t *Technology) IsRail(net string) bool { return t.IsPower(net) || t.IsGround(net) }
+
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// MatrixCell describes one audited cell of the interaction matrix for
+// reporting (experiment E11): the paper's Figure 12 enumeration.
+type MatrixCell struct {
+	Pair    LayerPair
+	Names   string // "P-D" style label
+	Rule    SpacingRule
+	Checked bool // any non-zero subcase
+}
+
+// InteractionMatrix enumerates every upper-triangular layer pair with its
+// rule, including unset (skipped) cells, in deterministic order.
+func (t *Technology) InteractionMatrix() []MatrixCell {
+	var out []MatrixCell
+	for i := 0; i < len(t.layers); i++ {
+		for j := i; j < len(t.layers); j++ {
+			p := Pair(LayerID(i), LayerID(j))
+			rule := t.spacing[p]
+			out = append(out, MatrixCell{
+				Pair:    p,
+				Names:   fmt.Sprintf("%s-%s", t.layers[i].CIF, t.layers[j].CIF),
+				Rule:    rule,
+				Checked: rule.DiffNet > 0 || rule.SameNet > 0,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// BipolarChip is the Figure 6 scenario at scale: n transistor/resistor
+// pairs over a shared isolation frame, with every resistor legally tied to
+// isolation and every transistor base kept clear of it.
+type BipolarChip struct {
+	Design *layout.Design
+	Tech   *tech.Technology
+	N      int
+}
+
+// Horizontal pitch between transistor/resistor pairs.
+const bipPitch = 4000
+
+// NewBipolarChip builds the clean bipolar workload:
+//
+//   - npn transistors at y=0 (base 800×800, emitter inside),
+//   - base-diffusion resistors at y=3000,
+//   - an isolation frame along the bottom with one tongue per pair rising
+//     to touch the resistor's far end — the legal ground tie of Figure 6b,
+//     routed well clear of every transistor base.
+func NewBipolarChip(name string, n int) *BipolarChip {
+	tc := tech.Bipolar()
+	isoL, _ := tc.LayerByName(tech.BipIso)
+	d := layout.NewDesign(name)
+
+	q := device.NewNPN(d, tc, "lib.npn")
+	r := device.NewBaseResistor(d, tc, "lib.res", 1000)
+
+	pair := d.MustSymbol("pair")
+	pair.AddCall(q, geom.Identity, "q")
+	pair.AddCall(r, geom.Translate(geom.Pt(2000, 3000)), "r")
+	// Isolation tongue up to the resistor's b end (x 2600..3000 covers the
+	// end cap), 1800 clear of this pair's base and 1000 of the next.
+	pair.AddWire(isoL, 400, "ISO", geom.Pt(2800, -1600), geom.Pt(2800, 3200))
+
+	top := d.MustSymbol("top")
+	for i := 0; i < n; i++ {
+		top.AddCall(pair, geom.Translate(geom.Pt(int64(i)*bipPitch, 0)), fmt.Sprintf("p%d", i))
+	}
+	// Isolation frame along the bottom, connecting all tongues.
+	top.AddWire(isoL, 800, "ISO",
+		geom.Pt(-1000, -1600), geom.Pt(int64(n-1)*bipPitch+3400, -1600))
+	d.Top = top
+	return &BipolarChip{Design: d, Tech: tc, N: n}
+}
+
+// BreakIsolation moves one extra isolation wire against the i-th
+// transistor's base — the Figure 6a integrity error — and returns its
+// ground-truth location.
+func (b *BipolarChip) BreakIsolation(i int) geom.Rect {
+	isoL, _ := b.Tech.LayerByName(tech.BipIso)
+	x := int64(i) * bipPitch
+	// Abuts the base's right edge (base spans x..x+800, y 0..800).
+	b.Design.Top.AddWire(isoL, 400, "",
+		geom.Pt(x+800, 400), geom.Pt(x+1400, 400))
+	return geom.R(x+600, 0, x+1800, 800)
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBipolarChipClean(t *testing.T) {
+	chip := NewBipolarChip("bip", 6)
+	rep, err := core.Check(chip.Design, chip.Tech, core.Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Errors() {
+		t.Errorf("clean bipolar chip flagged: %v", v)
+	}
+	// 6 transistors + 6 resistors.
+	if got := len(rep.Netlist.Devices); got != 12 {
+		t.Fatalf("devices = %d, want 12", got)
+	}
+}
+
+func TestBipolarChipBreakIsolation(t *testing.T) {
+	chip := NewBipolarChip("bip", 6)
+	where := chip.BreakIsolation(3)
+	rep, err := core.Check(chip.Design, chip.Tech, core.Options{SkipConstruction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, v := range rep.Errors() {
+		if v.Rule == "DEV.NPN.ISO" {
+			hits++
+			if !v.Where.Expand(500).Touches(where) {
+				t.Errorf("DEV.NPN.ISO at %v, expected near %v", v.Where, where)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatalf("broken isolation not flagged: %v", rep.Errors())
+	}
+	// The legal resistor ties must stay quiet: only transistor 3 flags.
+	for _, v := range rep.Errors() {
+		if v.Rule == "DEV.NPN.ISO" && !v.Where.Expand(500).Touches(where) {
+			t.Errorf("false isolation flag: %v", v)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// ErrorKind enumerates the injectable error classes. Each exercises a
+// different region of the paper's Figure 1: some are caught by both
+// checkers, some only by the device/net-aware DIC.
+type ErrorKind uint8
+
+// Injectable error kinds.
+const (
+	// ErrWidth: a sub-minimum-width wire. Caught by both checkers.
+	ErrWidth ErrorKind = iota
+	// ErrSpacing: a diffusion box too close to cell diffusion. Both.
+	ErrSpacing
+	// ErrAccidental: a poly wire crossing a diffusion wire outside any
+	// transistor symbol (Figure 8). DIC only — the mask-level baseline
+	// assumes the crossing is an intentional transistor.
+	ErrAccidental
+	// ErrGateExt: a transistor definition whose poly stops flush with the
+	// channel (Figure 8 bottom / Figure 14). DIC only.
+	ErrGateExt
+	// ErrShallow: two legal boxes overlapping a quarter width — an illegal
+	// (non-skeletal) connection (Figures 11/15). DIC only.
+	ErrShallow
+	// ErrPGShort: a metal strap shorting the VDD and GND rails. DIC only
+	// (needs the netlist).
+	ErrPGShort
+	// ErrContactOnGate: a contact cut on a transistor channel (Figure 7).
+	// Both checkers catch it — but the baseline's version of the rule also
+	// false-flags every butting contact.
+	ErrContactOnGate
+
+	numErrorKinds
+)
+
+// String implements fmt.Stringer.
+func (k ErrorKind) String() string {
+	switch k {
+	case ErrWidth:
+		return "width"
+	case ErrSpacing:
+		return "spacing"
+	case ErrAccidental:
+		return "accidental-transistor"
+	case ErrGateExt:
+		return "gate-extension"
+	case ErrShallow:
+		return "shallow-connection"
+	case ErrPGShort:
+		return "pg-short"
+	case ErrContactOnGate:
+		return "contact-on-gate"
+	}
+	return fmt.Sprintf("ErrorKind(%d)", uint8(k))
+}
+
+// Injected records one injected error: its ground-truth location, the DIC
+// rule prefixes that legitimately report it, the baseline rule prefixes
+// (empty when the baseline cannot see it at all), and the symbol name for
+// definition-level errors.
+type Injected struct {
+	Kind      ErrorKind
+	Where     geom.Rect // chip coordinates (zero for definition-level)
+	Symbol    string    // defining symbol for definition-level errors
+	DICRules  []string  // acceptable DIC rule prefixes
+	FlatRules []string  // acceptable baseline rule prefixes ([] = undetectable)
+}
+
+// InjectErrors plants n seeded errors into the chip, at most one per cell,
+// cycling through the kinds. It returns the ground truth. The chip's
+// design is modified in place (top-level elements and, for ErrGateExt, one
+// extra device definition per injection).
+func InjectErrors(c *Chip, n int, seed int64) []Injected {
+	rng := rand.New(rand.NewSource(seed))
+	tc := c.Lib.Tech
+	top := c.Design.Top
+
+	// Choose distinct cells.
+	total := c.Rows * c.Cols
+	if n > total {
+		n = total
+	}
+	perm := rng.Perm(total)
+	out := make([]Injected, 0, n)
+	for i := 0; i < n; i++ {
+		cellIdx := perm[i]
+		r, col := cellIdx/c.Cols, cellIdx%c.Cols
+		base := geom.Pt(int64(col)*PitchX, int64(r)*PitchY)
+		kind := ErrorKind(i % int(numErrorKinds))
+		out = append(out, injectOne(c.Design, top, tc, kind, base, i))
+	}
+	return out
+}
+
+// injectOne plants one error relative to a cell origin.
+func injectOne(d *layout.Design, top *layout.Symbol, tc *tech.Technology, kind ErrorKind, base geom.Point, idx int) Injected {
+	polyL, _ := tc.LayerByName(tech.NMOSPoly)
+	diffL, _ := tc.LayerByName(tech.NMOSDiff)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	cutL, _ := tc.LayerByName(tech.NMOSContact)
+	at := func(x, y int64) geom.Point { return base.Add(geom.Pt(x, y)) }
+
+	switch kind {
+	case ErrWidth:
+		// A 300-wide diffusion wire in the empty lane east of the pullup.
+		top.AddWire(diffL, 300, "", at(5000, 1500), at(5000, 2500))
+		return Injected{
+			Kind:      ErrWidth,
+			Where:     geom.R(base.X+4850, base.Y+1350, base.X+5150, base.Y+2650),
+			DICRules:  []string{"W.ND", "NET.FANOUT"},
+			FlatRules: []string{"FLAT.W.ND"},
+		}
+	case ErrSpacing:
+		// A diffusion box 2λ above the source wire (rule is 3λ).
+		top.AddBox(diffL, geom.R(base.X-2250, base.Y+750, base.X-1000, base.Y+1250), "")
+		return Injected{
+			Kind:      ErrSpacing,
+			Where:     geom.R(base.X-2600, base.Y-300, base.X-650, base.Y+1300),
+			DICRules:  []string{"S.ND.ND", "NET.FANOUT"},
+			FlatRules: []string{"FLAT.S.ND"},
+		}
+	case ErrAccidental:
+		// A poly wire crossing the output diffusion.
+		top.AddWire(polyL, 500, "", at(1000, -1000), at(1000, 1000))
+		return Injected{
+			Kind:      ErrAccidental,
+			Where:     geom.R(base.X+750, base.Y-1250, base.X+1250, base.Y+1250),
+			DICRules:  []string{"DEV.ACCIDENTAL", "S.ND.NP", "NET.FANOUT"},
+			FlatRules: nil, // the baseline assumes a legal transistor
+		}
+	case ErrGateExt:
+		// A transistor definition with no gate overlap, placed in the
+		// empty band above the cell.
+		name := fmt.Sprintf("bad-tran-%d", idx)
+		sym := d.MustSymbol(name)
+		sym.DeviceType = tech.DevNMOSEnh
+		sym.AddBox(polyL, geom.R(-250, -250, 250, 250), "")
+		sym.AddBox(diffL, geom.R(-750, -250, 750, 250), "")
+		top.AddCall(sym, geom.Translate(at(5000, 4850)), name)
+		return Injected{
+			Kind:      ErrGateExt,
+			Symbol:    name,
+			Where:     geom.R(base.X+4250, base.Y+4600, base.X+5750, base.Y+5100),
+			DICRules:  []string{"DEV.MOS.GATEEXT", "DEV.MOS.SDEXT", "NET.FANOUT"},
+			FlatRules: nil, // a missing overlap cannot be measured on masks
+		}
+	case ErrShallow:
+		// Two legal-width boxes overlapping a quarter width (Figure 15).
+		top.AddBox(diffL, geom.R(base.X+0, base.Y+5100, base.X+2000, base.Y+5600), "")
+		top.AddBox(diffL, geom.R(base.X+1875, base.Y+5100, base.X+3875, base.Y+5600), "")
+		return Injected{
+			Kind:      ErrShallow,
+			Where:     geom.R(base.X-100, base.Y+5000, base.X+3975, base.Y+5700),
+			DICRules:  []string{"CONN.ILLEGAL", "NET.FANOUT"},
+			FlatRules: nil, // the union looks perfectly legal
+		}
+	case ErrPGShort:
+		// A metal strap from the GND rail to the VDD rail.
+		top.AddWire(metalL, 750, "", at(0, GndRailY), at(0, VddRailY))
+		return Injected{
+			Kind:  ErrPGShort,
+			Where: geom.R(base.X-375, base.Y+GndRailY-375, base.X+375, base.Y+VddRailY+375),
+			// A rail short cascades: every pullup's drain is now on a
+			// ground-declared net, so rule 4 fires chip-wide too.
+			DICRules:  []string{"NET.PGSHORT", "NET.DEPGND"},
+			FlatRules: nil, // no netlist, no short
+		}
+	default: // ErrContactOnGate
+		// A contact cut on the pulldown channel.
+		top.AddBox(cutL, geom.R(base.X-250, base.Y-250, base.X+250, base.Y+250), "")
+		return Injected{
+			Kind:      ErrContactOnGate,
+			Where:     geom.R(base.X-350, base.Y-350, base.X+350, base.Y+350),
+			DICRules:  []string{"DEV.GATE.CONTACT", "NET.FANOUT"},
+			FlatRules: []string{"FLAT.GATECONTACT"},
+		}
+	}
+}
