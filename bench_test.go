@@ -296,3 +296,68 @@ func BenchmarkExposureClosedForm(b *testing.B) {
 		_ = m.ExposureAt(mask, geom.FPoint{X: 350, Y: 150})
 	}
 }
+
+// ---- Parallel interaction engine benchmarks ---------------------------
+
+// benchShiftRegCheck runs the full DIC pipeline on a shift-register chip
+// with the given interaction-stage worker count, reporting the interaction
+// stage's own wall time as interact-ns/op alongside the whole-pipeline
+// ns/op. Comparing workers=1 against workers=all at the same cell count
+// gives the serial-vs-parallel speedup of the sharded sweep engine.
+func benchShiftRegCheck(b *testing.B, rows, cols, workers int) {
+	b.Helper()
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "shiftreg", rows, cols)
+	b.ResetTimer()
+	var stageNS int64
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Check(chip.Design, tc, core.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+		for _, s := range rep.Stats.Stages {
+			if s.Name == "check interactions" {
+				stageNS += s.Duration.Nanoseconds()
+			}
+		}
+	}
+	b.ReportMetric(float64(stageNS)/float64(b.N), "interact-ns/op")
+}
+
+func BenchmarkInteractionSerialVsParallel(b *testing.B) {
+	for _, size := range []struct{ rows, cols int }{{8, 8}, {16, 16}, {16, 32}} {
+		cells := size.rows * size.cols
+		b.Run(fmt.Sprintf("cells=%d/workers=1", cells), func(b *testing.B) {
+			benchShiftRegCheck(b, size.rows, size.cols, 1)
+		})
+		b.Run(fmt.Sprintf("cells=%d/workers=all", cells), func(b *testing.B) {
+			benchShiftRegCheck(b, size.rows, size.cols, 0)
+		})
+	}
+}
+
+// BenchmarkPairFinderParallel tracks the sharded sweep kernel in isolation
+// (no per-pair checker work), serial versus all cores.
+func BenchmarkPairFinderParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var pf geom.PairFinder
+	for i := 0; i < 20000; i++ {
+		x, y := int64(rng.Intn(800000)), int64(rng.Intn(800000))
+		pf.AddRect(i, geom.R(x, y, x+1000, y+1000), 0)
+	}
+	for _, workers := range []int{1, 0} {
+		name := "workers=all"
+		if workers == 1 {
+			name = "workers=1"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				pf.PairsParallel(750, workers, nil, func(geom.Pair) { n++ })
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@
 //	-flat                run only the traditional baseline
 //	-both                run both checkers
 //	-metric euclid|ortho spacing metric for the DIC (default euclid)
+//	-workers n           interaction-stage goroutines (0 = all cores, 1 = serial)
 //	-v                   print every violation, not just the summary
 //	-netlist             print the extracted hierarchical net list
 //	-stats               print per-stage statistics
@@ -39,6 +40,7 @@ func main() {
 	showNetlist := flag.Bool("netlist", false, "print the extracted net list")
 	showStats := flag.Bool("stats", false, "print per-stage statistics")
 	procModel := flag.Bool("process", false, "give spacing violations a second opinion from the Eq.1 process model")
+	workers := flag.Int("workers", 0, "interaction-stage goroutines (0 = all cores, 1 = serial reference)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -70,7 +72,7 @@ func main() {
 
 	exitCode := 0
 	if !*flatOnly {
-		opts := core.Options{}
+		opts := core.Options{Workers: *workers}
 		if *metric == "ortho" {
 			opts.Metric = core.Orthogonal
 		}

@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	drcbench [-quick] [-run E01,E09]
+//	drcbench [-quick] [-run E01,E09] [-workers n]
 //
-//	-quick  smaller chip sizes (fast smoke run)
-//	-run    comma-separated experiment ids (default: all)
+//	-quick    smaller chip sizes (fast smoke run)
+//	-run      comma-separated experiment ids (default: all)
+//	-workers  DIC interaction-stage goroutines (0 = all cores, 1 = serial);
+//	          E18 reports serial vs parallel regardless of this setting
 package main
 
 import (
@@ -23,7 +25,9 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
+	workers := flag.Int("workers", 0, "DIC interaction-stage goroutines (0 = all cores, 1 = serial)")
 	flag.Parse()
+	eval.Workers = *workers
 
 	type experiment struct {
 		id string
@@ -44,6 +48,7 @@ func main() {
 		{"E15", eval.E15},
 		{"E16", func() (*eval.Table, error) { return eval.E16(q) }},
 		{"E17", func() (*eval.Table, error) { return eval.E17(q) }},
+		{"E18", func() (*eval.Table, error) { return eval.E18(q) }},
 	}
 
 	want := map[string]bool{}

@@ -20,6 +20,10 @@
 //	if err != nil { ... }
 //	report, err := dic.Check(design, tc, dic.Options{})
 //	for _, v := range report.Errors() { fmt.Println(v) }
+//
+// The chip-level interaction stage runs on a sharded parallel plane sweep;
+// Options.Workers selects the goroutine count (0 = all cores, 1 = the
+// serial reference sweep). The report is identical for any worker count.
 package dic
 
 import (

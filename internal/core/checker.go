@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/device"
@@ -59,6 +60,21 @@ type Options struct {
 	// Misalign is the worst-case cross-layer mask misalignment for the
 	// process model (default: half the technology λ when zero).
 	Misalign float64
+
+	// Workers is the number of goroutines for the chip-level interaction
+	// stage: 0 uses runtime.NumCPU(), 1 forces the serial reference sweep
+	// (the oracle path). Any worker count produces an identical Report —
+	// the sharded sweeps merge back in strip order, so violation lists and
+	// Stats counters are byte-for-byte the same as the serial run.
+	Workers int
+}
+
+// workerCount resolves Workers to a concrete goroutine count.
+func (o Options) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // StageStats times one pipeline stage.

@@ -8,6 +8,253 @@ import (
 	"repro/internal/tech"
 )
 
+// interactionChecker is the read-only context shared by every interaction
+// worker: the extraction, the technology, the device-relation indexes, and
+// the options. It is built once per run and never mutated afterwards, so
+// pair() may be called from many goroutines concurrently as long as each
+// call gets its own tally.
+type interactionChecker struct {
+	c  *checker
+	ex *netlist.Extraction
+	tc *tech.Technology
+
+	polyID, diffID, isoID    tech.LayerID
+	hasPoly, hasDiff, hasIso bool
+
+	// Terminal-net sets per device: an element is "related" to a device
+	// when it shares a net with one of the device's terminals (the paper:
+	// "the subcases depend on whether or not the elements are related").
+	devNets []map[netlist.NetID]bool
+	netDevs map[netlist.NetID]map[int]bool
+}
+
+// interactionTally is one worker's private share of the stage-5 results.
+// Tallies merge in strip order, which reproduces the serial sweep's
+// violation order exactly.
+type interactionTally struct {
+	violations []Violation
+	checks     int
+
+	candidates, checked                                        int
+	skippedNoRule, skippedSameNet, skippedRelated, skippedConn int
+	downgrades                                                 int
+}
+
+func newInteractionChecker(c *checker, ex *netlist.Extraction) *interactionChecker {
+	ic := &interactionChecker{c: c, ex: ex, tc: c.tech}
+	ic.polyID, ic.hasPoly = ic.tc.LayerByName(tech.NMOSPoly)
+	ic.diffID, ic.hasDiff = ic.tc.LayerByName(tech.NMOSDiff)
+	ic.isoID, ic.hasIso = ic.tc.LayerByName(tech.BipIso)
+
+	ic.devNets = make([]map[netlist.NetID]bool, len(ex.Netlist.Devices))
+	ic.netDevs = make(map[netlist.NetID]map[int]bool)
+	for di := range ex.Netlist.Devices {
+		set := make(map[netlist.NetID]bool, len(ex.Netlist.Devices[di].TerminalNets))
+		for _, nid := range ex.Netlist.Devices[di].TerminalNets {
+			set[nid] = true
+			if ic.netDevs[nid] == nil {
+				ic.netDevs[nid] = make(map[int]bool)
+			}
+			ic.netDevs[nid][di] = true
+		}
+		ic.devNets[di] = set
+	}
+	return ic
+}
+
+// related reports whether the two items are related through a device.
+func (ic *interactionChecker) related(a, b *netlist.ConnItem) bool {
+	if a.Dev >= 0 && a.Dev == b.Dev {
+		return true
+	}
+	if a.Dev >= 0 && b.Net != netlist.NoNet && ic.devNets[a.Dev][b.Net] {
+		return true
+	}
+	if b.Dev >= 0 && a.Net != netlist.NoNet && ic.devNets[b.Dev][a.Net] {
+		return true
+	}
+	// Two interconnect elements whose nets meet at a common device are
+	// related through it — e.g. the source and drain feed wires of one
+	// transistor, whose separation is the channel, not a spacing rule.
+	if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+		da, db := ic.netDevs[a.Net], ic.netDevs[b.Net]
+		if len(da) > len(db) {
+			da, db = db, da
+		}
+		for di := range da {
+			if db[di] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pair adjudicates one candidate interaction from the sweep, accumulating
+// into the worker-local tally.
+func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
+	c, ex, tc := ic.c, ic.ex, ic.tc
+	t.candidates++
+	a := &ex.Items[p.A.ID]
+	b := &ex.Items[p.B.ID]
+	sameDevice := a.Dev >= 0 && a.Dev == b.Dev
+
+	// Accidental transistor (Figure 8): poly over diffusion outside a
+	// single declared device. Implicit devices are not allowed.
+	if ic.hasPoly && ic.hasDiff && !sameDevice &&
+		((a.Layer == ic.polyID && b.Layer == ic.diffID) || (a.Layer == ic.diffID && b.Layer == ic.polyID)) {
+		if a.Bounds.Overlaps(b.Bounds) {
+			t.checks++
+			if ov := a.Reg.Intersect(b.Reg); !ov.Empty() {
+				t.violations = append(t.violations, Violation{
+					Rule:     "DEV.ACCIDENTAL",
+					Severity: Error,
+					Detail:   "poly crosses diffusion outside a transistor symbol (implicit devices are not allowed)",
+					Where:    ov.Bounds(),
+					Path:     a.Path,
+					Nets:     c.netNames(ex, a.Net, b.Net),
+				})
+				return // the spacing cell would double-report this overlap
+			}
+		}
+	}
+
+	rule := tc.Spacing(a.Layer, b.Layer)
+	if rule.DiffNet == 0 && rule.SameNet == 0 {
+		t.skippedNoRule++
+		return
+	}
+	// Figure 5b: a resistor keeps its spacing checks even against
+	// related or same-net elements — a short across the body changes
+	// the circuit. Its own internal geometry (same device) is stage
+	// 2's business, not an interaction.
+	resException := !sameDevice &&
+		(c.devKeepsSameNetSpacing(ex, a.Dev) || c.devKeepsSameNetSpacing(ex, b.Dev))
+	isRelated := ic.related(a, b)
+	if !c.opts.NoExemptions {
+		if rule.ExemptRelated && isRelated && !resException {
+			t.skippedRelated++
+			return
+		}
+	}
+	if sameDevice {
+		// Device-internal geometry is stage 2's business even under
+		// the ablation; measuring a device against itself is
+		// meaningless in any model.
+		t.skippedRelated++
+		return
+	}
+
+	sameNet := a.Net != netlist.NoNet && a.Net == b.Net
+	need := rule.DiffNet
+	if sameNet && !c.opts.NoExemptions {
+		need = rule.SameNet
+		if need == 0 && resException {
+			need = rule.DiffNet
+		}
+		if need == 0 {
+			t.skippedSameNet++
+			return
+		}
+	}
+	if need == 0 {
+		t.skippedNoRule++
+		return
+	}
+
+	// Figure 6b: devices that may legally touch isolation are exempt
+	// from the base-isolation spacing cell.
+	if ic.hasIso && (a.Layer == ic.isoID || b.Layer == ic.isoID) {
+		other := a
+		if a.Layer == ic.isoID {
+			other = b
+		}
+		if c.devMayTouchIsolation(ex, other.Dev) {
+			t.skippedRelated++
+			return
+		}
+	}
+
+	// Same-layer touching pairs were adjudicated by the connection
+	// stage (legal skeletal connection or CONN.ILLEGAL); measuring
+	// them again would double-report.
+	if a.Layer == b.Layer && a.Reg.Overlaps(b.Reg) {
+		t.skippedConn++
+		return
+	}
+
+	t.checked++
+	t.checks++
+	var dist float64
+	if c.opts.Metric == Orthogonal {
+		dist = float64(geom.RegionOrthoDist(a.Reg, b.Reg))
+	} else {
+		d, _, _ := geom.RegionDist(a.Reg, b.Reg)
+		dist = d
+	}
+	// A touching, related element under the resistor exception is the
+	// legitimate connection into the resistor terminal, not a short.
+	if resException && isRelated && dist == 0 {
+		t.skippedRelated++
+		return
+	}
+	if dist < float64(need) {
+		severity := Error
+		extra := ""
+		if m := c.opts.ProcessSpacing; m != nil && dist > 0 {
+			// Second opinion from the Eq. 1 process model: translate
+			// by worst-case misalignment when the layers differ, then
+			// require the printed images to keep the margin.
+			mis := 0.0
+			if a.Layer != b.Layer {
+				mis = c.opts.Misalign
+				if mis == 0 && tc.Lambda > 0 {
+					mis = float64(tc.Lambda) / 2
+				}
+			}
+			if m.SpacingOK(a.Reg, b.Reg, mis, c.opts.ProcessMargin) {
+				severity = Warning
+				extra = " (process model predicts a safe printed gap; downgraded)"
+				t.downgrades++
+			}
+		}
+		sub := "diff"
+		if sameNet {
+			sub = "same"
+		}
+		la, lb := tc.Layer(a.Layer).CIF, tc.Layer(b.Layer).CIF
+		if la > lb {
+			la, lb = lb, la
+		}
+		t.violations = append(t.violations, Violation{
+			Rule:     fmt.Sprintf("S.%s.%s.%s", la, lb, sub),
+			Severity: severity,
+			Detail: fmt.Sprintf("spacing %.0f < %d between %s and %s (%s net)%s",
+				dist, need, tc.Layer(a.Layer).Name, tc.Layer(b.Layer).Name, sub, extra),
+			Where: a.Bounds.Union(b.Bounds).Intersect(a.Bounds.Expand(need).Union(b.Bounds.Expand(need))),
+			Path:  a.Path,
+			Layer: a.Layer,
+			Nets:  c.netNames(ex, a.Net, b.Net),
+		})
+	}
+}
+
+// absorb folds one tally into the report, in merge order.
+func (c *checker) absorb(t *interactionTally) {
+	st := &c.rep.Stats
+	st.InteractionCandidates += t.candidates
+	st.InteractionChecked += t.checked
+	st.SkippedNoRule += t.skippedNoRule
+	st.SkippedSameNetExempt += t.skippedSameNet
+	st.SkippedRelated += t.skippedRelated
+	st.SkippedConnectionPairs += t.skippedConn
+	st.ProcessDowngrades += t.downgrades
+	if c.curStage != nil {
+		c.curStage.Checks += t.checks
+	}
+	c.rep.Violations = append(c.rep.Violations, t.violations...)
+}
+
 // checkInteractions is pipeline stage 5: everything that remains after
 // element, symbol, and connection checking is spacing between elements
 // and/or primitive symbols, enumerated by the upper-triangular interaction
@@ -15,208 +262,35 @@ import (
 // subcases — plus the device-dependent cross-symbol rules: accidental
 // transistors (Figure 8), contacts over gates (Figure 7), and bipolar base
 // versus isolation (Figure 6).
+//
+// With Options.Workers != 1 the item set is sharded into overlapping
+// x-strips (strip width at least tech.MaxSpacing, so no cross-strip pair
+// is missed) and the plane sweep runs per strip on a worker pool; each
+// worker accumulates into its own tally and the tallies merge in strip
+// order, making the parallel report identical to the serial one.
 func (c *checker) checkInteractions(ex *netlist.Extraction) {
-	tc := c.tech
-	maxGap := tc.MaxSpacing()
+	maxGap := c.tech.MaxSpacing()
 
 	var pf geom.PairFinder
 	for i := range ex.Items {
 		pf.AddRect(i, ex.Items[i].Bounds, int(ex.Items[i].Layer))
 	}
 
-	polyID, hasPoly := tc.LayerByName(tech.NMOSPoly)
-	diffID, hasDiff := tc.LayerByName(tech.NMOSDiff)
-	isoID, hasIso := tc.LayerByName(tech.BipIso)
-
-	// Terminal-net sets per device: an element is "related" to a device
-	// when it shares a net with one of the device's terminals (the paper:
-	// "the subcases depend on whether or not the elements are related").
-	devNets := make([]map[netlist.NetID]bool, len(ex.Netlist.Devices))
-	netDevs := make(map[netlist.NetID]map[int]bool)
-	for di := range ex.Netlist.Devices {
-		set := make(map[netlist.NetID]bool, len(ex.Netlist.Devices[di].TerminalNets))
-		for _, nid := range ex.Netlist.Devices[di].TerminalNets {
-			set[nid] = true
-			if netDevs[nid] == nil {
-				netDevs[nid] = make(map[int]bool)
-			}
-			netDevs[nid][di] = true
+	ic := newInteractionChecker(c, ex)
+	if workers := c.opts.workerCount(); workers == 1 || pf.Len() < 2 {
+		var t interactionTally
+		pf.Pairs(maxGap, nil, func(p geom.Pair) { ic.pair(p, &t) })
+		c.absorb(&t)
+	} else {
+		shards := pf.Shards(maxGap, workers*geom.StripsPerWorker)
+		tallies := make([]interactionTally, len(shards))
+		geom.RunShards(len(shards), workers, func(k int) {
+			shards[k].Pairs(nil, func(p geom.Pair) { ic.pair(p, &tallies[k]) })
+		})
+		for k := range tallies {
+			c.absorb(&tallies[k])
 		}
-		devNets[di] = set
 	}
-	related := func(a, b *netlist.ConnItem) bool {
-		if a.Dev >= 0 && a.Dev == b.Dev {
-			return true
-		}
-		if a.Dev >= 0 && b.Net != netlist.NoNet && devNets[a.Dev][b.Net] {
-			return true
-		}
-		if b.Dev >= 0 && a.Net != netlist.NoNet && devNets[b.Dev][a.Net] {
-			return true
-		}
-		// Two interconnect elements whose nets meet at a common device are
-		// related through it — e.g. the source and drain feed wires of one
-		// transistor, whose separation is the channel, not a spacing rule.
-		if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
-			da, db := netDevs[a.Net], netDevs[b.Net]
-			if len(da) > len(db) {
-				da, db = db, da
-			}
-			for di := range da {
-				if db[di] {
-					return true
-				}
-			}
-		}
-		return false
-	}
-
-	st := &c.rep.Stats
-	pf.Pairs(maxGap, nil, func(p geom.Pair) {
-		st.InteractionCandidates++
-		a := &ex.Items[p.A.ID]
-		b := &ex.Items[p.B.ID]
-		sameDevice := a.Dev >= 0 && a.Dev == b.Dev
-
-		// Accidental transistor (Figure 8): poly over diffusion outside a
-		// single declared device. Implicit devices are not allowed.
-		if hasPoly && hasDiff && !sameDevice &&
-			((a.Layer == polyID && b.Layer == diffID) || (a.Layer == diffID && b.Layer == polyID)) {
-			if a.Bounds.Overlaps(b.Bounds) {
-				c.countCheck()
-				if ov := a.Reg.Intersect(b.Reg); !ov.Empty() {
-					c.add(Violation{
-						Rule:     "DEV.ACCIDENTAL",
-						Severity: Error,
-						Detail:   "poly crosses diffusion outside a transistor symbol (implicit devices are not allowed)",
-						Where:    ov.Bounds(),
-						Path:     a.Path,
-						Nets:     c.netNames(ex, a.Net, b.Net),
-					})
-					return // the spacing cell would double-report this overlap
-				}
-			}
-		}
-
-		rule := tc.Spacing(a.Layer, b.Layer)
-		if rule.DiffNet == 0 && rule.SameNet == 0 {
-			st.SkippedNoRule++
-			return
-		}
-		// Figure 5b: a resistor keeps its spacing checks even against
-		// related or same-net elements — a short across the body changes
-		// the circuit. Its own internal geometry (same device) is stage
-		// 2's business, not an interaction.
-		resException := !sameDevice &&
-			(c.devKeepsSameNetSpacing(ex, a.Dev) || c.devKeepsSameNetSpacing(ex, b.Dev))
-		isRelated := related(a, b)
-		if !c.opts.NoExemptions {
-			if rule.ExemptRelated && isRelated && !resException {
-				st.SkippedRelated++
-				return
-			}
-		}
-		if sameDevice {
-			// Device-internal geometry is stage 2's business even under
-			// the ablation; measuring a device against itself is
-			// meaningless in any model.
-			st.SkippedRelated++
-			return
-		}
-
-		sameNet := a.Net != netlist.NoNet && a.Net == b.Net
-		need := rule.DiffNet
-		if sameNet && !c.opts.NoExemptions {
-			need = rule.SameNet
-			if need == 0 && resException {
-				need = rule.DiffNet
-			}
-			if need == 0 {
-				st.SkippedSameNetExempt++
-				return
-			}
-		}
-		if need == 0 {
-			st.SkippedNoRule++
-			return
-		}
-
-		// Figure 6b: devices that may legally touch isolation are exempt
-		// from the base-isolation spacing cell.
-		if hasIso && (a.Layer == isoID || b.Layer == isoID) {
-			other := a
-			if a.Layer == isoID {
-				other = b
-			}
-			if c.devMayTouchIsolation(ex, other.Dev) {
-				st.SkippedRelated++
-				return
-			}
-		}
-
-		// Same-layer touching pairs were adjudicated by the connection
-		// stage (legal skeletal connection or CONN.ILLEGAL); measuring
-		// them again would double-report.
-		if a.Layer == b.Layer && a.Reg.Overlaps(b.Reg) {
-			st.SkippedConnectionPairs++
-			return
-		}
-
-		st.InteractionChecked++
-		c.countCheck()
-		var dist float64
-		if c.opts.Metric == Orthogonal {
-			dist = float64(geom.RegionOrthoDist(a.Reg, b.Reg))
-		} else {
-			d, _, _ := geom.RegionDist(a.Reg, b.Reg)
-			dist = d
-		}
-		// A touching, related element under the resistor exception is the
-		// legitimate connection into the resistor terminal, not a short.
-		if resException && isRelated && dist == 0 {
-			st.SkippedRelated++
-			return
-		}
-		if dist < float64(need) {
-			severity := Error
-			extra := ""
-			if m := c.opts.ProcessSpacing; m != nil && dist > 0 {
-				// Second opinion from the Eq. 1 process model: translate
-				// by worst-case misalignment when the layers differ, then
-				// require the printed images to keep the margin.
-				mis := 0.0
-				if a.Layer != b.Layer {
-					mis = c.opts.Misalign
-					if mis == 0 && tc.Lambda > 0 {
-						mis = float64(tc.Lambda) / 2
-					}
-				}
-				if m.SpacingOK(a.Reg, b.Reg, mis, c.opts.ProcessMargin) {
-					severity = Warning
-					extra = " (process model predicts a safe printed gap; downgraded)"
-					st.ProcessDowngrades++
-				}
-			}
-			sub := "diff"
-			if sameNet {
-				sub = "same"
-			}
-			la, lb := tc.Layer(a.Layer).CIF, tc.Layer(b.Layer).CIF
-			if la > lb {
-				la, lb = lb, la
-			}
-			c.add(Violation{
-				Rule:     fmt.Sprintf("S.%s.%s.%s", la, lb, sub),
-				Severity: severity,
-				Detail: fmt.Sprintf("spacing %.0f < %d between %s and %s (%s net)%s",
-					dist, need, tc.Layer(a.Layer).Name, tc.Layer(b.Layer).Name, sub, extra),
-				Where: a.Bounds.Union(b.Bounds).Intersect(a.Bounds.Expand(need).Union(b.Bounds.Expand(need))),
-				Path:  a.Path,
-				Layer: a.Layer,
-				Nets:  c.netNames(ex, a.Net, b.Net),
-			})
-		}
-	})
 
 	// Contact cuts over gates, cross-symbol (Figure 7): a cut from any
 	// OTHER device or interconnect must not land on a transistor channel.
@@ -292,7 +366,9 @@ func (c *checker) checkGateKeepouts(ex *netlist.Extraction) {
 }
 
 // checkBaseKeepouts flags isolation geometry approaching a bipolar
-// transistor base (Figure 6a), from any other symbol or interconnect.
+// transistor base (Figure 6a), from any other symbol or interconnect. The
+// candidates come from the plane sweep with the largest keepout clearance
+// as the gap, not an O(keepouts × items) scan.
 func (c *checker) checkBaseKeepouts(ex *netlist.Extraction) {
 	if len(ex.BaseKeepouts) == 0 {
 		return
@@ -301,28 +377,46 @@ func (c *checker) checkBaseKeepouts(ex *netlist.Extraction) {
 	if !ok {
 		return
 	}
-	for ki := range ex.BaseKeepouts {
-		ko := &ex.BaseKeepouts[ki]
-		search := ko.Bounds.Expand(ko.Clearance)
-		for i := range ex.Items {
-			item := &ex.Items[i]
-			if item.Layer != isoID || item.Dev == ko.Dev {
-				continue
-			}
-			if !item.Bounds.Touches(search) {
-				continue
-			}
-			c.countCheck()
-			d, _, _ := geom.RegionDist(item.Reg, ko.Reg)
-			if d < float64(ko.Clearance) || (ko.Clearance == 0 && item.Reg.Overlaps(ko.Reg)) {
-				c.add(Violation{
-					Rule:     "DEV.NPN.ISO",
-					Severity: Error,
-					Detail:   "isolation touches or approaches a transistor base (Figure 6a)",
-					Where:    item.Bounds.Intersect(search),
-					Path:     ex.Netlist.Devices[ko.Dev].Path,
-				})
-			}
+	var pf geom.PairFinder
+	for i := range ex.Items {
+		if ex.Items[i].Layer == isoID {
+			pf.AddRect(i, ex.Items[i].Bounds, 0)
 		}
 	}
+	if pf.Len() == 0 {
+		return
+	}
+	var maxClear int64
+	for ki := range ex.BaseKeepouts {
+		if cl := ex.BaseKeepouts[ki].Clearance; cl > maxClear {
+			maxClear = cl
+		}
+		pf.AddRect(len(ex.Items)+ki, ex.BaseKeepouts[ki].Bounds, 1)
+	}
+	pf.Pairs(maxClear, func(a, b geom.Item) bool { return a.Tag != b.Tag }, func(p geom.Pair) {
+		isoItem, koItem := p.A, p.B
+		if isoItem.Tag == 1 {
+			isoItem, koItem = koItem, isoItem
+		}
+		item := &ex.Items[isoItem.ID]
+		ko := &ex.BaseKeepouts[koItem.ID-len(ex.Items)]
+		if item.Dev == ko.Dev {
+			return
+		}
+		search := ko.Bounds.Expand(ko.Clearance)
+		if !item.Bounds.Touches(search) {
+			return // the sweep gap is the max clearance; this keepout's is smaller
+		}
+		c.countCheck()
+		d, _, _ := geom.RegionDist(item.Reg, ko.Reg)
+		if d < float64(ko.Clearance) || (ko.Clearance == 0 && item.Reg.Overlaps(ko.Reg)) {
+			c.add(Violation{
+				Rule:     "DEV.NPN.ISO",
+				Severity: Error,
+				Detail:   "isolation touches or approaches a transistor base (Figure 6a)",
+				Where:    item.Bounds.Intersect(search),
+				Path:     ex.Netlist.Devices[ko.Dev].Path,
+			})
+		}
+	})
 }

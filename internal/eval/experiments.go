@@ -192,7 +192,7 @@ func E09(quick bool) (*Table, error) {
 		st := chip.Design.Stats()
 
 		start := time.Now()
-		rep, err := core.Check(chip.Design, tc, core.Options{})
+		rep, err := core.Check(chip.Design, tc, core.Options{Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -280,7 +280,7 @@ func E11() (*Table, error) {
 	t.Note("%d of %d upper-triangular cells carry any rule; the rest are skipped outright", checked, checked+skipped)
 
 	chip := workload.NewChip(tc, "e11", 8, 12)
-	rep, err := core.Check(chip.Design, tc, core.Options{})
+	rep, err := core.Check(chip.Design, tc, core.Options{Workers: Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -363,7 +363,7 @@ func E15() (*Table, error) {
 	tc := tech.NMOS()
 
 	chip := workload.NewChip(tc, "e15clean", 4, 4)
-	cleanRep, err := core.Check(chip.Design, tc, core.Options{})
+	cleanRep, err := core.Check(chip.Design, tc, core.Options{Workers: Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -403,7 +403,7 @@ func E15() (*Table, error) {
 	}
 	for _, cse := range cases {
 		c := cse.mk()
-		rep, err := core.Check(c.Design, tc, core.Options{})
+		rep, err := core.Check(c.Design, tc, core.Options{Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -463,13 +463,13 @@ func E06(quick bool) (*Table, error) {
 	}
 	for _, n := range sizes {
 		clean := workload.NewBipolarChip("e06clean", n)
-		cleanRep, err := core.Check(clean.Design, clean.Tech, core.Options{SkipConstruction: true})
+		cleanRep, err := core.Check(clean.Design, clean.Tech, core.Options{SkipConstruction: true, Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
 		broken := workload.NewBipolarChip("e06broken", n)
 		where := broken.BreakIsolation(n / 2)
-		brokenRep, err := core.Check(broken.Design, broken.Tech, core.Options{SkipConstruction: true})
+		brokenRep, err := core.Check(broken.Design, broken.Tech, core.Options{SkipConstruction: true, Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -513,11 +513,11 @@ func E17(quick bool) (*Table, error) {
 		note string
 	}
 	cfgs := []cfg{
-		{"full DIC (nets + devices + Euclidean)", core.Options{},
+		{"full DIC (nets + devices + Euclidean)", core.Options{Workers: Workers},
 			"the paper's checker"},
-		{"orthogonal metric", core.Options{Metric: core.Orthogonal},
+		{"orthogonal metric", core.Options{Metric: core.Orthogonal, Workers: Workers},
 			"Figure 4 corner metric inside the DIC"},
-		{"no net/device exemptions", core.Options{NoExemptions: true},
+		{"no net/device exemptions", core.Options{NoExemptions: true, Workers: Workers},
 			"every pair checked as unrelated (Figures 5/12 discarded)"},
 	}
 	for _, c := range cfgs {
@@ -560,4 +560,60 @@ func keys(m map[string]int) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// interactionStage returns the wall time of the "check interactions"
+// pipeline stage from a report.
+func interactionStage(rep *core.Report) time.Duration {
+	for _, s := range rep.Stats.Stages {
+		if s.Name == "check interactions" {
+			return s.Duration
+		}
+	}
+	return 0
+}
+
+// E18 measures the parallel sharded interaction engine: interaction-stage
+// wall time with the serial reference sweep (Workers:1) versus the
+// x-strip-sharded worker pool (Workers:0 = all cores) on shift-register
+// chips of growing size, verifying along the way that both runs report
+// identically. On a single-core host the two columns coincide; the
+// speedup column is the point of the experiment on real hardware.
+func E18(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "parallel sharded interaction engine (serial vs all-cores)",
+		Figure:  "the ROADMAP 'as fast as the hardware allows' axis",
+		Columns: []string{"cells", "candidates", "serial stage", "parallel stage", "speedup", "errors"},
+	}
+	sizes := []struct{ rows, cols int }{{8, 8}, {8, 16}, {16, 16}, {16, 32}}
+	if quick {
+		sizes = sizes[:2]
+	}
+	for _, size := range sizes {
+		tc := tech.NMOS()
+		chip := workload.NewChip(tc, "e18", size.rows, size.cols)
+		serial, err := core.Check(chip.Design, tc, core.Options{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
+		par, err := core.Check(chip.Design, tc, core.Options{Workers: 0})
+		if err != nil {
+			return nil, err
+		}
+		if len(serial.Violations) != len(par.Violations) ||
+			serial.Stats.InteractionChecked != par.Stats.InteractionChecked {
+			return nil, fmt.Errorf("E18: parallel run diverged from serial on %dx%d", size.rows, size.cols)
+		}
+		ss, ps := interactionStage(serial), interactionStage(par)
+		speedup := 0.0
+		if ps > 0 {
+			speedup = float64(ss) / float64(ps)
+		}
+		t.AddRow(size.rows*size.cols, serial.Stats.InteractionCandidates,
+			ss.Round(time.Microsecond).String(), ps.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", speedup), len(serial.Errors()))
+	}
+	t.Note("Workers:1 is the serial oracle; Workers:0 shards the sweep into x-strips over runtime.NumCPU() goroutines and merges in strip order — reports are byte-identical")
+	return t, nil
 }

@@ -212,3 +212,20 @@ func TestE17Ablation(t *testing.T) {
 		t.Errorf("exemption ablation produced no false errors: %v", tab.Rows[2])
 	}
 }
+
+func TestE18ParallelEngine(t *testing.T) {
+	tab, err := E18(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The workload chips are clean; E18 itself fails when the parallel
+	// report diverges from the serial oracle.
+	for _, row := range tab.Rows {
+		if row[5] != "0" {
+			t.Errorf("clean chip reported errors: %v", row)
+		}
+	}
+}
