@@ -19,6 +19,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/flat"
 	"repro/internal/geom"
+	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/process"
 	"repro/internal/tech"
@@ -336,6 +337,100 @@ func BenchmarkInteractionSerialVsParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("cells=%d/workers=all", cells), func(b *testing.B) {
 			benchShiftRegCheck(b, size.rows, size.cols, 0)
 		})
+	}
+}
+
+// ---- Incremental engine benchmarks ------------------------------------
+
+// recheckWorkload builds the unique-rows inverter-array chip used by the
+// cold-vs-warm experiments, with one out-of-the-way metal probe box per
+// row definition that the edit loop nudges (a single-symbol edit that
+// keeps the chip clean and the design size constant).
+func recheckWorkload(rows, cols int) (*tech.Technology, *workload.Chip, []*layout.Symbol) {
+	tc := tech.NMOS()
+	chip := workload.NewChipUnique(tc, "incr", rows, cols)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	var rowSyms []*layout.Symbol
+	for r := 0; ; r++ {
+		s, ok := chip.Design.Symbol(fmt.Sprintf("row%d", r))
+		if !ok {
+			break
+		}
+		// Declared GND so the floating probe trips neither NET.FANOUT
+		// (rails are exempt) nor any spacing cell; the resulting NET.OPEN
+		// warning does not affect Clean().
+		s.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+		rowSyms = append(rowSyms, s)
+	}
+	return tc, chip, rowSyms
+}
+
+// nudgeRow is the single-symbol edit: shift the row's probe box.
+func nudgeRow(s *layout.Symbol, step int64) {
+	e := s.Elements[len(s.Elements)-1]
+	e.Box.Y1 += step
+	e.Box.Y2 += step
+	s.Touch()
+}
+
+// BenchmarkCheckCold measures a from-scratch engine run on the 32×32
+// unique-rows chip: every definition artifact and interaction cache is
+// rebuilt. Compare with BenchmarkRecheckOneSymbol.
+func BenchmarkCheckCold(b *testing.B) {
+	tc, chip, _ := recheckWorkload(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.NewEngine(tc, core.Options{}).Check(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+// BenchmarkRecheckOneSymbol measures the warm edit loop on the same chip:
+// one row definition is edited per iteration, then rechecked. Only the
+// dirty row and the chip root re-derive; every other definition replays
+// from the content-addressed caches. The report is byte-identical to the
+// cold run's (enforced by TestEngineRecheckByteIdentical).
+func BenchmarkRecheckOneSymbol(b *testing.B) {
+	tc, chip, rows := recheckWorkload(32, 32)
+	eng := core.NewEngine(tc, core.Options{})
+	if _, err := eng.Check(chip.Design); err != nil {
+		b.Fatal(err)
+	}
+	step := int64(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 1 {
+			step = -step
+		}
+		nudgeRow(rows[i%len(rows)], step)
+		rep, err := eng.Recheck(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+// BenchmarkRecheckNoEdit measures the pure replay floor: rechecking an
+// unchanged design (hashing + cache lookups + report assembly).
+func BenchmarkRecheckNoEdit(b *testing.B) {
+	tc, chip, _ := recheckWorkload(32, 32)
+	eng := core.NewEngine(tc, core.Options{})
+	if _, err := eng.Check(chip.Design); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Recheck(chip.Design); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -16,6 +16,9 @@
 //	-v                   print every violation, not just the summary
 //	-netlist             print the extracted hierarchical net list
 //	-stats               print per-stage statistics
+//	-json                emit the report as machine-readable JSON
+//	-repeat n            run the incremental engine n times (cold + warm
+//	                     replays), printing per-run timings and cache stats
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/cif"
 	"repro/internal/core"
@@ -41,6 +45,8 @@ func main() {
 	showStats := flag.Bool("stats", false, "print per-stage statistics")
 	procModel := flag.Bool("process", false, "give spacing violations a second opinion from the Eq.1 process model")
 	workers := flag.Int("workers", 0, "interaction-stage goroutines (0 = all cores, 1 = serial reference)")
+	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
+	repeat := flag.Int("repeat", 0, "run the incremental engine this many times (0 = one-shot pipeline)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -67,8 +73,10 @@ func main() {
 		fatalf("parse: %v", err)
 	}
 	st := design.Stats()
-	fmt.Printf("design %q: %d symbols, %d elements, %d flat elements, %d devices\n",
-		design.Name, st.Symbols, st.Elements, st.FlatElements, st.FlatDevices)
+	if !*jsonOut {
+		fmt.Printf("design %q: %d symbols, %d elements, %d flat elements, %d devices\n",
+			design.Name, st.Symbols, st.Elements, st.FlatElements, st.FlatDevices)
+	}
 
 	exitCode := 0
 	if !*flatOnly {
@@ -81,11 +89,37 @@ func main() {
 			opts.ProcessSpacing = &m
 			opts.ProcessMargin = 100
 		}
-		rep, err := core.Check(design, tc, opts)
-		if err != nil {
-			fatalf("check: %v", err)
+		var rep *core.Report
+		var eng *core.Engine
+		var err error
+		if *repeat > 0 {
+			// Incremental session: the first run is cold and fills the
+			// definition caches; the following runs replay them — the
+			// shape of a long-lived checking service between edits.
+			eng = core.NewEngine(tc, opts)
+			for i := 0; i < *repeat; i++ {
+				start := time.Now()
+				rep, err = eng.Recheck(design)
+				if err != nil {
+					fatalf("check: %v", err)
+				}
+				if !*jsonOut {
+					fmt.Printf("engine run %d: %v (%s)\n", i+1, time.Since(start).Round(time.Microsecond), eng.Stats())
+				}
+			}
+		} else {
+			rep, err = core.Check(design, tc, opts)
+			if err != nil {
+				fatalf("check: %v", err)
+			}
 		}
-		printDICReport(rep, *verbose, *showStats, *showNetlist)
+		if *jsonOut {
+			if err := printJSON(rep, eng); err != nil {
+				fatalf("json: %v", err)
+			}
+		} else {
+			printDICReport(rep, *verbose, *showStats, *showNetlist)
+		}
 		if !rep.Clean() {
 			exitCode = 1
 		}

@@ -49,6 +49,7 @@ func main() {
 		{"E16", func() (*eval.Table, error) { return eval.E16(q) }},
 		{"E17", func() (*eval.Table, error) { return eval.E17(q) }},
 		{"E18", func() (*eval.Table, error) { return eval.E18(q) }},
+		{"E19", func() (*eval.Table, error) { return eval.E19(q) }},
 	}
 
 	want := map[string]bool{}

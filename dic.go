@@ -24,6 +24,13 @@
 // The chip-level interaction stage runs on a sharded parallel plane sweep;
 // Options.Workers selects the goroutine count (0 = all cores, 1 = the
 // serial reference sweep). The report is identical for any worker count.
+//
+// For the iterate-edit-recheck loop, NewEngine opens an incremental
+// session: every stage's results are cached per symbol definition under
+// content hashes, so a Recheck after an edit re-derives only the dirty
+// subtrees and still returns a Report byte-identical (modulo stage
+// durations) to a cold Check. See the "Incremental checking" section of
+// the README.
 package dic
 
 import (
@@ -31,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/flat"
+	"repro/internal/geom"
 	"repro/internal/layout"
 	"repro/internal/netlist"
 	"repro/internal/process"
@@ -76,7 +84,22 @@ type (
 	Pathology = workload.Pathology
 	// Outcome classifies checker output against ground truth.
 	Outcome = eval.Outcome
+	// Engine is an incremental check session with content-addressed
+	// symbol-definition caches (see NewEngine).
+	Engine = core.Engine
+	// EngineStats reports cache effectiveness for an Engine's last run.
+	EngineStats = core.EngineStats
+	// Rect is an axis-aligned rectangle in centimicrons.
+	Rect = geom.Rect
+	// Point is a lattice point in centimicrons.
+	Point = geom.Point
 )
+
+// R constructs a rect from two corners (any order).
+func R(x1, y1, x2, y2 int64) Rect { return geom.R(x1, y1, x2, y2) }
+
+// Pt constructs a point.
+func Pt(x, y int64) Point { return geom.Pt(x, y) }
 
 // Severity levels for violations.
 const (
@@ -114,6 +137,26 @@ func Check(d *Design, tc *Technology, opts Options) (*Report, error) {
 	return core.Check(d, tc, opts)
 }
 
+// NewEngine creates an incremental check session: content-addressed caches
+// at the symbol-definition level make Recheck after an edit cost only what
+// actually changed, while producing a Report byte-identical (modulo stage
+// durations) to a cold Check of the same design state.
+//
+//	eng := dic.NewEngine(tc, dic.Options{})
+//	rep, _ := eng.Check(design)     // cold: populates the caches
+//	...edit some symbols...
+//	rep, _ = eng.Recheck(design)    // warm: re-derives only dirty subtrees
+//
+// Options are fixed at construction. An Engine is not safe for concurrent
+// use; treat returned Reports as immutable.
+func NewEngine(tc *Technology, opts Options) *Engine {
+	return core.NewEngine(tc, opts)
+}
+
+// Fingerprint serializes the duration-free content of a report — the part
+// guaranteed identical between warm and cold runs of the same design.
+func Fingerprint(rep *Report) string { return core.Fingerprint(rep) }
+
 // CheckFlat runs the traditional mask-level baseline checker.
 func CheckFlat(d *Design, tc *Technology, opts FlatOptions) (*FlatReport, error) {
 	return flat.Check(d, tc, opts)
@@ -132,6 +175,13 @@ func ProcessModel() Model { return process.DefaultModel() }
 // NewChip generates a rows×cols inverter-array workload chip.
 func NewChip(tc *Technology, name string, rows, cols int) *Chip {
 	return workload.NewChip(tc, name, rows, cols)
+}
+
+// NewChipUnique generates the inverter-array chip with one distinct row
+// definition per row — the many-definitions workload the incremental
+// engine's single-symbol-edit experiments measure.
+func NewChipUnique(tc *Technology, name string, rows, cols int) *Chip {
+	return workload.NewChipUnique(tc, name, rows, cols)
 }
 
 // InjectErrors plants n seeded ground-truth errors into a chip.

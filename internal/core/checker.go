@@ -207,6 +207,54 @@ func (c *checker) countCheck() {
 	}
 }
 
+// elementChecks runs stage-1 width checking for one composite symbol
+// definition, returning the violations (in symbol coordinates), the number
+// of geometric predicates evaluated, and the number of elements examined.
+// Factored out of the pipeline loop so the incremental engine can cache
+// the result per definition content hash.
+func elementChecks(s *layout.Symbol, tc *tech.Technology) (vs []Violation, checks, elements int) {
+	for _, e := range s.Elements {
+		elements++
+		reg, err := e.Region()
+		if err != nil {
+			vs = append(vs, Violation{
+				Rule: "STRUCT.ELEM", Severity: Error,
+				Detail: err.Error(), Where: e.Bounds(),
+				Symbol: s.Name, Layer: e.Layer,
+			})
+			continue
+		}
+		layer := tc.Layer(e.Layer)
+		if layer.MinWidth <= 0 {
+			continue
+		}
+		checks++
+		for _, w := range geom.WidthViolations(reg, layer.MinWidth) {
+			vs = append(vs, Violation{
+				Rule:     "W." + layer.CIF,
+				Severity: Error,
+				Detail: fmt.Sprintf("%s %s narrower than %d (self-sufficiency: every element must be legal alone)",
+					layer.Name, e.Kind, layer.MinWidth),
+				Where: w, Symbol: s.Name, Layer: e.Layer,
+			})
+		}
+	}
+	return vs, checks, elements
+}
+
+// deviceProblemViolations converts stage-2 device analysis problems into
+// violations attributed to the defining symbol.
+func deviceProblemViolations(s *layout.Symbol, probs []device.Problem) []Violation {
+	var vs []Violation
+	for _, p := range probs {
+		vs = append(vs, Violation{
+			Rule: p.Rule, Severity: Error, Detail: p.Detail,
+			Where: p.Where, Symbol: s.Name,
+		})
+	}
+	return vs
+}
+
 // checkElements is pipeline stage 1: interconnect width, checked in the
 // symbol definition, not in each instance — "this is done in the symbol
 // definition, not in each instance of a symbol".
@@ -215,31 +263,13 @@ func (c *checker) checkElements() {
 		if s.IsPrimitive() {
 			continue // device geometry is stage 2's business
 		}
-		for _, e := range s.Elements {
-			c.rep.Stats.ElementsChecked++
-			reg, err := e.Region()
-			if err != nil {
-				c.add(Violation{
-					Rule: "STRUCT.ELEM", Severity: Error,
-					Detail: err.Error(), Where: e.Bounds(),
-					Symbol: s.Name, Layer: e.Layer,
-				})
-				continue
-			}
-			layer := c.tech.Layer(e.Layer)
-			if layer.MinWidth <= 0 {
-				continue
-			}
-			c.countCheck()
-			for _, w := range geom.WidthViolations(reg, layer.MinWidth) {
-				c.add(Violation{
-					Rule:     "W." + layer.CIF,
-					Severity: Error,
-					Detail: fmt.Sprintf("%s %s narrower than %d (self-sufficiency: every element must be legal alone)",
-						layer.Name, e.Kind, layer.MinWidth),
-					Where: w, Symbol: s.Name, Layer: e.Layer,
-				})
-			}
+		vs, checks, elements := elementChecks(s, c.tech)
+		c.rep.Stats.ElementsChecked += elements
+		if c.curStage != nil {
+			c.curStage.Checks += checks
+		}
+		for _, v := range vs {
+			c.add(v)
 		}
 	}
 }
@@ -255,11 +285,8 @@ func (c *checker) checkPrimitiveSymbols() {
 		c.rep.Stats.SymbolDefsChecked++
 		c.countCheck()
 		_, probs := device.Analyze(s, c.tech)
-		for _, p := range probs {
-			c.add(Violation{
-				Rule: p.Rule, Severity: Error, Detail: p.Detail,
-				Where: p.Where, Symbol: s.Name,
-			})
+		for _, v := range deviceProblemViolations(s, probs) {
+			c.add(v)
 		}
 	}
 }

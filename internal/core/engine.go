@@ -1,0 +1,969 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+// Engine is the incremental check session: the five-stage pipeline of
+// Check rebuilt around content-addressed caches at the symbol-definition
+// level. A long-lived Engine turns the iterate-edit-recheck loop into
+// paying only for what changed:
+//
+//	eng := core.NewEngine(tc, opts)
+//	rep, err := eng.Check(design)      // cold: populates the caches
+//	...edit some symbols...
+//	rep, err = eng.Recheck(design)     // warm: re-derives only dirty subtrees
+//
+// Cache keying follows layout.ContentHashes: stage-1 element results by a
+// symbol's own content hash, stage-2 device analyses likewise, extraction
+// artifacts and interaction adjudications by the subtree hash. Dirtiness
+// needs no explicit invalidation — an edited definition simply hashes to a
+// new key, and every ancestor's subtree hash changes with it (the
+// dirty-propagation walk up the call graph), so stale entries are never
+// reachable and age out of the caches.
+//
+// A warm Recheck returns a Report byte-identical to what a cold Check of
+// the same design state returns, except for wall-clock stage Durations;
+// Fingerprint captures exactly the duration-free content that is
+// guaranteed identical.
+//
+// The interaction stage replays one adjudicated tally per (definition,
+// net-environment signature): per-pair geometry is measured once per
+// definition — spacing distances are invariant under the Manhattan
+// instance transforms — and the Figure 12 subcase logic is re-run only
+// when an instance's surrounding connectivity actually differs (see
+// signature below). Options are fixed at engine construction; Workers is
+// ignored (the decomposed stage does definition-level work exactly once,
+// so there is nothing left worth sharding on this path).
+//
+// An Engine is not safe for concurrent use. Reports share structure with
+// the engine's caches; treat them as immutable.
+type Engine struct {
+	tc   *tech.Technology
+	opts Options
+
+	cache *netlist.Cache
+	elems map[layout.Hash]*elemEntry
+	inter map[layout.Hash]*defInter
+
+	elemGen  map[layout.Hash]int
+	interGen map[layout.Hash]int
+
+	prev map[string]layout.Hash // previous run's subtree hashes, by symbol name
+	runs int
+	last EngineStats
+}
+
+// elemEntry caches one definition's stage-1 result.
+type elemEntry struct {
+	vs       []Violation
+	checks   int
+	elements int
+}
+
+// EngineStats reports cache effectiveness for the most recent run.
+type EngineStats struct {
+	Runs         int
+	Symbols      int // symbols reachable from Top in the last run
+	DirtySymbols int // symbols whose subtree hash changed since the prior run
+	ArtifactDefs int // definition artifacts live in the extraction cache
+	InterBuilt   int // interaction definition caches built this run
+	InterReused  int // interaction definition caches replayed this run
+	SigMisses    int // instance signatures that had to adjudicate
+	SigHits      int // instance signatures replayed from a cached tally
+}
+
+// NewEngine creates an incremental check session for one technology and
+// option set. Options are captured by value; construct a new engine to
+// check under different options.
+func NewEngine(tc *tech.Technology, opts Options) *Engine {
+	return &Engine{
+		tc:       tc,
+		opts:     opts,
+		cache:    netlist.NewCache(),
+		elems:    make(map[layout.Hash]*elemEntry),
+		inter:    make(map[layout.Hash]*defInter),
+		elemGen:  make(map[layout.Hash]int),
+		interGen: make(map[layout.Hash]int),
+	}
+}
+
+// Stats returns cache-effectiveness counters for the most recent run.
+func (e *Engine) Stats() EngineStats { return e.last }
+
+// Check runs the full pipeline, reusing every cache entry whose content
+// hash still matches. On a fresh engine this is the cold run that
+// populates the caches.
+func (e *Engine) Check(d *layout.Design) (*Report, error) {
+	return e.run(d)
+}
+
+// Recheck is Check for the edit loop: identical semantics, provided so
+// call sites read as intent. The returned report is byte-identical
+// (modulo stage durations) to what a cold Check of the same design state
+// would return.
+func (e *Engine) Recheck(d *layout.Design) (*Report, error) {
+	return e.run(d)
+}
+
+func (e *Engine) run(d *layout.Design) (*Report, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	e.runs++
+	stats := EngineStats{Runs: e.runs}
+
+	dirty, hashes := d.DirtySymbols(e.prev)
+	stats.Symbols = len(hashes)
+	stats.DirtySymbols = len(dirty)
+	cur := make(map[string]layout.Hash, len(hashes))
+	for s, h := range hashes {
+		cur[s.Name] = h.Subtree
+	}
+	e.prev = cur
+
+	rep := &Report{Design: d, Tech: e.tc}
+	c := &checker{design: d, tech: e.tc, opts: e.opts, rep: rep}
+
+	c.stage("check elements", func() { e.checkElements(c, d, hashes) })
+	c.stage("check primitive symbols", func() { e.checkPrimitiveSymbols(c, d, hashes) })
+
+	var inc *netlist.IncExtraction
+	c.stage("generate hierarchical net list", func() {
+		var issues []netlist.Issue
+		var err error
+		inc, issues, err = netlist.ExtractVirtual(d, e.tc, e.cache, hashes)
+		if err != nil {
+			c.add(Violation{Rule: "STRUCT.EXTRACT", Severity: Error, Detail: err.Error()})
+			return
+		}
+		rep.Netlist = inc.Netlist
+		for _, is := range issues {
+			c.add(Violation{Rule: is.Rule, Severity: Warning, Detail: is.Detail, Where: is.Where})
+		}
+	})
+	if inc != nil {
+		c.stage("check legal connections", func() { e.checkConnections(c, inc) })
+		if !e.opts.SkipInteractions {
+			c.stage("check interactions", func() { e.checkInteractions(c, inc, &stats) })
+		}
+		if !e.opts.SkipConstruction {
+			c.stage("check construction rules", func() {
+				for _, is := range netlist.ConstructionRules(inc.Netlist, e.tc) {
+					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
+				}
+			})
+		}
+		if e.opts.Reference != nil {
+			c.stage("check netlist reference", func() {
+				for _, is := range netlist.Compare(inc.Netlist, e.opts.Reference) {
+					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
+				}
+			})
+		}
+	}
+	sortViolations(rep.Violations)
+
+	stats.ArtifactDefs = e.cache.Len()
+	e.evict()
+	e.last = stats
+	return rep, nil
+}
+
+// checkElements is stage 1 with per-definition caching by own hash.
+func (e *Engine) checkElements(c *checker, d *layout.Design, hashes map[*layout.Symbol]layout.SymbolHashes) {
+	for _, s := range d.SortedSymbols() {
+		if s.IsPrimitive() {
+			continue
+		}
+		key := hashes[s].Own
+		ent, ok := e.elems[key]
+		if !ok {
+			vs, checks, elements := elementChecks(s, e.tc)
+			ent = &elemEntry{vs: vs, checks: checks, elements: elements}
+			e.elems[key] = ent
+		}
+		e.elemGen[key] = e.runs
+		c.rep.Stats.ElementsChecked += ent.elements
+		if c.curStage != nil {
+			c.curStage.Checks += ent.checks
+		}
+		c.rep.Violations = append(c.rep.Violations, ent.vs...)
+	}
+}
+
+// checkPrimitiveSymbols is stage 2 with device analyses memoized by own
+// hash (shared with extraction's device recognition).
+func (e *Engine) checkPrimitiveSymbols(c *checker, d *layout.Design, hashes map[*layout.Symbol]layout.SymbolHashes) {
+	for _, s := range d.SortedSymbols() {
+		if !s.IsPrimitive() {
+			continue
+		}
+		c.rep.Stats.SymbolDefsChecked++
+		c.countCheck()
+		_, probs := e.cache.Analyze(s, hashes[s].Own, e.tc)
+		for _, v := range deviceProblemViolations(s, probs) {
+			c.add(v)
+		}
+	}
+}
+
+// checkConnections is stage 4 over a virtual extraction: the illegal
+// pairs were gathered from per-definition candidates; the items resolve
+// through the artifact accessors (Extraction.Items is not materialized).
+func (e *Engine) checkConnections(c *checker, inc *netlist.IncExtraction) {
+	c.rep.Stats.DeviceInstances = len(inc.Netlist.Devices)
+	for _, pair := range inc.IllegalPairs {
+		a := inc.Root.ResolveItem(pair[0])
+		b := inc.Root.ResolveItem(pair[1])
+		c.countCheck()
+		layer := c.tech.Layer(a.Layer)
+		c.add(Violation{
+			Rule:     "CONN.ILLEGAL",
+			Severity: Error,
+			Detail: fmt.Sprintf("%s elements touch without skeletal connection (butting or shallow overlap; overlap by at least the minimum width instead)",
+				layer.Name),
+			Where: a.Bounds.Intersect(b.Bounds),
+			Path:  a.Path,
+			Layer: a.Layer,
+			Nets:  c.netNames(inc.Extraction, a.Net, b.Net),
+		})
+	}
+}
+
+// evict ages out cache entries unused for several runs, bounding memory
+// for long-lived sessions that churn through design states.
+func (e *Engine) evict() {
+	const keep = 8
+	for h, g := range e.elemGen {
+		if e.runs-g >= keep {
+			delete(e.elemGen, h)
+			delete(e.elems, h)
+		}
+	}
+	for h, g := range e.interGen {
+		if e.runs-g >= keep {
+			delete(e.interGen, h)
+			delete(e.inter, h)
+		}
+	}
+}
+
+// ---- Incremental interaction stage ------------------------------------
+
+// defPair is one candidate pair at a definition's level, with lazily
+// memoized geometry. All geometric measurements are invariant under the
+// Manhattan transforms instances are placed with, so they are computed at
+// most once per definition, not once per instance or per run.
+type defPair struct {
+	a, b int // local item indices, a < b
+
+	flags     uint8
+	accBounds geom.Rect
+	accOK     bool
+	overlaps  bool
+	distVal   float64
+	procVal   bool
+}
+
+const (
+	gAcc uint8 = 1 << iota
+	gOverlap
+	gDist
+	gProc
+)
+
+// defInter is the per-definition interaction cache: the candidate pairs
+// whose LCA is this definition, the local net classes their adjudication
+// can depend on, and one adjudicated tally per observed net-environment
+// signature.
+type defInter struct {
+	art *netlist.SymbolArtifacts
+
+	pairs []defPair
+
+	// candClasses is the signature domain: every local class appearing in
+	// a pair, plus the terminal classes of every device appearing in a
+	// pair (the related-through-device subcase reads those).
+	candClasses []int
+	classPos    map[int]int
+
+	// classPairs are the distinct unordered class pairs for which the
+	// shares-a-device relation is part of the signature.
+	classPairs   [][2]int
+	classPairPos map[[2]int]int
+
+	termClasses map[int][]int // local device -> sorted distinct terminal classes
+
+	// items holds frame-resolved copies of pair-endpoint items when the
+	// artifact is virtual (its embedded items live in child frames); pair
+	// indices then refer to this slice instead of art.Items.
+	items []netlist.ConnItem
+
+	// netFree marks definitions whose every candidate pair is internal to
+	// one device: adjudication never consults the net environment (the
+	// same-device subcase decides first), so one tally replays for every
+	// instance without computing a signature. True for all primitive
+	// definitions — the common case by instance count.
+	netFree   bool
+	freeTally *interactionTally
+
+	sigs map[string]*interactionTally
+
+	// Keepout checks (contact-over-gate, isolation-vs-base) have no net
+	// dependence at all, so one tally per definition replays for every
+	// instance and every signature.
+	keepBuilt    bool
+	gateT, baseT keepTally
+}
+
+// keepTally is the replayable result of a definition's keepout checks.
+type keepTally struct {
+	checks int
+	vs     []violationDraft // Nets unused (drafts carry NoNet)
+}
+
+// defInterFor builds (or fetches) the interaction cache of one definition.
+// An entry is valid only for the exact artifact value it was built from
+// (pointer identity): the extraction cache recycles a retired root's
+// arrays in place, so a content hash seen again after intervening edits
+// may name a new artifact, and the stale entry's item indices must not be
+// replayed against it.
+func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *EngineStats) *defInter {
+	if di, ok := e.inter[art.Hash]; ok && di.art == art {
+		e.interGen[art.Hash] = e.runs
+		stats.InterReused++
+		return di
+	}
+	di := &defInter{
+		art:          art,
+		classPos:     make(map[int]int),
+		classPairPos: make(map[[2]int]int),
+		termClasses:  make(map[int][]int),
+		sigs:         make(map[string]*interactionTally),
+	}
+	addClass := func(cl int) {
+		if cl < 0 {
+			return
+		}
+		if _, ok := di.classPos[cl]; !ok {
+			di.classPos[cl] = len(di.candClasses)
+			di.candClasses = append(di.candClasses, cl)
+		}
+	}
+	addDev := func(dev int) {
+		if dev < 0 {
+			return
+		}
+		if _, ok := di.termClasses[dev]; ok {
+			return
+		}
+		tns := art.Devices[dev].TerminalNets
+		tcs := make([]int, 0, len(tns))
+		for ti := range tns {
+			cl := int(tns[ti].Net)
+			dup := false
+			for _, have := range tcs {
+				if have == cl {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				tcs = append(tcs, cl)
+			}
+		}
+		// Deterministic order for signature-independent iteration.
+		for i := 1; i < len(tcs); i++ {
+			for j := i; j > 0 && tcs[j-1] > tcs[j]; j-- {
+				tcs[j-1], tcs[j] = tcs[j], tcs[j-1]
+			}
+		}
+		di.termClasses[dev] = tcs
+		for _, cl := range tcs {
+			addClass(cl)
+		}
+	}
+	di.netFree = true
+	var itemIdx map[int]int
+	resolve := func(gi int) int {
+		if k, ok := itemIdx[gi]; ok {
+			return k
+		}
+		k := len(di.items)
+		di.items = append(di.items, art.ResolveItem(gi))
+		itemIdx[gi] = k
+		return k
+	}
+	if art.Virtual {
+		itemIdx = make(map[int]int)
+	}
+	art.CrossItemPairs(maxGap, func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		pa, pb := i, j
+		if art.Virtual {
+			pa, pb = resolve(i), resolve(j)
+		}
+		di.pairs = append(di.pairs, defPair{a: pa, b: pb})
+		a, b := di.itemAt(pa), di.itemAt(pb)
+		if a.Dev < 0 || a.Dev != b.Dev {
+			di.netFree = false
+		}
+		addClass(int(a.Net))
+		addClass(int(b.Net))
+		addDev(a.Dev)
+		addDev(b.Dev)
+		if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+			cp := [2]int{int(a.Net), int(b.Net)}
+			if cp[0] > cp[1] {
+				cp[0], cp[1] = cp[1], cp[0]
+			}
+			if _, ok := di.classPairPos[cp]; !ok {
+				di.classPairPos[cp] = len(di.classPairs)
+				di.classPairs = append(di.classPairs, cp)
+			}
+		}
+	})
+	e.inter[art.Hash] = di
+	e.interGen[art.Hash] = e.runs
+	stats.InterBuilt++
+	return di
+}
+
+// itemAt resolves a pair-endpoint index to its frame-correct item.
+func (di *defInter) itemAt(k int) *netlist.ConnItem {
+	if di.items != nil {
+		return &di.items[k]
+	}
+	return &di.art.Items[k]
+}
+
+// netEnvSignature captures everything one instance's global net
+// environment can contribute to pair adjudication at this definition:
+//
+//   - which candidate classes are merged with which (by external wiring),
+//     as canonical partition labels;
+//   - whether each candidate class's global net carries any device; and
+//   - for each class pair under candidate pairs, whether the two global
+//     nets share a device.
+//
+// Two instances with equal signatures adjudicate every pair identically —
+// same branches, same counters, same violations (up to the instance
+// transform and path) — so one cached tally serves them all.
+func (e *Engine) netEnvSignature(di *defInter, inc *netlist.IncExtraction, ii int,
+	hasDev []bool, shared map[uint64]bool, scratch *sigScratch) []byte {
+
+	scratch.global = scratch.global[:0]
+	scratch.labels = scratch.labels[:0]
+	scratch.sig = scratch.sig[:0]
+	scratch.epoch++
+	next := 0
+	for _, cl := range di.candClasses {
+		g := inc.GlobalNet(ii, cl)
+		scratch.global = append(scratch.global, g)
+		var lbl int
+		if scratch.labelSeen[g] == scratch.epoch {
+			lbl = scratch.labelOf[g]
+		} else {
+			lbl = next
+			next++
+			scratch.labelSeen[g] = scratch.epoch
+			scratch.labelOf[g] = lbl
+		}
+		scratch.labels = append(scratch.labels, lbl)
+		// Labels are bounded by the definition's candidate class count;
+		// four bytes keeps the encoding collision-free at any size a
+		// design could reach in memory.
+		scratch.sig = append(scratch.sig, byte(lbl), byte(lbl>>8), byte(lbl>>16), byte(lbl>>24))
+		if hasDev[g] {
+			scratch.sig = append(scratch.sig, 1)
+		} else {
+			scratch.sig = append(scratch.sig, 0)
+		}
+	}
+	for _, cp := range di.classPairs {
+		ga := scratch.global[di.classPos[cp[0]]]
+		gb := scratch.global[di.classPos[cp[1]]]
+		bit := byte(0)
+		if ga == gb {
+			if hasDev[ga] {
+				bit = 1
+			}
+		} else {
+			lo, hi := ga, gb
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if shared[uint64(lo)<<32|uint64(uint32(hi))] {
+				bit = 1
+			}
+		}
+		scratch.sig = append(scratch.sig, bit)
+	}
+	return scratch.sig
+}
+
+// sigScratch holds signature-evaluation buffers reused across instances.
+// Per-net label state is epoch-stamped (indexed by global net id) so
+// resetting between instances is one counter increment, not a map clear.
+type sigScratch struct {
+	global    []netlist.NetID
+	labels    []int
+	sig       []byte
+	labelOf   []int
+	labelSeen []uint32
+	epoch     uint32
+}
+
+// sigEnv implements pairEnv over a definition's local classes plus one
+// instance's net-environment signature.
+type sigEnv struct {
+	di     *defInter
+	labels []int
+	hasDev []byte // per candClasses position
+	share  []byte // per classPairs position
+}
+
+func (s *sigEnv) label(cl netlist.NetID) int {
+	return s.labels[s.di.classPos[int(cl)]]
+}
+
+func (s *sigEnv) sameNet(a, b *netlist.ConnItem) bool {
+	if a.Net == netlist.NoNet || b.Net == netlist.NoNet {
+		return false
+	}
+	return s.label(a.Net) == s.label(b.Net)
+}
+
+func (s *sigEnv) devOnNet(dev int, net netlist.NetID) bool {
+	want := s.label(net)
+	for _, tcl := range s.di.termClasses[dev] {
+		if s.labels[s.di.classPos[tcl]] == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sigEnv) related(a, b *netlist.ConnItem) bool {
+	if a.Dev >= 0 && a.Dev == b.Dev {
+		return true
+	}
+	if a.Dev >= 0 && b.Net != netlist.NoNet && s.devOnNet(a.Dev, b.Net) {
+		return true
+	}
+	if b.Dev >= 0 && a.Net != netlist.NoNet && s.devOnNet(b.Dev, a.Net) {
+		return true
+	}
+	if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+		cp := [2]int{int(a.Net), int(b.Net)}
+		if cp[0] > cp[1] {
+			cp[0], cp[1] = cp[1], cp[0]
+		}
+		return s.share[s.di.classPairPos[cp]] != 0
+	}
+	return false
+}
+
+func (s *sigEnv) keepsSameNetSpacing(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := s.di.art.Devices[dev].Info
+	return info != nil && !info.SpacingExemptSameNet
+}
+
+func (s *sigEnv) mayTouchIsolation(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := s.di.art.Devices[dev].Info
+	return info != nil && info.MayTouchIsolation
+}
+
+// defPairGeom implements pairGeom with per-definition memoization.
+type defPairGeom struct {
+	p    *defPair
+	opts *Options
+}
+
+func (g *defPairGeom) accOverlapBounds(a, b *netlist.ConnItem) (geom.Rect, bool) {
+	if g.p.flags&gAcc == 0 {
+		ov := a.Reg.Intersect(b.Reg)
+		g.p.accOK = !ov.Empty()
+		if g.p.accOK {
+			g.p.accBounds = ov.Bounds()
+		}
+		g.p.flags |= gAcc
+	}
+	return g.p.accBounds, g.p.accOK
+}
+
+func (g *defPairGeom) regOverlaps(a, b *netlist.ConnItem) bool {
+	if g.p.flags&gOverlap == 0 {
+		g.p.overlaps = a.Reg.Overlaps(b.Reg)
+		g.p.flags |= gOverlap
+	}
+	return g.p.overlaps
+}
+
+func (g *defPairGeom) dist(a, b *netlist.ConnItem) float64 {
+	if g.p.flags&gDist == 0 {
+		if g.opts.Metric == Orthogonal {
+			g.p.distVal = float64(geom.RegionOrthoDist(a.Reg, b.Reg))
+		} else {
+			d, _, _ := geom.RegionDist(a.Reg, b.Reg)
+			g.p.distVal = d
+		}
+		g.p.flags |= gDist
+	}
+	return g.p.distVal
+}
+
+func (g *defPairGeom) processOK(a, b *netlist.ConnItem, mis, margin float64) bool {
+	if g.p.flags&gProc == 0 {
+		g.p.procVal = g.opts.ProcessSpacing.SpacingOK(a.Reg, b.Reg, mis, margin)
+		g.p.flags |= gProc
+	}
+	return g.p.procVal
+}
+
+// buildKeepouts fills a definition's keepout tallies: every cross-owner
+// (cut item, MOS gate) and (isolation item, base keepout) candidate whose
+// LCA is this definition, adjudicated in local coordinates. The global
+// sweeps of the chip-level checker enumerate exactly these pairs summed
+// over instances (a pair of distinct devices separates into different
+// owners at its LCA), so replaying the tallies reproduces the same check
+// counts and violations without any per-run chip-wide sweep.
+func (e *Engine) buildKeepouts(di *defInter, lay keepLayers) {
+	di.keepBuilt = true
+	art := di.art
+	if len(art.Children) == 0 {
+		// A primitive definition holds a single device; its own cuts vs
+		// its own gate are the same device, which the keepout rules skip.
+		return
+	}
+	spanOfDev := func(dev int) int {
+		for si := range art.Children {
+			if dev >= art.Children[si].DevStart && dev < art.Children[si].DevEnd {
+				return si
+			}
+		}
+		return -1
+	}
+	// Per-owner item lists for the two probe layers: own items first,
+	// then each span straight out of the shared embedding (works whether
+	// or not the artifact materialized its flattened arrays).
+	var ownCuts, ownIsos []int
+	spanCuts := make([][]int, len(art.Children))
+	spanIsos := make([][]int, len(art.Children))
+	classify := func(it *netlist.ConnItem, gi, si int) {
+		if lay.hasCut && it.Layer == lay.cutID {
+			if si < 0 {
+				ownCuts = append(ownCuts, gi)
+			} else {
+				spanCuts[si] = append(spanCuts[si], gi)
+			}
+		}
+		if lay.hasIso && it.Layer == lay.isoID {
+			if si < 0 {
+				ownIsos = append(ownIsos, gi)
+			} else {
+				spanIsos[si] = append(spanIsos[si], gi)
+			}
+		}
+	}
+	for i := 0; i < art.OwnItemEnd(); i++ {
+		classify(&art.Items[i], i, -1)
+	}
+	for si := range art.Children {
+		sp := &art.Children[si]
+		if !sp.Art.MayHaveLayer(lay.cutID, lay.hasCut) && !sp.Art.MayHaveLayer(lay.isoID, lay.hasIso) {
+			continue
+		}
+		items := sp.SpanItems()
+		for k := range items {
+			classify(&items[k], sp.ItemStart+k, si)
+		}
+	}
+	// Span adjacency under the widest probe (conservative: refined by the
+	// exact per-pair predicates below). Gates deep inside one child can
+	// never meet another child's cuts unless the children's bounds come
+	// within the probe gap of each other.
+	var maxClear int64
+	for ki := range art.BaseKeepouts {
+		if cl := art.BaseKeepouts[ki].Clearance; cl > maxClear {
+			maxClear = cl
+		}
+	}
+	adj := make([][]int, len(art.Children))
+	for si := range art.Children {
+		for sj := range art.Children {
+			if si != sj && art.Children[si].Bounds.Expand(maxClear).Touches(art.Children[sj].Bounds) {
+				adj[si] = append(adj[si], sj)
+			}
+		}
+	}
+
+	if lay.hasCut && len(art.Gates) > 0 {
+		probe := func(gi int, items []int) {
+			g := &art.Gates[gi]
+			for _, i := range items {
+				it := art.ItemView(i)
+				if !it.Bounds.Touches(g.Bounds) {
+					continue
+				}
+				di.gateT.checks++
+				if ov := it.Reg.Intersect(g.Reg); !ov.Empty() {
+					di.gateT.vs = append(di.gateT.vs, violationDraft{
+						v: Violation{
+							Rule:     "DEV.GATE.CONTACT",
+							Severity: Error,
+							Detail:   "contact cut over the active gate of a transistor (Figure 7)",
+							Where:    ov.Bounds(),
+							Path:     art.ResolveItem(i).Path,
+						},
+						aNet: netlist.NoNet, bNet: netlist.NoNet,
+					})
+				}
+			}
+		}
+		for gi := range art.Gates {
+			owner := spanOfDev(art.Gates[gi].Dev)
+			probe(gi, ownCuts)
+			if owner >= 0 {
+				for _, sj := range adj[owner] {
+					probe(gi, spanCuts[sj])
+				}
+			}
+		}
+	}
+
+	if lay.hasIso && len(art.BaseKeepouts) > 0 {
+		probe := func(ki int, items []int) {
+			ko := &art.BaseKeepouts[ki]
+			search := ko.Bounds.Expand(ko.Clearance)
+			for _, i := range items {
+				it := art.ItemView(i)
+				if !it.Bounds.Touches(search) {
+					continue
+				}
+				di.baseT.checks++
+				d, _, _ := geom.RegionDist(it.Reg, ko.Reg)
+				if d < float64(ko.Clearance) || (ko.Clearance == 0 && it.Reg.Overlaps(ko.Reg)) {
+					di.baseT.vs = append(di.baseT.vs, violationDraft{
+						v: Violation{
+							Rule:     "DEV.NPN.ISO",
+							Severity: Error,
+							Detail:   "isolation touches or approaches a transistor base (Figure 6a)",
+							Where:    it.Bounds.Intersect(search),
+							Path:     art.Devices[ko.Dev].Path,
+						},
+						aNet: netlist.NoNet, bNet: netlist.NoNet,
+					})
+				}
+			}
+		}
+		for ki := range art.BaseKeepouts {
+			owner := spanOfDev(art.BaseKeepouts[ki].Dev)
+			probe(ki, ownIsos)
+			if owner >= 0 {
+				for _, sj := range adj[owner] {
+					probe(ki, spanIsos[sj])
+				}
+			}
+		}
+	}
+}
+
+// keepLayers carries the keepout probe layers.
+type keepLayers struct {
+	cutID, isoID   tech.LayerID
+	hasCut, hasIso bool
+}
+
+// absorbKeepouts replays a definition's keepout tallies for one instance.
+func (e *Engine) absorbKeepouts(c *checker, inc *netlist.IncExtraction, ii int, di *defInter) {
+	for _, t := range []*keepTally{&di.gateT, &di.baseT} {
+		if t.checks == 0 {
+			continue
+		}
+		if c.curStage != nil {
+			c.curStage.Checks += t.checks
+		}
+		inst := &inc.Instances[ii]
+		for _, d := range t.vs {
+			v := d.v
+			v.Where = inst.T.ApplyRect(v.Where)
+			v.Path = pathJoin(inc.InstPath(ii), v.Path)
+			c.rep.Violations = append(c.rep.Violations, v)
+		}
+	}
+}
+
+// checkInteractions is the incremental stage 5: for every instance, look
+// up (or adjudicate once) the definition-level tally for the instance's
+// net-environment signature and fold it into the report; then run the
+// global keepout sweeps exactly as the chip-level checker does.
+func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats *EngineStats) {
+	ex := inc.Extraction
+	maxGap := e.tc.MaxSpacing()
+	lay := lookupLayerIDs(e.tc)
+
+	// Global net facts feeding the signatures.
+	hasDev := make([]bool, len(ex.Netlist.Nets))
+	for i := range ex.Netlist.Nets {
+		hasDev[i] = len(ex.Netlist.Nets[i].Terminals) > 0
+	}
+	shared := make(map[uint64]bool, 256)
+	var netBuf []netlist.NetID
+	for di := range ex.Netlist.Devices {
+		netBuf = ex.Netlist.Devices[di].TerminalNetIDs(netBuf[:0])
+		for i := 0; i < len(netBuf); i++ {
+			for j := i + 1; j < len(netBuf); j++ {
+				lo, hi := netBuf[i], netBuf[j]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				shared[uint64(lo)<<32|uint64(uint32(hi))] = true
+			}
+		}
+	}
+
+	var keep keepLayers
+	keep.cutID, keep.hasCut = e.tc.LayerByName(tech.NMOSContact)
+	keep.isoID, keep.hasIso = e.tc.LayerByName(tech.BipIso)
+	// The chip-level gate sweep bails out when no cut geometry exists at
+	// all; checks and violations stay identical either way (a definition
+	// tally only ever counts real pairs), so the conservative layer mask
+	// is a pure work gate.
+	keep.hasCut = keep.hasCut && inc.Root.MayHaveLayer(keep.cutID, true) && len(ex.Gates) > 0
+	keep.hasIso = keep.hasIso && len(ex.BaseKeepouts) > 0
+
+	scratch := &sigScratch{
+		labelOf:   make([]int, len(ex.Netlist.Nets)),
+		labelSeen: make([]uint32, len(ex.Netlist.Nets)),
+	}
+	for ii := range inc.Instances {
+		inst := &inc.Instances[ii]
+		di := e.defInterFor(inst.Art, maxGap, stats)
+		if !di.keepBuilt {
+			e.buildKeepouts(di, keep)
+		}
+		e.absorbKeepouts(c, inc, ii, di)
+		if len(di.pairs) == 0 {
+			continue
+		}
+		if di.netFree {
+			// Every pair is device-internal: adjudication cannot touch
+			// the net environment, so the one tally serves all instances.
+			if di.freeTally == nil {
+				di.freeTally = e.adjudicateDef(di, lay, nil, nil)
+				stats.SigMisses++
+			} else {
+				stats.SigHits++
+			}
+			e.absorbInstance(c, inc, ii, di.freeTally)
+			continue
+		}
+		sig := e.netEnvSignature(di, inc, ii, hasDev, shared, scratch)
+		tally, ok := di.sigs[string(sig)]
+		if !ok {
+			tally = e.adjudicateDef(di, lay, scratch.labels, sig)
+			di.sigs[string(sig)] = tally
+			stats.SigMisses++
+		} else {
+			stats.SigHits++
+		}
+		e.absorbInstance(c, inc, ii, tally)
+	}
+}
+
+// adjudicateDef runs the shared subcase logic over every candidate pair of
+// one definition under one net-environment signature, producing the
+// replayable tally.
+func (e *Engine) adjudicateDef(di *defInter, lay layerIDs, labels []int, sig []byte) *interactionTally {
+	env := &sigEnv{di: di, labels: labels}
+	if sig != nil {
+		// Unpack the per-position bits back out of the signature bytes
+		// (five bytes per class: 4-byte label + hasDevice bit).
+		n := len(di.candClasses)
+		env.hasDev = make([]byte, n)
+		for i := 0; i < n; i++ {
+			env.hasDev[i] = sig[5*i+4]
+		}
+		env.share = sig[5*n:]
+	}
+	// With a nil sig (netFree definitions) every pair is same-device and
+	// the env's net methods are provably never reached.
+
+	t := &interactionTally{}
+	g := defPairGeom{opts: &e.opts}
+	for i := range di.pairs {
+		p := &di.pairs[i]
+		g.p = p
+		adjudicatePair(e.tc, e.opts, lay, di.itemAt(p.a), di.itemAt(p.b), env, &g, t)
+	}
+	return t
+}
+
+// absorbInstance folds one instance's tally into the report: counters add
+// up directly; violations are carried from definition space into chip
+// space (transform the location, prefix the instance path, resolve the
+// local net classes against the global netlist).
+func (e *Engine) absorbInstance(c *checker, inc *netlist.IncExtraction, ii int, t *interactionTally) {
+	st := &c.rep.Stats
+	st.InteractionCandidates += t.candidates
+	st.InteractionChecked += t.checked
+	st.SkippedNoRule += t.skippedNoRule
+	st.SkippedSameNetExempt += t.skippedSameNet
+	st.SkippedRelated += t.skippedRelated
+	st.SkippedConnectionPairs += t.skippedConn
+	st.ProcessDowngrades += t.downgrades
+	if c.curStage != nil {
+		c.curStage.Checks += t.checks
+	}
+	if len(t.violations) == 0 {
+		return
+	}
+	inst := &inc.Instances[ii]
+	path := inc.InstPath(ii)
+	for _, d := range t.violations {
+		v := d.v
+		v.Where = inst.T.ApplyRect(v.Where)
+		v.Path = pathJoin(path, v.Path)
+		ga, gb := netlist.NoNet, netlist.NoNet
+		if d.aNet != netlist.NoNet {
+			ga = inc.GlobalNet(ii, int(d.aNet))
+		}
+		if d.bNet != netlist.NoNet {
+			gb = inc.GlobalNet(ii, int(d.bNet))
+		}
+		v.Nets = c.netNames(inc.Extraction, ga, gb)
+		c.rep.Violations = append(c.rep.Violations, v)
+	}
+}
+
+func pathJoin(prefix, rel string) string {
+	switch {
+	case prefix == "":
+		return rel
+	case rel == "":
+		return prefix
+	default:
+		return prefix + "." + rel
+	}
+}
+
+// String renders cache stats compactly for -repeat style loops.
+func (s EngineStats) String() string {
+	return fmt.Sprintf("run %d: %d/%d symbols dirty, %d artifact defs, interactions %d built/%d reused, signatures %d miss/%d hit",
+		s.Runs, s.DirtySymbols, s.Symbols, s.ArtifactDefs, s.InterBuilt, s.InterReused, s.SigMisses, s.SigHits)
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// requireSameReport compares duration-free fingerprints.
+func requireSameReport(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	g, w := Fingerprint(got), Fingerprint(want)
+	if g != w {
+		t.Fatalf("%s: reports differ\n--- got ---\n%s\n--- want ---\n%s", label, clip(g), clip(w))
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n...[clipped]"
+	}
+	return s
+}
+
+// TestEngineMatchesCheck: a cold engine run must fingerprint-match the
+// chip-level pipeline on clean, dirty, bipolar, and pathology designs.
+func TestEngineMatchesCheck(t *testing.T) {
+	type tcase struct {
+		label  string
+		design *layout.Design
+		tc     *tech.Technology
+	}
+	var cases []tcase
+	nm := tech.NMOS()
+	cases = append(cases, tcase{"clean 4x5", workload.NewChip(nm, "clean", 4, 5).Design, nm})
+	cases = append(cases, tcase{"unique 3x4", workload.NewChipUnique(nm, "uniq", 3, 4).Design, nm})
+
+	dirty := workload.NewChip(nm, "dirty", 6, 7)
+	workload.InjectErrors(dirty, 25, 42)
+	cases = append(cases, tcase{"dirty 6x7", dirty.Design, nm})
+
+	bip := workload.NewBipolarChip("bip", 6)
+	bip.BreakIsolation(2)
+	cases = append(cases, tcase{"bipolar", bip.Design, tech.Bipolar()})
+
+	for _, p := range workload.AllPathologies() {
+		cases = append(cases, tcase{"pathology " + p.Name, p.Design, p.Tech})
+	}
+
+	for _, tcse := range cases {
+		legacy, err := Check(tcse.design, tcse.tc, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("%s: legacy: %v", tcse.label, err)
+		}
+		eng := NewEngine(tcse.tc, Options{Workers: 1})
+		got, err := eng.Check(tcse.design)
+		if err != nil {
+			t.Fatalf("%s: engine: %v", tcse.label, err)
+		}
+		requireSameReport(t, tcse.label+" (cold engine vs Check)", got, legacy)
+
+		// A second run with nothing edited must replay to the same report.
+		again, err := eng.Recheck(tcse.design)
+		if err != nil {
+			t.Fatalf("%s: recheck: %v", tcse.label, err)
+		}
+		requireSameReport(t, tcse.label+" (no-edit recheck)", again, legacy)
+	}
+}
+
+// mutateOneSymbol applies one random single-symbol edit and returns a
+// description of it.
+func mutateOneSymbol(rng *rand.Rand, d *layout.Design, tc *tech.Technology) string {
+	syms := d.SortedSymbols()
+	var composites []*layout.Symbol
+	for _, s := range syms {
+		if !s.IsPrimitive() && len(s.Elements) > 0 {
+			composites = append(composites, s)
+		}
+	}
+	s := composites[rng.Intn(len(composites))]
+	layers := d.UsedLayers()
+	switch rng.Intn(4) {
+	case 0: // add a box somewhere near the symbol's own geometry
+		b := s.Bounds()
+		x := b.X1 + rng.Int63n(max64(b.X2-b.X1, 1))
+		y := b.Y1 + rng.Int63n(max64(b.Y2-b.Y1, 1))
+		l := layers[rng.Intn(len(layers))]
+		s.AddBox(l, geom.R(x, y, x+500+rng.Int63n(1500), y+500+rng.Int63n(1500)), "")
+		return fmt.Sprintf("add box to %q", s.Name)
+	case 1: // nudge an existing box/wire
+		e := s.Elements[rng.Intn(len(s.Elements))]
+		dx := rng.Int63n(500) - 250
+		switch e.Kind {
+		case layout.KindBox:
+			e.Box.X1 += dx
+			e.Box.X2 += dx
+		case layout.KindWire:
+			for i := range e.Path {
+				e.Path[i].X += dx
+			}
+		case layout.KindPolygon:
+			for i := range e.Poly {
+				e.Poly[i].X += dx
+			}
+		}
+		return fmt.Sprintf("nudge element in %q by %d", s.Name, dx)
+	case 2: // change a net declaration
+		e := s.Elements[rng.Intn(len(s.Elements))]
+		e.Net = fmt.Sprintf("mut%d", rng.Intn(3))
+		return fmt.Sprintf("redeclare net in %q", s.Name)
+	default: // duplicate an existing call under a shifted transform
+		if len(s.Calls) == 0 {
+			s.AddBox(layers[rng.Intn(len(layers))], geom.R(0, 0, 700, 700), "")
+			return fmt.Sprintf("add box to call-less %q", s.Name)
+		}
+		c := s.Calls[rng.Intn(len(s.Calls))]
+		shift := geom.Pt(c.T.Trans.X+40000+rng.Int63n(20000), c.T.Trans.Y+40000)
+		s.AddCall(c.Target, geom.NewTransform(c.T.Orient, shift), "")
+		return fmt.Sprintf("duplicate call %q in %q", c.Name, s.Name)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestEngineRecheckByteIdentical is the tentpole's acceptance test: after
+// each random single-symbol edit, a warm Recheck must produce a report
+// byte-identical (modulo durations) to both a cold engine Check and the
+// chip-level pipeline on the same design state.
+func TestEngineRecheckByteIdentical(t *testing.T) {
+	for _, variant := range []string{"shared", "unique"} {
+		variant := variant
+		t.Run(variant, func(t *testing.T) {
+			nm := tech.NMOS()
+			var chip *workload.Chip
+			if variant == "shared" {
+				chip = workload.NewChip(nm, "rand-"+variant, 4, 5)
+			} else {
+				chip = workload.NewChipUnique(nm, "rand-"+variant, 4, 5)
+			}
+			d := chip.Design
+			eng := NewEngine(nm, Options{Workers: 1})
+			if _, err := eng.Check(d); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1980))
+			edits := 12
+			if testing.Short() {
+				edits = 4
+			}
+			for i := 0; i < edits; i++ {
+				desc := mutateOneSymbol(rng, d, nm)
+				warm, err := eng.Recheck(d)
+				if err != nil {
+					t.Fatalf("edit %d (%s): recheck: %v", i, desc, err)
+				}
+				cold, err := NewEngine(nm, Options{Workers: 1}).Check(d)
+				if err != nil {
+					t.Fatalf("edit %d (%s): cold: %v", i, desc, err)
+				}
+				requireSameReport(t, fmt.Sprintf("edit %d (%s) warm vs cold", i, desc), warm, cold)
+				legacy, err := Check(d, nm, Options{Workers: 1})
+				if err != nil {
+					t.Fatalf("edit %d (%s): legacy: %v", i, desc, err)
+				}
+				requireSameReport(t, fmt.Sprintf("edit %d (%s) warm vs legacy", i, desc), warm, legacy)
+			}
+		})
+	}
+}
+
+// TestEngineRecheckReusesCleanDefs pins the incrementality claim itself:
+// after editing one row definition of a unique-rows chip, the engine must
+// rebuild only the dirty subtrees.
+func TestEngineRecheckReusesCleanDefs(t *testing.T) {
+	nm := tech.NMOS()
+	chip := workload.NewChipUnique(nm, "reuse", 6, 4)
+	d := chip.Design
+	eng := NewEngine(nm, Options{Workers: 1})
+	if _, err := eng.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	cold := eng.Stats()
+	if cold.InterReused != 0 && cold.InterBuilt == 0 {
+		t.Fatalf("cold run built nothing: %+v", cold)
+	}
+
+	row, ok := d.Symbol("row3")
+	if !ok {
+		t.Fatal("row3 missing")
+	}
+	metalL, _ := nm.LayerByName(tech.NMOSMetal)
+	row.AddBox(metalL, geom.R(-900, 900, -150, 1650), "")
+	if _, err := eng.Recheck(d); err != nil {
+		t.Fatal(err)
+	}
+	warm := eng.Stats()
+	// Dirty: row3 and chip. Everything else replays from cache.
+	if warm.DirtySymbols != 2 {
+		t.Fatalf("dirty symbols = %d, want 2 (row3 + chip); stats %+v", warm.DirtySymbols, warm)
+	}
+	if warm.InterBuilt > 2 {
+		t.Fatalf("rebuilt %d interaction defs, want <= 2; stats %+v", warm.InterBuilt, warm)
+	}
+	if warm.InterReused == 0 {
+		t.Fatalf("no interaction defs reused; stats %+v", warm)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Fingerprint serializes everything in a Report that is a pure function of
+// the design state — violations, netlist, and all statistics except
+// wall-clock stage durations. Two runs over the same design state must
+// produce equal fingerprints regardless of cache temperature, worker
+// count, or which pipeline (Check or an Engine) produced them; the
+// randomized incremental tests enforce exactly that, byte for byte.
+func Fingerprint(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design %q\n", rep.Design.Name)
+
+	fmt.Fprintf(&b, "violations %d\n", len(rep.Violations))
+	for i := range rep.Violations {
+		v := &rep.Violations[i]
+		fmt.Fprintf(&b, "  %s sev=%d where=%v sym=%q path=%q layer=%d nets=%v detail=%q\n",
+			v.Rule, v.Severity, v.Where, v.Symbol, v.Path, v.Layer, v.Nets, v.Detail)
+	}
+
+	st := &rep.Stats
+	fmt.Fprintf(&b, "stats elems=%d symdefs=%d devinst=%d cand=%d checked=%d norule=%d samenet=%d related=%d conn=%d downgrades=%d\n",
+		st.ElementsChecked, st.SymbolDefsChecked, st.DeviceInstances,
+		st.InteractionCandidates, st.InteractionChecked,
+		st.SkippedNoRule, st.SkippedSameNetExempt, st.SkippedRelated,
+		st.SkippedConnectionPairs, st.ProcessDowngrades)
+	for _, s := range st.Stages {
+		fmt.Fprintf(&b, "stage %q checks=%d violations=%d\n", s.Name, s.Checks, s.Violations)
+	}
+
+	if nl := rep.Netlist; nl != nil {
+		fmt.Fprintf(&b, "netlist nets=%d devices=%d\n", len(nl.Nets), len(nl.Devices))
+		for i := range nl.Nets {
+			n := &nl.Nets[i]
+			fmt.Fprintf(&b, "  net %d %q declared=%v elements=%d bounds=%v terms=%v\n",
+				n.ID, n.Name, n.Declared, n.Elements, n.Bounds, n.Terminals)
+		}
+		for i := range nl.Devices {
+			d := &nl.Devices[i]
+			fmt.Fprintf(&b, "  dev %d path=%q type=%q class=%q t=%v", i, d.Path, d.Type, d.Class, d.T)
+			for ti := range d.TerminalNets {
+				fmt.Fprintf(&b, " %s=%d", d.TerminalNets[ti].Name, d.TerminalNets[ti].Net)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -8,18 +8,67 @@ import (
 	"repro/internal/tech"
 )
 
+// pairEnv answers the net/device relationship questions of the Figure 12
+// subcases for one candidate pair. The chip-level checker implements it
+// over global nets; the incremental engine implements it over a symbol
+// definition's local net classes plus a per-instance merge signature —
+// both must answer identically for the same chip state, which is what
+// makes definition-level adjudication caching sound.
+type pairEnv interface {
+	// sameNet reports whether the items are on the same electrical net.
+	sameNet(a, b *netlist.ConnItem) bool
+	// related reports whether the items are related through a device.
+	related(a, b *netlist.ConnItem) bool
+	// keepsSameNetSpacing reports whether the item's device demands
+	// spacing checks even on its own net (resistors, Figure 5b).
+	keepsSameNetSpacing(dev int) bool
+	// mayTouchIsolation reports whether the item's device may legally
+	// connect to isolation (Figure 6b resistors).
+	mayTouchIsolation(dev int) bool
+}
+
+// pairGeom supplies the geometric measurements of pair adjudication. The
+// chip-level checker computes them directly; the incremental engine
+// memoizes them per definition pair (they are invariant under the
+// Manhattan instance transforms).
+type pairGeom interface {
+	// accOverlapBounds returns the bounding box of the region overlap
+	// (the accidental-transistor check), and whether it is non-empty.
+	accOverlapBounds(a, b *netlist.ConnItem) (geom.Rect, bool)
+	// regOverlaps reports whether the regions overlap (same-layer pairs).
+	regOverlaps(a, b *netlist.ConnItem) bool
+	// dist returns the spacing under the configured metric.
+	dist(a, b *netlist.ConnItem) float64
+	// processOK asks the Eq. 1 process model whether the printed images
+	// keep the margin under worst-case misalignment mis.
+	processOK(a, b *netlist.ConnItem, mis, margin float64) bool
+}
+
+// layerIDs caches the device-rule layer lookups shared by every pair.
+type layerIDs struct {
+	polyID, diffID, isoID    tech.LayerID
+	hasPoly, hasDiff, hasIso bool
+}
+
+func lookupLayerIDs(tc *tech.Technology) layerIDs {
+	var l layerIDs
+	l.polyID, l.hasPoly = tc.LayerByName(tech.NMOSPoly)
+	l.diffID, l.hasDiff = tc.LayerByName(tech.NMOSDiff)
+	l.isoID, l.hasIso = tc.LayerByName(tech.BipIso)
+	return l
+}
+
 // interactionChecker is the read-only context shared by every interaction
 // worker: the extraction, the technology, the device-relation indexes, and
 // the options. It is built once per run and never mutated afterwards, so
-// pair() may be called from many goroutines concurrently as long as each
+// adjudication may run from many goroutines concurrently as long as each
 // call gets its own tally.
 type interactionChecker struct {
 	c  *checker
 	ex *netlist.Extraction
 	tc *tech.Technology
 
-	polyID, diffID, isoID    tech.LayerID
-	hasPoly, hasDiff, hasIso bool
+	lay layerIDs
 
 	// Terminal-net sets per device: an element is "related" to a device
 	// when it shares a net with one of the device's terminals (the paper:
@@ -28,11 +77,19 @@ type interactionChecker struct {
 	netDevs map[netlist.NetID]map[int]bool
 }
 
+// violationDraft is a violation whose net names are not yet resolved: the
+// chip-level path resolves them at absorb time, the incremental engine at
+// instantiation time (the same ids produce the same names either way).
+type violationDraft struct {
+	v          Violation
+	aNet, bNet netlist.NetID
+}
+
 // interactionTally is one worker's private share of the stage-5 results.
 // Tallies merge in strip order, which reproduces the serial sweep's
 // violation order exactly.
 type interactionTally struct {
-	violations []Violation
+	violations []violationDraft
 	checks     int
 
 	candidates, checked                                        int
@@ -41,16 +98,15 @@ type interactionTally struct {
 }
 
 func newInteractionChecker(c *checker, ex *netlist.Extraction) *interactionChecker {
-	ic := &interactionChecker{c: c, ex: ex, tc: c.tech}
-	ic.polyID, ic.hasPoly = ic.tc.LayerByName(tech.NMOSPoly)
-	ic.diffID, ic.hasDiff = ic.tc.LayerByName(tech.NMOSDiff)
-	ic.isoID, ic.hasIso = ic.tc.LayerByName(tech.BipIso)
+	ic := &interactionChecker{c: c, ex: ex, tc: c.tech, lay: lookupLayerIDs(c.tech)}
 
 	ic.devNets = make([]map[netlist.NetID]bool, len(ex.Netlist.Devices))
 	ic.netDevs = make(map[netlist.NetID]map[int]bool)
 	for di := range ex.Netlist.Devices {
-		set := make(map[netlist.NetID]bool, len(ex.Netlist.Devices[di].TerminalNets))
-		for _, nid := range ex.Netlist.Devices[di].TerminalNets {
+		tns := ex.Netlist.Devices[di].TerminalNets
+		set := make(map[netlist.NetID]bool, len(tns))
+		for ti := range tns {
+			nid := tns[ti].Net
 			set[nid] = true
 			if ic.netDevs[nid] == nil {
 				ic.netDevs[nid] = make(map[int]bool)
@@ -60,6 +116,11 @@ func newInteractionChecker(c *checker, ex *netlist.Extraction) *interactionCheck
 		ic.devNets[di] = set
 	}
 	return ic
+}
+
+// sameNet implements pairEnv over global nets.
+func (ic *interactionChecker) sameNet(a, b *netlist.ConnItem) bool {
+	return a.Net != netlist.NoNet && a.Net == b.Net
 }
 
 // related reports whether the two items are related through a device.
@@ -90,29 +151,84 @@ func (ic *interactionChecker) related(a, b *netlist.ConnItem) bool {
 	return false
 }
 
+// keepsSameNetSpacing implements pairEnv over the global device table.
+func (ic *interactionChecker) keepsSameNetSpacing(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := ic.ex.Netlist.Devices[dev].Info
+	return info != nil && !info.SpacingExemptSameNet
+}
+
+// mayTouchIsolation implements pairEnv over the global device table.
+func (ic *interactionChecker) mayTouchIsolation(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := ic.ex.Netlist.Devices[dev].Info
+	return info != nil && info.MayTouchIsolation
+}
+
+// accOverlapBounds implements pairGeom directly.
+func (ic *interactionChecker) accOverlapBounds(a, b *netlist.ConnItem) (geom.Rect, bool) {
+	ov := a.Reg.Intersect(b.Reg)
+	if ov.Empty() {
+		return geom.Rect{}, false
+	}
+	return ov.Bounds(), true
+}
+
+func (ic *interactionChecker) regOverlaps(a, b *netlist.ConnItem) bool {
+	return a.Reg.Overlaps(b.Reg)
+}
+
+func (ic *interactionChecker) dist(a, b *netlist.ConnItem) float64 {
+	if ic.c.opts.Metric == Orthogonal {
+		return float64(geom.RegionOrthoDist(a.Reg, b.Reg))
+	}
+	d, _, _ := geom.RegionDist(a.Reg, b.Reg)
+	return d
+}
+
+func (ic *interactionChecker) processOK(a, b *netlist.ConnItem, mis, margin float64) bool {
+	return ic.c.opts.ProcessSpacing.SpacingOK(a.Reg, b.Reg, mis, margin)
+}
+
 // pair adjudicates one candidate interaction from the sweep, accumulating
 // into the worker-local tally.
 func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
-	c, ex, tc := ic.c, ic.ex, ic.tc
+	a := &ic.ex.Items[p.A.ID]
+	b := &ic.ex.Items[p.B.ID]
+	adjudicatePair(ic.tc, ic.c.opts, ic.lay, a, b, ic, ic, t)
+}
+
+// adjudicatePair runs the Figure 12 subcase logic for one candidate pair:
+// device-dependent cross-symbol rules first (accidental transistors), then
+// the same-net / different-net / related spacing subcases, with geometry
+// asked only when the topology fails to excuse the pair. The relationship
+// answers come from env and the measurements from g, so the same logic —
+// and therefore byte-identical reports — serves both the chip-level sweep
+// and the incremental engine's definition-level replay.
+func adjudicatePair(tc *tech.Technology, opts Options, lay layerIDs, a, b *netlist.ConnItem, env pairEnv, g pairGeom, t *interactionTally) {
 	t.candidates++
-	a := &ex.Items[p.A.ID]
-	b := &ex.Items[p.B.ID]
 	sameDevice := a.Dev >= 0 && a.Dev == b.Dev
 
 	// Accidental transistor (Figure 8): poly over diffusion outside a
 	// single declared device. Implicit devices are not allowed.
-	if ic.hasPoly && ic.hasDiff && !sameDevice &&
-		((a.Layer == ic.polyID && b.Layer == ic.diffID) || (a.Layer == ic.diffID && b.Layer == ic.polyID)) {
+	if lay.hasPoly && lay.hasDiff && !sameDevice &&
+		((a.Layer == lay.polyID && b.Layer == lay.diffID) || (a.Layer == lay.diffID && b.Layer == lay.polyID)) {
 		if a.Bounds.Overlaps(b.Bounds) {
 			t.checks++
-			if ov := a.Reg.Intersect(b.Reg); !ov.Empty() {
-				t.violations = append(t.violations, Violation{
-					Rule:     "DEV.ACCIDENTAL",
-					Severity: Error,
-					Detail:   "poly crosses diffusion outside a transistor symbol (implicit devices are not allowed)",
-					Where:    ov.Bounds(),
-					Path:     a.Path,
-					Nets:     c.netNames(ex, a.Net, b.Net),
+			if ovb, ok := g.accOverlapBounds(a, b); ok {
+				t.violations = append(t.violations, violationDraft{
+					v: Violation{
+						Rule:     "DEV.ACCIDENTAL",
+						Severity: Error,
+						Detail:   "poly crosses diffusion outside a transistor symbol (implicit devices are not allowed)",
+						Where:    ovb,
+						Path:     a.Path,
+					},
+					aNet: a.Net, bNet: b.Net,
 				})
 				return // the spacing cell would double-report this overlap
 			}
@@ -129,9 +245,9 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 	// the circuit. Its own internal geometry (same device) is stage
 	// 2's business, not an interaction.
 	resException := !sameDevice &&
-		(c.devKeepsSameNetSpacing(ex, a.Dev) || c.devKeepsSameNetSpacing(ex, b.Dev))
-	isRelated := ic.related(a, b)
-	if !c.opts.NoExemptions {
+		(env.keepsSameNetSpacing(a.Dev) || env.keepsSameNetSpacing(b.Dev))
+	isRelated := env.related(a, b)
+	if !opts.NoExemptions {
 		if rule.ExemptRelated && isRelated && !resException {
 			t.skippedRelated++
 			return
@@ -145,9 +261,9 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 		return
 	}
 
-	sameNet := a.Net != netlist.NoNet && a.Net == b.Net
+	sameNet := env.sameNet(a, b)
 	need := rule.DiffNet
-	if sameNet && !c.opts.NoExemptions {
+	if sameNet && !opts.NoExemptions {
 		need = rule.SameNet
 		if need == 0 && resException {
 			need = rule.DiffNet
@@ -164,12 +280,12 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 
 	// Figure 6b: devices that may legally touch isolation are exempt
 	// from the base-isolation spacing cell.
-	if ic.hasIso && (a.Layer == ic.isoID || b.Layer == ic.isoID) {
+	if lay.hasIso && (a.Layer == lay.isoID || b.Layer == lay.isoID) {
 		other := a
-		if a.Layer == ic.isoID {
+		if a.Layer == lay.isoID {
 			other = b
 		}
-		if c.devMayTouchIsolation(ex, other.Dev) {
+		if env.mayTouchIsolation(other.Dev) {
 			t.skippedRelated++
 			return
 		}
@@ -178,20 +294,14 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 	// Same-layer touching pairs were adjudicated by the connection
 	// stage (legal skeletal connection or CONN.ILLEGAL); measuring
 	// them again would double-report.
-	if a.Layer == b.Layer && a.Reg.Overlaps(b.Reg) {
+	if a.Layer == b.Layer && g.regOverlaps(a, b) {
 		t.skippedConn++
 		return
 	}
 
 	t.checked++
 	t.checks++
-	var dist float64
-	if c.opts.Metric == Orthogonal {
-		dist = float64(geom.RegionOrthoDist(a.Reg, b.Reg))
-	} else {
-		d, _, _ := geom.RegionDist(a.Reg, b.Reg)
-		dist = d
-	}
+	dist := g.dist(a, b)
 	// A touching, related element under the resistor exception is the
 	// legitimate connection into the resistor terminal, not a short.
 	if resException && isRelated && dist == 0 {
@@ -201,18 +311,18 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 	if dist < float64(need) {
 		severity := Error
 		extra := ""
-		if m := c.opts.ProcessSpacing; m != nil && dist > 0 {
+		if m := opts.ProcessSpacing; m != nil && dist > 0 {
 			// Second opinion from the Eq. 1 process model: translate
 			// by worst-case misalignment when the layers differ, then
 			// require the printed images to keep the margin.
 			mis := 0.0
 			if a.Layer != b.Layer {
-				mis = c.opts.Misalign
+				mis = opts.Misalign
 				if mis == 0 && tc.Lambda > 0 {
 					mis = float64(tc.Lambda) / 2
 				}
 			}
-			if m.SpacingOK(a.Reg, b.Reg, mis, c.opts.ProcessMargin) {
+			if g.processOK(a, b, mis, opts.ProcessMargin) {
 				severity = Warning
 				extra = " (process model predicts a safe printed gap; downgraded)"
 				t.downgrades++
@@ -226,21 +336,24 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 		if la > lb {
 			la, lb = lb, la
 		}
-		t.violations = append(t.violations, Violation{
-			Rule:     fmt.Sprintf("S.%s.%s.%s", la, lb, sub),
-			Severity: severity,
-			Detail: fmt.Sprintf("spacing %.0f < %d between %s and %s (%s net)%s",
-				dist, need, tc.Layer(a.Layer).Name, tc.Layer(b.Layer).Name, sub, extra),
-			Where: a.Bounds.Union(b.Bounds).Intersect(a.Bounds.Expand(need).Union(b.Bounds.Expand(need))),
-			Path:  a.Path,
-			Layer: a.Layer,
-			Nets:  c.netNames(ex, a.Net, b.Net),
+		t.violations = append(t.violations, violationDraft{
+			v: Violation{
+				Rule:     fmt.Sprintf("S.%s.%s.%s", la, lb, sub),
+				Severity: severity,
+				Detail: fmt.Sprintf("spacing %.0f < %d between %s and %s (%s net)%s",
+					dist, need, tc.Layer(a.Layer).Name, tc.Layer(b.Layer).Name, sub, extra),
+				Where: a.Bounds.Union(b.Bounds).Intersect(a.Bounds.Expand(need).Union(b.Bounds.Expand(need))),
+				Path:  a.Path,
+				Layer: a.Layer,
+			},
+			aNet: a.Net, bNet: b.Net,
 		})
 	}
 }
 
-// absorb folds one tally into the report, in merge order.
-func (c *checker) absorb(t *interactionTally) {
+// absorb folds one tally into the report, in merge order, resolving net
+// names against the global netlist.
+func (c *checker) absorb(ex *netlist.Extraction, t *interactionTally) {
 	st := &c.rep.Stats
 	st.InteractionCandidates += t.candidates
 	st.InteractionChecked += t.checked
@@ -252,7 +365,11 @@ func (c *checker) absorb(t *interactionTally) {
 	if c.curStage != nil {
 		c.curStage.Checks += t.checks
 	}
-	c.rep.Violations = append(c.rep.Violations, t.violations...)
+	for _, d := range t.violations {
+		v := d.v
+		v.Nets = c.netNames(ex, d.aNet, d.bNet)
+		c.rep.Violations = append(c.rep.Violations, v)
+	}
 }
 
 // checkInteractions is pipeline stage 5: everything that remains after
@@ -262,6 +379,10 @@ func (c *checker) absorb(t *interactionTally) {
 // subcases — plus the device-dependent cross-symbol rules: accidental
 // transistors (Figure 8), contacts over gates (Figure 7), and bipolar base
 // versus isolation (Figure 6).
+//
+// Pairs are adjudicated in canonical orientation (lower item index first —
+// i.e. chip walk order), so the violation fields that depend on which item
+// is "a" are independent of sweep discovery order.
 //
 // With Options.Workers != 1 the item set is sharded into overlapping
 // x-strips (strip width at least tech.MaxSpacing, so no cross-strip pair
@@ -277,18 +398,24 @@ func (c *checker) checkInteractions(ex *netlist.Extraction) {
 	}
 
 	ic := newInteractionChecker(c, ex)
+	canon := func(p geom.Pair) geom.Pair {
+		if p.B.ID < p.A.ID {
+			p.A, p.B = p.B, p.A
+		}
+		return p
+	}
 	if workers := c.opts.workerCount(); workers == 1 || pf.Len() < 2 {
 		var t interactionTally
-		pf.Pairs(maxGap, nil, func(p geom.Pair) { ic.pair(p, &t) })
-		c.absorb(&t)
+		pf.Pairs(maxGap, nil, func(p geom.Pair) { ic.pair(canon(p), &t) })
+		c.absorb(ex, &t)
 	} else {
 		shards := pf.Shards(maxGap, workers*geom.StripsPerWorker)
 		tallies := make([]interactionTally, len(shards))
 		geom.RunShards(len(shards), workers, func(k int) {
-			shards[k].Pairs(nil, func(p geom.Pair) { ic.pair(p, &tallies[k]) })
+			shards[k].Pairs(nil, func(p geom.Pair) { ic.pair(canon(p), &tallies[k]) })
 		})
 		for k := range tallies {
-			c.absorb(&tallies[k])
+			c.absorb(ex, &tallies[k])
 		}
 	}
 
@@ -297,26 +424,6 @@ func (c *checker) checkInteractions(ex *netlist.Extraction) {
 	c.checkGateKeepouts(ex)
 	// Bipolar base vs isolation, cross-symbol (Figure 6a).
 	c.checkBaseKeepouts(ex)
-}
-
-// devKeepsSameNetSpacing reports whether the item's device demands spacing
-// checks even on its own net (resistors, Figure 5b).
-func (c *checker) devKeepsSameNetSpacing(ex *netlist.Extraction, dev int) bool {
-	if dev < 0 {
-		return false
-	}
-	info := ex.Netlist.Devices[dev].Info
-	return info != nil && !info.SpacingExemptSameNet
-}
-
-// devMayTouchIsolation reports whether the item's device may legally
-// connect to isolation (Figure 6b resistors).
-func (c *checker) devMayTouchIsolation(ex *netlist.Extraction, dev int) bool {
-	if dev < 0 {
-		return false
-	}
-	info := ex.Netlist.Devices[dev].Info
-	return info != nil && info.MayTouchIsolation
 }
 
 // checkGateKeepouts flags contact cuts overlapping MOS channels of other

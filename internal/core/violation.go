@@ -15,8 +15,11 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/tech"
@@ -76,27 +79,45 @@ func (v Violation) String() string {
 	return fmt.Sprintf("%s %s at %v%s: %s", v.Severity, v.Rule, v.Where, loc, v.Detail)
 }
 
-// sortViolations orders violations deterministically: rule, then location.
+// sortViolations orders violations deterministically. The comparison key
+// covers every field, so the order is total over distinct violations: two
+// reports containing the same violation multiset sort byte-identically no
+// matter what order the pipeline discovered them in. (sort.Slice is not
+// stable, so a mere preorder would let equal-keyed distinct violations
+// land in run-dependent order — the incremental engine's warm-vs-cold
+// byte-identity guarantee depends on totality here.)
 func sortViolations(vs []Violation) {
 	sort.Slice(vs, func(i, j int) bool {
-		a, b := vs[i], vs[j]
-		if a.Rule != b.Rule {
-			return a.Rule < b.Rule
-		}
-		if a.Symbol != b.Symbol {
-			return a.Symbol < b.Symbol
-		}
-		if a.Path != b.Path {
-			return a.Path < b.Path
-		}
-		if a.Where.X1 != b.Where.X1 {
-			return a.Where.X1 < b.Where.X1
-		}
-		if a.Where.Y1 != b.Where.Y1 {
-			return a.Where.Y1 < b.Where.Y1
-		}
-		return a.Detail < b.Detail
+		return compareViolations(&vs[i], &vs[j]) < 0
 	})
+}
+
+// compareViolations is a total order over violation values.
+func compareViolations(a, b *Violation) int {
+	switch {
+	case a.Rule != b.Rule:
+		return strings.Compare(a.Rule, b.Rule)
+	case a.Symbol != b.Symbol:
+		return strings.Compare(a.Symbol, b.Symbol)
+	case a.Path != b.Path:
+		return strings.Compare(a.Path, b.Path)
+	case a.Where.X1 != b.Where.X1:
+		return cmp.Compare(a.Where.X1, b.Where.X1)
+	case a.Where.Y1 != b.Where.Y1:
+		return cmp.Compare(a.Where.Y1, b.Where.Y1)
+	case a.Detail != b.Detail:
+		return strings.Compare(a.Detail, b.Detail)
+	case a.Where.X2 != b.Where.X2:
+		return cmp.Compare(a.Where.X2, b.Where.X2)
+	case a.Where.Y2 != b.Where.Y2:
+		return cmp.Compare(a.Where.Y2, b.Where.Y2)
+	case a.Severity != b.Severity:
+		return int(a.Severity) - int(b.Severity)
+	case a.Layer != b.Layer:
+		return int(a.Layer) - int(b.Layer)
+	default:
+		return slices.CompareFunc(a.Nets, b.Nets, strings.Compare)
+	}
 }
 
 // CountByRule tallies violations by rule id.

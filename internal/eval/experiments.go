@@ -617,3 +617,75 @@ func E18(quick bool) (*Table, error) {
 	t.Note("Workers:1 is the serial oracle; Workers:0 shards the sweep into x-strips over runtime.NumCPU() goroutines and merges in strip order — reports are byte-identical")
 	return t, nil
 }
+
+// E19 measures the incremental engine: cold Check versus warm Recheck
+// after a single-symbol edit, per pipeline stage, on the unique-rows
+// inverter-array workload ("rules are checked in the symbol definition,
+// not in each instance" — so an edit should only cost what it touched).
+// The warm report is verified byte-identical (modulo durations) to a cold
+// check of the edited design before timings are reported.
+func E19(quick bool) (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "incremental recheck: cold vs warm after a one-symbol edit",
+		Figure:  "the paper's edit-loop claim + the ROADMAP service axis",
+		Columns: []string{"rows x cols", "stage", "cold", "warm", "speedup"},
+	}
+	sizes := []struct{ rows, cols int }{{16, 16}, {32, 32}}
+	if quick {
+		sizes = sizes[:1]
+	}
+	for _, size := range sizes {
+		tc := tech.NMOS()
+		chip := workload.NewChipUnique(tc, "e19", size.rows, size.cols)
+		metalL, _ := tc.LayerByName(tech.NMOSMetal)
+
+		eng := core.NewEngine(tc, core.Options{})
+		if _, err := eng.Check(chip.Design); err != nil {
+			return nil, err
+		}
+		// The single-symbol edit: a floating GND-declared probe box in one
+		// row definition (keeps the chip error-free and the size stable).
+		row, ok := chip.Design.Symbol(fmt.Sprintf("row%d", size.rows/2))
+		if !ok {
+			return nil, fmt.Errorf("E19: row symbol missing")
+		}
+		row.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+
+		warm, err := eng.Recheck(chip.Design)
+		if err != nil {
+			return nil, err
+		}
+		cold, err := core.NewEngine(tc, core.Options{}).Check(chip.Design)
+		if err != nil {
+			return nil, err
+		}
+		if core.Fingerprint(warm) != core.Fingerprint(cold) {
+			return nil, fmt.Errorf("E19: warm recheck diverged from cold check on %dx%d", size.rows, size.cols)
+		}
+		var coldTotal, warmTotal time.Duration
+		for si := range cold.Stats.Stages {
+			cs, ws := cold.Stats.Stages[si], warm.Stats.Stages[si]
+			coldTotal += cs.Duration
+			warmTotal += ws.Duration
+			t.AddRow(fmt.Sprintf("%dx%d", size.rows, size.cols), cs.Name,
+				cs.Duration.Round(time.Microsecond).String(),
+				ws.Duration.Round(time.Microsecond).String(),
+				speedupString(cs.Duration, ws.Duration))
+		}
+		t.AddRow(fmt.Sprintf("%dx%d", size.rows, size.cols), "TOTAL",
+			coldTotal.Round(time.Microsecond).String(),
+			warmTotal.Round(time.Microsecond).String(),
+			speedupString(coldTotal, warmTotal))
+	}
+	t.Note("cold = fresh engine (every definition artifact rebuilt); warm = same engine after editing ONE row definition")
+	t.Note("warm and cold reports are byte-identical modulo stage durations (core.Fingerprint enforced above)")
+	return t, nil
+}
+
+func speedupString(cold, warm time.Duration) string {
+	if warm <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(cold)/float64(warm))
+}

@@ -213,6 +213,22 @@ func TestE17Ablation(t *testing.T) {
 	}
 }
 
+func TestE19IncrementalRecheck(t *testing.T) {
+	tab, err := E19(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 pipeline-stage rows (6 stages + TOTAL) for the quick size.
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7: %v", len(tab.Rows), tab.Rows)
+	}
+	if tab.Rows[len(tab.Rows)-1][1] != "TOTAL" {
+		t.Fatalf("last row not TOTAL: %v", tab.Rows[len(tab.Rows)-1])
+	}
+	// E19 itself fails when the warm recheck diverges from the cold check,
+	// so reaching here already proves byte-identity on this workload.
+}
+
 func TestE18ParallelEngine(t *testing.T) {
 	tab, err := E18(true)
 	if err != nil {

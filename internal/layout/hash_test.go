@@ -1,0 +1,151 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// buildHashFixture returns a three-level design: top -> mid -> leaf.
+func buildHashFixture(t *testing.T) (*Design, *Symbol, *Symbol, *Symbol) {
+	t.Helper()
+	d := NewDesign("hashfix")
+	leaf := d.MustSymbol("leaf")
+	leaf.AddBox(0, geom.R(0, 0, 500, 500), "a")
+	mid := d.MustSymbol("mid")
+	mid.AddCall(leaf, geom.Translate(geom.Pt(1000, 0)), "l0")
+	mid.AddWire(1, 250, "", geom.Pt(0, 0), geom.Pt(2000, 0))
+	top := d.MustSymbol("top")
+	top.AddCall(mid, geom.Identity, "m0")
+	top.AddCall(mid, geom.NewTransform(geom.R90, geom.Pt(0, 5000)), "m1")
+	d.Top = top
+	return d, top, mid, leaf
+}
+
+func TestContentHashesStable(t *testing.T) {
+	d, top, mid, leaf := buildHashFixture(t)
+	h1 := d.ContentHashes()
+	h2 := d.ContentHashes()
+	for _, s := range []*Symbol{top, mid, leaf} {
+		if h1[s] != h2[s] {
+			t.Fatalf("hash of %q not stable across calls", s.Name)
+		}
+	}
+	// An identically-built design hashes identically.
+	d2, top2, _, _ := buildHashFixture(t)
+	if d.ContentHashes()[top].Subtree != d2.ContentHashes()[top2].Subtree {
+		t.Fatal("identical designs hash differently")
+	}
+}
+
+func TestContentHashesPropagateUp(t *testing.T) {
+	d, top, mid, leaf := buildHashFixture(t)
+	before := d.ContentHashes()
+	// Edit the leaf: every ancestor's subtree hash must change; own hashes
+	// of the ancestors must not.
+	leaf.AddBox(0, geom.R(600, 600, 900, 900), "")
+	after := d.ContentHashes()
+	if before[leaf].Own == after[leaf].Own {
+		t.Fatal("leaf own hash unchanged after edit")
+	}
+	for _, s := range []*Symbol{mid, top} {
+		if before[s].Subtree == after[s].Subtree {
+			t.Fatalf("%q subtree hash unchanged after leaf edit", s.Name)
+		}
+		if before[s].Own != after[s].Own {
+			t.Fatalf("%q own hash changed by a leaf edit", s.Name)
+		}
+	}
+}
+
+func TestContentHashSensitivity(t *testing.T) {
+	base := func() (*Design, *Symbol) {
+		d := NewDesign("s")
+		s := d.MustSymbol("sym")
+		s.AddBox(2, geom.R(0, 0, 100, 100), "n")
+		d.Top = s
+		return d, s
+	}
+	d0, s0 := base()
+	h0 := d0.ContentHashes()[s0].Own
+
+	edits := []func(s *Symbol){
+		func(s *Symbol) { s.Elements[0].Box.X2 = 101 },          // geometry
+		func(s *Symbol) { s.Elements[0].Layer = 3 },             // layer
+		func(s *Symbol) { s.Elements[0].Net = "m" },             // declared net
+		func(s *Symbol) { s.DeviceType = "NE" },                 // device decl
+		func(s *Symbol) { s.Checked = true },                    // CHK flag
+		func(s *Symbol) { s.AddBox(2, geom.R(0, 0, 1, 1), "") }, // new element
+	}
+	for i, edit := range edits {
+		d, s := base()
+		edit(s)
+		if d.ContentHashes()[s].Own == h0 {
+			t.Errorf("edit %d did not change the own hash", i)
+		}
+	}
+
+	// Transform and call-name changes move only the subtree hash.
+	d1, top1, mid1, _ := buildHashFixture(t)
+	h1 := d1.ContentHashes()
+	mid1.Calls[0].T = geom.Translate(geom.Pt(1001, 0))
+	h2 := d1.ContentHashes()
+	if h1[mid1].Subtree == h2[mid1].Subtree {
+		t.Fatal("call transform edit did not change subtree hash")
+	}
+	if h1[mid1].Own != h2[mid1].Own {
+		t.Fatal("call transform edit changed own hash")
+	}
+	if h1[top1].Subtree == h2[top1].Subtree {
+		t.Fatal("call transform edit did not propagate to top")
+	}
+}
+
+func TestCallersAndDirtyClosure(t *testing.T) {
+	d, top, mid, leaf := buildHashFixture(t)
+	callers := d.Callers()
+	if got := callers[leaf]; len(got) != 1 || got[0] != mid {
+		t.Fatalf("callers(leaf) = %v", got)
+	}
+	if got := callers[mid]; len(got) != 1 || got[0] != top {
+		t.Fatalf("callers(mid) = %v", got)
+	}
+	dirty := d.DirtyClosure(leaf)
+	for _, s := range []*Symbol{leaf, mid, top} {
+		if !dirty[s] {
+			t.Fatalf("%q missing from dirty closure", s.Name)
+		}
+	}
+	if len(dirty) != 3 {
+		t.Fatalf("dirty closure has %d symbols, want 3", len(dirty))
+	}
+	// A top-only edit dirties nothing below.
+	dirty = d.DirtyClosure(top)
+	if len(dirty) != 1 || !dirty[top] {
+		t.Fatalf("dirty closure of top = %v", dirty)
+	}
+}
+
+func TestDirtySymbols(t *testing.T) {
+	d, top, mid, leaf := buildHashFixture(t)
+	_, cur := d.DirtySymbols(nil)
+	prev := make(map[string]Hash)
+	for s, h := range cur {
+		prev[s.Name] = h.Subtree
+	}
+	if dirty, _ := d.DirtySymbols(prev); len(dirty) != 0 {
+		t.Fatalf("unedited design reports dirty symbols: %v", dirty)
+	}
+	leaf.AddBox(0, geom.R(1, 1, 2, 2), "")
+	dirty, _ := d.DirtySymbols(prev)
+	want := map[string]bool{leaf.Name: true, mid.Name: true, top.Name: true}
+	if len(dirty) != len(want) {
+		t.Fatalf("dirty = %v, want leaf+mid+top", dirty)
+	}
+	for _, s := range dirty {
+		if !want[s.Name] {
+			t.Fatalf("unexpected dirty symbol %q", s.Name)
+		}
+	}
+	_ = top
+}

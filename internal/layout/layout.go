@@ -233,6 +233,12 @@ func (s *Symbol) AddCall(target *Symbol, t geom.Transform, name string) *Call {
 // IsPrimitive reports whether the symbol declares a device type.
 func (s *Symbol) IsPrimitive() bool { return s.DeviceType != "" }
 
+// Touch marks the symbol's derived caches (currently the bounding box)
+// stale. The Add* methods do this automatically; call Touch after mutating
+// element geometry in place — the edit idiom of a long-lived incremental
+// checking session.
+func (s *Symbol) Touch() { s.bboxValid = false }
+
 // Bounds returns the symbol's bounding box including called symbols,
 // cached until the symbol is modified.
 func (s *Symbol) Bounds() geom.Rect {

@@ -1,6 +1,8 @@
 package netlist
 
 import (
+	"sort"
+
 	"repro/internal/device"
 	"repro/internal/geom"
 	"repro/internal/layout"
@@ -118,7 +120,7 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 			devIdx := len(devices)
 			dev := DeviceUse{
 				Path: path, Symbol: s, Type: s.DeviceType, Class: info.Class,
-				T: t, TerminalNets: make(map[string]NetID), Info: info,
+				T: t, Info: info,
 			}
 			nodeToFoot := make(map[int]int)
 			for _, term := range info.Terminals {
@@ -139,8 +141,8 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 				} else {
 					nodeToFoot[term.Node] = idx
 				}
-				if _, have := dev.TerminalNets[term.Name]; !have {
-					dev.TerminalNets[term.Name] = NetID(idx)
+				if _, have := dev.TerminalNet(term.Name); !have {
+					dev.TerminalNets = append(dev.TerminalNets, TerminalNet{Name: term.Name, Net: NetID(idx)})
 				}
 			}
 			// Support geometry not covered by terminals (cuts, implants,
@@ -164,6 +166,9 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 					Dev: devIdx, Reg: b, Bounds: b.Bounds(), Clearance: info.BaseClearance,
 				})
 			}
+			sort.Slice(dev.TerminalNets, func(i, j int) bool {
+				return dev.TerminalNets[i].Name < dev.TerminalNets[j].Name
+			})
 			devices = append(devices, dev)
 			return
 		}
@@ -228,10 +233,13 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 		}
 		return skeletons[i]
 	}
-	type candPair struct{ a, b int } // footprint indices
+	type candPair struct{ a, b int } // footprint indices, a < b
 	var illegalCands []candPair
 	pf.Pairs(0, func(a, b geom.Item) bool { return a.Tag == b.Tag }, func(p geom.Pair) {
 		i, j := p.A.ID, p.B.ID
+		if i > j {
+			i, j = j, i // canonical orientation: lower footprint index first
+		}
 		if !foots[i].reg.Overlaps(foots[j].reg) {
 			return
 		}
@@ -248,24 +256,11 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 	}
 	ex.Netlist = nl
 
-	// Assign nets to items.
-	rootToNet := make(map[int]NetID)
-	for i := range foots {
-		rootToNet[uf.find(i)] = 0
-	}
-	// assemble() ordered nets by first footprint; recompute the same way.
-	seen := make(map[int]NetID)
-	next := NetID(0)
-	for i := range foots {
-		root := uf.find(i)
-		if _, ok := seen[root]; !ok {
-			seen[root] = next
-			next++
-		}
-	}
+	// Assign nets to items from the canonical class labels.
+	classOf, _ := classify(uf, len(foots))
 	for i := range items {
 		if f := itemFoot[i]; f >= 0 {
-			items[i].Net = seen[uf.find(f)]
+			items[i].Net = NetID(classOf[f])
 		}
 	}
 	ex.Items = items
@@ -278,7 +273,7 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 		}
 	}
 	for _, c := range illegalCands {
-		if seen[uf.find(c.a)] != seen[uf.find(c.b)] {
+		if classOf[c.a] != classOf[c.b] {
 			ex.IllegalPairs = append(ex.IllegalPairs, [2]int{footItem[c.a], footItem[c.b]})
 		}
 	}

@@ -1,0 +1,1154 @@
+package netlist
+
+// Incremental, content-addressed extraction.
+//
+// ExtractFull walks the fully instantiated chip: every element region,
+// every skeleton, and every connectivity test is redone per instance and
+// per run. This file restructures extraction around the paper's own
+// locality argument — "the information about what symbol the piece of
+// geometry came from is never lost" — so that everything derivable from a
+// symbol *definition* is computed once, keyed by the definition's content
+// hash, and reused across instances and across checker runs:
+//
+//   - SymbolArtifacts holds the fully flattened subtree of one symbol in
+//     symbol-local coordinates: items, footprints, the subtree-local net
+//     partition (union-find classes), device uses, keepouts, illegal
+//     connection candidates, and NET.ELEM issues. It is keyed by the
+//     symbol's subtree content hash (layout.ContentHashes).
+//   - Connectivity between two footprints is discovered exactly once, at
+//     the definition of their lowest common ancestor: each definition runs
+//     a cross-owner sweep over its own footprints and its children's
+//     bounding boxes; pairs internal to one child were already resolved in
+//     the child's artifacts and are inherited by index translation.
+//   - A span cache keys the transformed embedding of a child subtree by
+//     (child hash, call transform, call name), so re-deriving a parent
+//     does not re-transform unchanged child geometry.
+//
+// The root symbol's artifacts are, by construction, exactly the flat
+// extraction: local coordinates are chip coordinates, relative paths are
+// instance paths, and local class ids are the final net ids (both number
+// connected components by first-footprint order). ExtractIncremental
+// therefore produces an Extraction equal to ExtractFull's, cheaper on a
+// warm cache by every subtree whose content hash is unchanged.
+
+import (
+	"sort"
+
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// LocalFoot is one connectable footprint of a subtree, in the subtree's
+// local coordinates.
+type LocalFoot struct {
+	Layer    tech.LayerID
+	Bounds   geom.Rect
+	Reg      geom.Region
+	Declared string // declared net name, qualified relative to this frame
+	Elements int    // interconnect elements represented (0 or 1)
+	MinWidth int64  // layer minimum width (skeleton shrink), own foots only
+}
+
+// ChildSpan locates one call's embedded subtree within the parent's
+// flattened arrays.
+type ChildSpan struct {
+	Call *layout.Call
+	Art  *SymbolArtifacts // the callee's definition-level artifacts
+
+	Bounds             geom.Rect // bounds of the embedded subtree (parent frame)
+	ItemStart, ItemEnd int
+	FootStart, FootEnd int
+	DevStart, DevEnd   int
+
+	sd *spanData // shared transformed embedding (skeleton cache lives here)
+}
+
+// SymbolArtifacts is the complete extraction of one symbol's subtree in
+// symbol-local coordinates, content-addressed by the subtree hash.
+// Everything in it is instance-independent; instance-dependent facts
+// (global net identity, absolute paths, chip coordinates) are re-derived
+// by embedding these arrays translated and index-shifted.
+type SymbolArtifacts struct {
+	Sym  *layout.Symbol
+	Hash layout.Hash
+
+	// Flattened subtree in walk order: own elements (or device terminals
+	// and support geometry for a primitive), then each call's subtree.
+	Items    []ConnItem  // Net holds the LOCAL class id (or NoNet)
+	Foots    []LocalFoot // connectable subset, parallel order
+	ItemFoot []int       // item index -> foot index, -1 for support geometry
+
+	// Local net partition over Foots, labeled in first-footprint order.
+	ClassOf    []int
+	ClassFoot  []int // class -> first (representative) foot index
+	NumClasses int
+
+	Devices      []DeviceUse // Path and T relative; TerminalNets hold local class ids
+	Gates        []Keepout   // local coordinates; Dev is the local device index
+	BaseKeepouts []Keepout
+	Issues       []Issue  // NET.ELEM findings, local coordinates
+	IllegalCands [][2]int // item-index pairs (a < b), candidates for CONN.ILLEGAL
+
+	Children []ChildSpan
+
+	// Instances counts the placements in this subtree including itself
+	// (primitive and composite definitions alike), sized once at build so
+	// per-run instance enumeration can preallocate.
+	Instances int
+
+	// LayerMask has bit l set when some item in the subtree sits on layer
+	// l (layers ≥ 63 set the overflow bit 63, making the mask
+	// conservative: a set bit means "maybe present").
+	LayerMask uint64
+
+	// Virtual marks a root built without materializing the embedded
+	// Items/Foots/ItemFoot arrays — the chip is never fully instantiated.
+	// Items, Foots, and ItemFoot then hold only the symbol's own entries;
+	// embedded entries resolve through the accessors below (NumItems,
+	// ItemView, ResolveItem, FootView, ItemFootAt, FootItemAt), which are
+	// valid on materialized artifacts too. Counts and index offsets
+	// (Children spans, ClassOf, ClassFoot) are always for the full
+	// flattened subtree.
+	Virtual  bool
+	numItems int
+	numFoots int
+
+	footItem []int // lazy inverse of ItemFoot (materialized artifacts)
+
+	skels map[int]geom.Region // lazy skeletons of own footprints
+}
+
+// NumItems returns the flattened subtree item count.
+func (a *SymbolArtifacts) NumItems() int {
+	if a.Virtual {
+		return a.numItems
+	}
+	return len(a.Items)
+}
+
+// NumFoots returns the flattened subtree footprint count.
+func (a *SymbolArtifacts) NumFoots() int {
+	if a.Virtual {
+		return a.numFoots
+	}
+	return len(a.Foots)
+}
+
+// itemSpan locates the child span containing item index i (-1 for own).
+func (a *SymbolArtifacts) itemSpan(i int) int {
+	if i < a.OwnItemEnd() {
+		return -1
+	}
+	lo, hi := 0, len(a.Children)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if a.Children[mid].ItemStart <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// footSpan locates the child span containing foot index i (-1 for own).
+func (a *SymbolArtifacts) footSpan(i int) int {
+	if i < a.ownFootEnd() {
+		return -1
+	}
+	lo, hi := 0, len(a.Children)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if a.Children[mid].FootStart <= i {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// ItemView returns a pointer to the stored item for index i. Geometry
+// (Layer, Bounds, Reg) is always frame-correct; on a Virtual artifact the
+// Path, Net, and Dev of embedded items are in the CHILD's frame — use
+// ResolveItem when those matter.
+func (a *SymbolArtifacts) ItemView(i int) *ConnItem {
+	if !a.Virtual || i < a.OwnItemEnd() {
+		return &a.Items[i]
+	}
+	sp := &a.Children[a.itemSpan(i)]
+	return &sp.sd.items[i-sp.ItemStart]
+}
+
+// ResolveItem returns a frame-correct copy of item i: geometry and path
+// as stored in the span embedding (span construction already prefixed the
+// call name), Dev offset into this frame, Net set to this frame's local
+// class (NoNet for support geometry).
+func (a *SymbolArtifacts) ResolveItem(i int) ConnItem {
+	if !a.Virtual || i < a.OwnItemEnd() {
+		return a.Items[i]
+	}
+	sp := &a.Children[a.itemSpan(i)]
+	it := sp.sd.items[i-sp.ItemStart]
+	if it.Dev >= 0 {
+		it.Dev += sp.DevStart
+	}
+	if f := a.ItemFootAt(i); f >= 0 {
+		it.Net = NetID(a.ClassOf[f])
+	} else {
+		it.Net = NoNet
+	}
+	return it
+}
+
+// FootView returns a pointer to the stored footprint for index i; all
+// fields, including the Declared name, are frame-correct (span
+// construction qualified them on embedding).
+func (a *SymbolArtifacts) FootView(i int) *LocalFoot {
+	if !a.Virtual || i < a.ownFootEnd() {
+		return &a.Foots[i]
+	}
+	sp := &a.Children[a.footSpan(i)]
+	return &sp.sd.foots[i-sp.FootStart]
+}
+
+// ItemFootAt returns the footprint index of item i, -1 for support
+// geometry.
+func (a *SymbolArtifacts) ItemFootAt(i int) int {
+	if !a.Virtual || i < a.OwnItemEnd() {
+		return a.ItemFoot[i]
+	}
+	sp := &a.Children[a.itemSpan(i)]
+	if cf := sp.Art.ItemFootAt(i - sp.ItemStart); cf >= 0 {
+		return sp.FootStart + cf
+	}
+	return -1
+}
+
+// FootItemAt returns the item index of footprint f.
+func (a *SymbolArtifacts) FootItemAt(f int) int {
+	if !a.Virtual || f < a.ownFootEnd() {
+		if a.footItem == nil {
+			a.footItem = make([]int, a.ownFootEndOrAll())
+			for i, ff := range a.ItemFoot {
+				if ff >= 0 {
+					a.footItem[ff] = i
+				}
+			}
+		}
+		return a.footItem[f]
+	}
+	sp := &a.Children[a.footSpan(f)]
+	return sp.ItemStart + sp.Art.FootItemAt(f-sp.FootStart)
+}
+
+func (a *SymbolArtifacts) ownFootEndOrAll() int {
+	if a.Virtual {
+		return a.ownFootEnd()
+	}
+	return len(a.Foots)
+}
+
+// MayHaveLayer reports whether the subtree may contain items on layer l
+// (conservative: true can be a false positive for layers ≥ 63). With
+// enabled false it returns false, letting callers fold a feature gate in.
+func (a *SymbolArtifacts) MayHaveLayer(l tech.LayerID, enabled bool) bool {
+	return enabled && a.LayerMask&layerBit(l) != 0
+}
+
+// SpanItems exposes the embedded child's items in this frame (geometry
+// frame-correct; Path/Net/Dev are child-frame — see ResolveItem).
+func (sp *ChildSpan) SpanItems() []ConnItem { return sp.sd.items }
+
+// OwnItemEnd returns the end of the symbol's own (non-embedded) items.
+func (a *SymbolArtifacts) OwnItemEnd() int {
+	if len(a.Children) > 0 {
+		return a.Children[0].ItemStart
+	}
+	return len(a.Items)
+}
+
+func (a *SymbolArtifacts) ownFootEnd() int {
+	if len(a.Children) > 0 {
+		return a.Children[0].FootStart
+	}
+	return len(a.Foots)
+}
+
+// FootSkel returns the (lazily computed) skeleton of footprint i, in the
+// 4× coordinates of geom.Skeleton. Own footprints erode their region;
+// embedded footprints transform the child definition's cached skeleton —
+// erosion commutes with Manhattan rigid transforms, so the result is the
+// region the flat extractor would have eroded, at transform cost instead
+// of erosion cost, shared across every instance of the child.
+func (a *SymbolArtifacts) FootSkel(i int) geom.Region {
+	if si := a.footSpan(i); si >= 0 {
+		sp := &a.Children[si]
+		return sp.sd.footSkel(i - sp.FootStart)
+	}
+	if a.skels == nil {
+		a.skels = make(map[int]geom.Region)
+	}
+	if s, ok := a.skels[i]; ok {
+		return s
+	}
+	f := &a.Foots[i]
+	s := geom.Skeleton(f.Reg, f.MinWidth)
+	a.skels[i] = s
+	return s
+}
+
+// spanKey identifies one transformed embedding of a subtree.
+type spanKey struct {
+	hash layout.Hash
+	t    geom.Transform
+	name string
+}
+
+// spanData is the cached transformed embedding of a child subtree:
+// the child's artifacts mapped through one call transform with paths
+// prefixed by the call name. Shared by every parent that places the same
+// content under the same transform and name, and across runs.
+type spanData struct {
+	childArt *SymbolArtifacts
+	t        geom.Transform
+	items    []ConnItem  // parent-frame coordinates, relative paths prefixed
+	foots    []LocalFoot // span index left unset; parent assigns
+	devs     []DeviceUse // TerminalNets nil; parent remaps classes
+	gates    []Keepout
+	keeps    []Keepout
+	issues   []Issue
+	bounds   geom.Rect
+
+	skels map[int]geom.Region // lazily transformed child skeletons
+}
+
+func (sd *spanData) footSkel(i int) geom.Region {
+	if sd.skels == nil {
+		sd.skels = make(map[int]geom.Region)
+	}
+	if s, ok := sd.skels[i]; ok {
+		return s
+	}
+	s := sd.childArt.FootSkel(i).TransformBy(scale4(sd.t))
+	sd.skels[i] = s
+	return s
+}
+
+// scale4 lifts a Manhattan transform into the 4× coordinate space of
+// geom.Skeleton.
+func scale4(t geom.Transform) geom.Transform {
+	return geom.Transform{Orient: t.Orient, Trans: geom.Point{X: t.Trans.X * 4, Y: t.Trans.Y * 4}}
+}
+
+// Cache is the content-addressed artifact store backing incremental
+// extraction. It is not safe for concurrent use, and it recycles working
+// arrays across runs: only the MOST RECENT IncExtraction produced through
+// a Cache is valid — a new extraction overwrites the previous result's
+// Instances and (when the root changed) its root classification in place.
+// The public Netlist (nets, devices) is never recycled and stays valid
+// indefinitely. This is the engine's contract: one live run per session.
+type Cache struct {
+	arts  map[layout.Hash]*SymbolArtifacts
+	spans map[spanKey]*spanData
+	infos map[layout.Hash]*analysisEntry
+
+	gen     int
+	artGen  map[layout.Hash]int
+	spanGen map[spanKey]int
+
+	// Reusable per-build scratch: the union-find and classification
+	// working arrays are dead the moment a build returns, so one buffer
+	// serves every build (the Cache is single-threaded by contract).
+	ufScratch    uf
+	classScratch []int32
+	instScratch  []Instance
+	spareClassOf []int
+
+	// lastRoot is the most recent changed top-level artifact. A root's
+	// subtree hash changes on every edit, so its (large, flat-sized)
+	// arrays are dead weight the moment the next edit lands; buildRoot
+	// recycles them instead of re-allocating ~megabytes per recheck.
+	// Devices and their TerminalNets maps escape into the public Netlist
+	// and are never recycled.
+	lastRoot *SymbolArtifacts
+}
+
+type analysisEntry struct {
+	info  *device.Info
+	probs []device.Problem
+}
+
+// NewCache creates an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{
+		arts:    make(map[layout.Hash]*SymbolArtifacts),
+		spans:   make(map[spanKey]*spanData),
+		infos:   make(map[layout.Hash]*analysisEntry),
+		artGen:  make(map[layout.Hash]int),
+		spanGen: make(map[spanKey]int),
+	}
+}
+
+// Len reports how many definition artifacts are cached.
+func (c *Cache) Len() int { return len(c.arts) }
+
+// Analyze memoizes device.Analyze by the symbol's own content hash.
+func (c *Cache) Analyze(s *layout.Symbol, ownHash layout.Hash, tc *tech.Technology) (*device.Info, []device.Problem) {
+	if e, ok := c.infos[ownHash]; ok {
+		return e.info, e.probs
+	}
+	info, probs := device.Analyze(s, tc)
+	c.infos[ownHash] = &analysisEntry{info: info, probs: probs}
+	return info, probs
+}
+
+// evictAge is how many runs an unused entry survives before eviction. The
+// root's artifacts turn over on every edit (its subtree hash always
+// changes), so a short horizon keeps a busy session's memory flat while
+// still riding out short A/B edit oscillations.
+const evictAge = 3
+
+func (c *Cache) evict() {
+	for h, g := range c.artGen {
+		if c.gen-g >= evictAge {
+			delete(c.artGen, h)
+			delete(c.arts, h)
+		}
+	}
+	for k, g := range c.spanGen {
+		if c.gen-g >= evictAge {
+			delete(c.spanGen, k)
+			delete(c.spans, k)
+		}
+	}
+}
+
+// Instance is one placement of a definition on the chip: its artifacts
+// plus the global transform and the offsets of its subtree within the
+// root's flattened arrays. Absolute paths are derived on demand via
+// IncExtraction.InstPath — they are needed only when a violation is
+// instantiated, and eagerly joining tens of thousands of strings per run
+// would dominate the warm-recheck floor.
+type Instance struct {
+	Art       *SymbolArtifacts
+	Parent    int    // index of the parent instance, -1 for the root
+	Name      string // call name within the parent ("" for the root)
+	T         geom.Transform
+	ItemStart int
+	FootStart int
+}
+
+// IncExtraction is ExtractIncremental's result: the flat Extraction the
+// checker stages consume, plus the definition/instance structure the
+// incremental interaction stage keys its caches on.
+type IncExtraction struct {
+	*Extraction
+	Root      *SymbolArtifacts
+	Hashes    map[*layout.Symbol]layout.SymbolHashes
+	Instances []Instance // depth-first preorder; [0] is the root
+}
+
+// GlobalNet resolves a subtree-local net class of one instance to the
+// chip-global net id.
+func (x *IncExtraction) GlobalNet(inst int, class int) NetID {
+	in := &x.Instances[inst]
+	return NetID(x.Root.ClassOf[in.FootStart+in.Art.ClassFoot[class]])
+}
+
+// ExtractIncremental is ExtractFull restructured over the artifact cache:
+// identical output (see TestIncrementalMatchesFull), but per-definition
+// work is reused across instances and across runs. hashes may be nil, in
+// which case content hashes are computed here.
+func ExtractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes) (*IncExtraction, []Issue, error) {
+	return extractIncremental(d, tc, c, hashes, false)
+}
+
+// ExtractVirtual is ExtractIncremental without materializing the flat
+// item array: Extraction.Items is nil and per-item access goes through
+// Root.ResolveItem / ItemView. This is the engine's steady-state path —
+// the chip is never fully instantiated, so a warm recheck's cost scales
+// with the edit, not with the flattened chip size.
+func ExtractVirtual(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes) (*IncExtraction, []Issue, error) {
+	return extractIncremental(d, tc, c, hashes, true)
+}
+
+func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes, virtual bool) (*IncExtraction, []Issue, error) {
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if hashes == nil {
+		hashes = d.ContentHashes()
+	}
+	c.gen++
+	root := c.buildRoot(d.Top, hashes, tc, virtual)
+	c.evict()
+
+	issues := make([]Issue, 0, len(root.Issues))
+	issues = append(issues, root.Issues...)
+	// Sequential footprint resolution with a span cursor (the assembly
+	// visits foots strictly in index order).
+	ownEnd := root.ownFootEnd()
+	cursor := 0
+	foot := func(i int) (geom.Rect, string, int) {
+		if !root.Virtual || i < ownEnd {
+			f := &root.Foots[i]
+			return f.Bounds, f.Declared, f.Elements
+		}
+		for cursor < len(root.Children) && i >= root.Children[cursor].FootEnd {
+			cursor++
+		}
+		sp := &root.Children[cursor]
+		f := &sp.sd.foots[i-sp.FootStart]
+		return f.Bounds, f.Declared, f.Elements
+	}
+	nl := assembleNets(root.NumClasses, root.ClassOf, foot, root.NumFoots(), root.Devices)
+	issues = nameNets(nl, &issues)
+
+	ex := &Extraction{
+		Netlist:      nl,
+		Gates:        root.Gates,
+		BaseKeepouts: root.BaseKeepouts,
+	}
+	if !root.Virtual {
+		ex.Items = root.Items
+	}
+	netAt := func(i int) NetID {
+		if f := root.ItemFootAt(i); f >= 0 {
+			return NetID(root.ClassOf[f])
+		}
+		return NoNet
+	}
+	for _, p := range root.IllegalCands {
+		if netAt(p[0]) != netAt(p[1]) {
+			ex.IllegalPairs = append(ex.IllegalPairs, p)
+		}
+	}
+	inc := &IncExtraction{Extraction: ex, Root: root, Hashes: hashes}
+	if cap(c.instScratch) >= root.Instances {
+		inc.Instances = c.instScratch[:0]
+	}
+	inc.buildInstances()
+	c.instScratch = inc.Instances
+	return inc, issues, nil
+}
+
+func (x *IncExtraction) buildInstances() {
+	if x.Instances == nil {
+		x.Instances = make([]Instance, 0, x.Root.Instances)
+	}
+	x.Instances = append(x.Instances, Instance{Art: x.Root, Parent: -1, T: geom.Identity})
+	var rec func(pi int)
+	rec = func(pi int) {
+		inst := x.Instances[pi] // copy: the slice reallocates while growing
+		for si := range inst.Art.Children {
+			sp := &inst.Art.Children[si]
+			ci := len(x.Instances)
+			x.Instances = append(x.Instances, Instance{
+				Art:       sp.Art,
+				Parent:    pi,
+				Name:      sp.Call.Name,
+				T:         sp.Call.T.Compose(inst.T),
+				ItemStart: inst.ItemStart + sp.ItemStart,
+				FootStart: inst.FootStart + sp.FootStart,
+			})
+			rec(ci)
+		}
+	}
+	rec(0)
+}
+
+// InstPath materializes the absolute instance path of instance ii.
+func (x *IncExtraction) InstPath(ii int) string {
+	if ii == 0 {
+		return ""
+	}
+	// Collect names root-ward, then join in path order.
+	var names []string
+	for i := ii; i > 0; i = x.Instances[i].Parent {
+		names = append(names, x.Instances[i].Name)
+	}
+	out := names[len(names)-1]
+	for k := len(names) - 2; k >= 0; k-- {
+		out += "." + names[k]
+	}
+	return out
+}
+
+// buildRoot builds the design top's artifacts. A root rebuilt in virtual
+// mode never materializes the embedded item/footprint arrays — "the chip
+// is never fully instantiated" — so an edit-recheck pays for offsets and
+// classification, not for copying the flattened chip. On a content change
+// the previous root entry is retired immediately (its hash can never be
+// asked for again except by an exact undo, which simply rebuilds).
+func (c *Cache) buildRoot(s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolHashes, tc *tech.Technology, virtual bool) *SymbolArtifacts {
+	h := hs[s].Subtree
+	if a, ok := c.arts[h]; ok && a.Virtual == virtual {
+		c.artGen[h] = c.gen
+		return a
+	}
+	if old := c.lastRoot; old != nil && c.arts[old.Hash] == old {
+		delete(c.arts, old.Hash)
+		delete(c.artGen, old.Hash)
+		// The retired root's classification arrays are unreachable from
+		// any report (only the run-local extraction read them); recycle.
+		c.spareClassOf = old.ClassOf
+	}
+	art := c.buildNew(s, hs, tc, virtual)
+	c.lastRoot = art
+	return art
+}
+
+// build computes (or returns cached) artifacts for one symbol.
+func (c *Cache) build(s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolHashes, tc *tech.Technology) *SymbolArtifacts {
+	h := hs[s].Subtree
+	if a, ok := c.arts[h]; ok {
+		c.artGen[h] = c.gen
+		return a
+	}
+	return c.buildNew(s, hs, tc, false)
+}
+
+func (c *Cache) buildNew(s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolHashes, tc *tech.Technology, virtual bool) *SymbolArtifacts {
+	h := hs[s].Subtree
+	art := &SymbolArtifacts{Sym: s, Hash: h}
+	u, pending := c.populate(art, s, hs, tc, virtual)
+	for _, pu := range pending {
+		u.union(pu[0], pu[1])
+	}
+	levelIllegal := c.connectSweep(art, u)
+	art.ClassOf, art.NumClasses = c.classifyReuse(u, art.NumFoots(), c.spareClassOf)
+	c.spareClassOf = nil
+	art.ClassFoot = make([]int, art.NumClasses)
+	for i := art.NumFoots() - 1; i >= 0; i-- {
+		art.ClassFoot[art.ClassOf[i]] = i // first foot wins (reverse loop)
+	}
+	// Assign local classes to footprint-backed items.
+	for i := range art.Items {
+		if f := art.ItemFoot[i]; f >= 0 {
+			art.Items[i].Net = NetID(art.ClassOf[f])
+		}
+	}
+	// A primitive's own device recorded provisional foot indices in
+	// TerminalNets; resolve them to classes.
+	if s.IsPrimitive() && len(art.Devices) == 1 {
+		dev := &art.Devices[0]
+		for ti := range dev.TerminalNets {
+			dev.TerminalNets[ti].Net = NetID(art.ClassOf[int(dev.TerminalNets[ti].Net)])
+		}
+	}
+	// Remap embedded devices' terminal classes into this frame.
+	for si := range art.Children {
+		sp := &art.Children[si]
+		for di := sp.DevStart; di < sp.DevEnd; di++ {
+			childDev := &sp.Art.Devices[di-sp.DevStart]
+			tns := make([]TerminalNet, len(childDev.TerminalNets))
+			for ti := range childDev.TerminalNets {
+				cc := childDev.TerminalNets[ti].Net
+				tns[ti] = TerminalNet{
+					Name: childDev.TerminalNets[ti].Name,
+					Net:  NetID(art.ClassOf[sp.FootStart+sp.Art.ClassFoot[int(cc)]]),
+				}
+			}
+			art.Devices[di].TerminalNets = tns
+		}
+	}
+	// Footprint pairs translate to item pairs; inherited candidates first
+	// (span order), then this level's, both already canonically oriented.
+	for _, p := range levelIllegal {
+		art.IllegalCands = append(art.IllegalCands, [2]int{art.FootItemAt(p[0]), art.FootItemAt(p[1])})
+	}
+	art.Instances = 1
+	for i := 0; i < art.OwnItemEnd(); i++ {
+		art.LayerMask |= layerBit(art.Items[i].Layer)
+	}
+	for si := range art.Children {
+		art.Instances += art.Children[si].Art.Instances
+		art.LayerMask |= art.Children[si].Art.LayerMask
+	}
+	c.arts[h] = art
+	c.artGen[h] = c.gen
+	return art
+}
+
+// layerBit maps a layer id into the conservative LayerMask (layers ≥ 63
+// share the overflow bit).
+func layerBit(l tech.LayerID) uint64 {
+	if l >= 63 {
+		return 1 << 63
+	}
+	return 1 << uint(l)
+}
+
+// populate fills the walk-order arrays of art (items, foots, devices,
+// keepouts, issues, child spans) and returns the union-find seeded with
+// child partitions, plus pending unions (device-internal node fusing).
+// With virtual set, embedded item/footprint arrays are not materialized.
+func (c *Cache) populate(art *SymbolArtifacts, s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolHashes, tc *tech.Technology, virtual bool) (*uf, [][2]int) {
+	var pending [][2]int
+	if s.IsPrimitive() {
+		info, _ := c.Analyze(s, hs[s].Own, tc)
+		if info == nil {
+			return c.takeUF(0), nil
+		}
+		dev := DeviceUse{
+			Symbol: s, Type: s.DeviceType, Class: info.Class,
+			T: geom.Identity, Info: info,
+		}
+		nodeToFoot := make(map[int]int)
+		for _, term := range info.Terminals {
+			if term.Reg.Empty() {
+				continue
+			}
+			idx := len(art.Foots)
+			art.Foots = append(art.Foots, LocalFoot{
+				Layer: term.Layer, Bounds: term.Reg.Bounds(), Reg: term.Reg,
+				MinWidth: tc.Layer(term.Layer).MinWidth,
+			})
+			art.Items = append(art.Items, ConnItem{
+				Layer: term.Layer, Bounds: term.Reg.Bounds(), Reg: term.Reg,
+				Dev: 0, Sym: s, Elem: -1,
+			})
+			art.ItemFoot = append(art.ItemFoot, idx)
+			if prev, seen := nodeToFoot[term.Node]; seen {
+				pending = append(pending, [2]int{prev, idx})
+			} else {
+				nodeToFoot[term.Node] = idx
+			}
+			if _, have := dev.TerminalNet(term.Name); !have {
+				// Provisional foot index; build() remaps to classes.
+				dev.TerminalNets = append(dev.TerminalNets, TerminalNet{Name: term.Name, Net: NetID(idx)})
+			}
+		}
+		// Support geometry not covered by terminals: checkable but netless.
+		termCover := make(map[tech.LayerID]geom.Region)
+		for _, term := range info.Terminals {
+			termCover[term.Layer] = termCover[term.Layer].Union(term.Reg)
+		}
+		for _, l := range tc.Layers() {
+			reg := s.LayerRegion(l.ID)
+			if reg.Empty() {
+				continue
+			}
+			if cover, ok := termCover[l.ID]; ok {
+				reg = reg.Subtract(cover)
+				if reg.Empty() {
+					continue
+				}
+			}
+			art.Items = append(art.Items, ConnItem{
+				Layer: l.ID, Bounds: reg.Bounds(), Reg: reg,
+				Net: NoNet, Dev: 0, Sym: s, Elem: -1,
+			})
+			art.ItemFoot = append(art.ItemFoot, -1)
+		}
+		if !info.Gate.Empty() {
+			art.Gates = append(art.Gates, Keepout{Dev: 0, Reg: info.Gate, Bounds: info.Gate.Bounds()})
+		}
+		if !info.BaseKeepout.Empty() {
+			art.BaseKeepouts = append(art.BaseKeepouts, Keepout{
+				Dev: 0, Reg: info.BaseKeepout, Bounds: info.BaseKeepout.Bounds(),
+				Clearance: info.BaseClearance,
+			})
+		}
+		sort.Slice(dev.TerminalNets, func(i, j int) bool {
+			return dev.TerminalNets[i].Name < dev.TerminalNets[j].Name
+		})
+		art.Devices = append(art.Devices, dev)
+		art.numItems, art.numFoots = len(art.Items), len(art.Foots)
+		ufp := c.takeUF(len(art.Foots))
+		// Defer the class remap of TerminalNets to build() via a pending
+		// trick: record foot-index values now; build() remaps own devices.
+		return ufp, pending
+	}
+
+	// Composite: own elements first, then each call's embedded subtree.
+	// Child artifacts and spans are resolved up front so every array can
+	// be sized exactly once — the root of a large chip embeds tens of
+	// thousands of entries, and incremental regrowth would dominate the
+	// whole warm-recheck budget. In virtual mode the embedded item and
+	// footprint arrays are not copied at all: spans record offsets and the
+	// accessors resolve entries straight out of the shared span cache.
+	childArts := make([]*SymbolArtifacts, len(s.Calls))
+	spans := make([]*spanData, len(s.Calls))
+	nItems, nFoots, nDevs, nGates, nKeeps, nIssues, nIll := len(s.Elements), len(s.Elements), 0, 0, 0, 0, 0
+	for ci, call := range s.Calls {
+		childArts[ci] = c.build(call.Target, hs, tc)
+		spans[ci] = c.span(childArts[ci], call.T, call.Name, tc)
+		nItems += childArts[ci].NumItems()
+		nFoots += childArts[ci].NumFoots()
+		nDevs += len(childArts[ci].Devices)
+		nGates += len(childArts[ci].Gates)
+		nKeeps += len(childArts[ci].BaseKeepouts)
+		nIssues += len(childArts[ci].Issues)
+		nIll += len(childArts[ci].IllegalCands)
+	}
+	art.Virtual = virtual
+	ownCap := nItems
+	if virtual {
+		ownCap = len(s.Elements)
+	}
+	art.Items = make([]ConnItem, 0, ownCap)
+	art.Foots = make([]LocalFoot, 0, ownCap)
+	art.ItemFoot = make([]int, 0, ownCap)
+	art.Children = make([]ChildSpan, 0, len(s.Calls))
+	if nGates > 0 {
+		art.Gates = make([]Keepout, 0, nGates)
+	}
+	if nKeeps > 0 {
+		art.BaseKeepouts = make([]Keepout, 0, nKeeps)
+	}
+	if nIssues > 0 {
+		art.Issues = make([]Issue, 0, nIssues)
+	}
+	if nIll > 0 {
+		art.IllegalCands = make([][2]int, 0, nIll)
+	}
+	art.Devices = make([]DeviceUse, 0, nDevs)
+	for _, e := range s.Elements {
+		reg, err := e.Region()
+		if err != nil {
+			art.Issues = append(art.Issues, Issue{
+				Rule: "NET.ELEM", Detail: err.Error(), Where: e.Bounds(),
+			})
+			continue
+		}
+		declared := ""
+		if e.Net != "" {
+			declared = e.Net // frame-relative; spans re-qualify on embedding
+		}
+		art.Foots = append(art.Foots, LocalFoot{
+			Layer: e.Layer, Bounds: reg.Bounds(), Reg: reg,
+			Declared: declared, Elements: 1,
+			MinWidth: tc.Layer(e.Layer).MinWidth,
+		})
+		art.Items = append(art.Items, ConnItem{
+			Layer: e.Layer, Bounds: reg.Bounds(), Reg: reg,
+			Dev: -1, Sym: s, Elem: e.Index,
+		})
+		art.ItemFoot = append(art.ItemFoot, len(art.Foots)-1)
+	}
+	itemCount, footCount := len(art.Items), len(art.Foots)
+	ufp := c.takeUF(nFoots)
+	for ci := range s.Calls {
+		call := s.Calls[ci]
+		childArt := childArts[ci]
+		sd := spans[ci]
+		sp := ChildSpan{
+			Call: call, Art: childArt, sd: sd, Bounds: sd.bounds,
+			ItemStart: itemCount, FootStart: footCount, DevStart: len(art.Devices),
+		}
+		if !virtual {
+			// Bulk-copy the transformed embedding, then fix the offsets.
+			art.Items = append(art.Items, sd.items...)
+			if sp.DevStart > 0 {
+				for i := sp.ItemStart; i < len(art.Items); i++ {
+					if art.Items[i].Dev >= 0 {
+						art.Items[i].Dev += sp.DevStart
+					}
+				}
+			}
+			art.Foots = append(art.Foots, sd.foots...)
+			for _, cf := range childArt.ItemFoot {
+				if cf >= 0 {
+					art.ItemFoot = append(art.ItemFoot, sp.FootStart+cf)
+				} else {
+					art.ItemFoot = append(art.ItemFoot, -1)
+				}
+			}
+		}
+		itemCount += childArt.NumItems()
+		footCount += childArt.NumFoots()
+		art.Devices = append(art.Devices, sd.devs...) // TerminalNets remapped by build()
+		for _, g := range sd.gates {
+			g.Dev += sp.DevStart
+			art.Gates = append(art.Gates, g)
+		}
+		for _, k := range sd.keeps {
+			k.Dev += sp.DevStart
+			art.BaseKeepouts = append(art.BaseKeepouts, k)
+		}
+		art.Issues = append(art.Issues, sd.issues...)
+		sp.ItemEnd = itemCount
+		sp.FootEnd = footCount
+		sp.DevEnd = len(art.Devices)
+		art.Children = append(art.Children, sp)
+		// Replay the child's internal partition by index translation.
+		for cf := 0; cf < childArt.NumFoots(); cf++ {
+			rep := childArt.ClassFoot[childArt.ClassOf[cf]]
+			if rep != cf {
+				ufp.union(sp.FootStart+rep, sp.FootStart+cf)
+			}
+		}
+		// Inherit the child's illegal-connection candidates.
+		for _, p := range childArt.IllegalCands {
+			art.IllegalCands = append(art.IllegalCands, [2]int{sp.ItemStart + p[0], sp.ItemStart + p[1]})
+		}
+	}
+	art.numItems, art.numFoots = itemCount, footCount
+	return ufp, pending
+}
+
+// span returns the cached transformed embedding of childArt under (t, name).
+func (c *Cache) span(childArt *SymbolArtifacts, t geom.Transform, name string, tc *tech.Technology) *spanData {
+	key := spanKey{childArt.Hash, t, name}
+	if sd, ok := c.spans[key]; ok {
+		c.spanGen[key] = c.gen
+		return sd
+	}
+	sd := &spanData{childArt: childArt, t: t}
+	sd.items = make([]ConnItem, len(childArt.Items))
+	for i, it := range childArt.Items {
+		it.Bounds = t.ApplyRect(it.Bounds)
+		it.Reg = it.Reg.TransformBy(t)
+		it.Path = prefixPath(name, it.Path)
+		sd.items[i] = it
+		sd.bounds = sd.bounds.Union(it.Bounds)
+	}
+	sd.foots = make([]LocalFoot, len(childArt.Foots))
+	for i, f := range childArt.Foots {
+		f.Bounds = t.ApplyRect(f.Bounds)
+		f.Reg = f.Reg.TransformBy(t)
+		if f.Declared != "" && !tc.IsRail(f.Declared) {
+			f.Declared = name + "." + f.Declared
+		}
+		sd.foots[i] = f
+	}
+	sd.devs = make([]DeviceUse, len(childArt.Devices))
+	for i, d := range childArt.Devices {
+		d.Path = prefixPath(name, d.Path)
+		d.T = d.T.Compose(t)
+		d.TerminalNets = nil // parent remaps classes
+		sd.devs[i] = d
+	}
+	sd.gates = transformKeepouts(childArt.Gates, t)
+	sd.keeps = transformKeepouts(childArt.BaseKeepouts, t)
+	sd.issues = make([]Issue, len(childArt.Issues))
+	for i, is := range childArt.Issues {
+		is.Where = t.ApplyRect(is.Where)
+		sd.issues[i] = is
+	}
+	c.spans[key] = sd
+	c.spanGen[key] = c.gen
+	return sd
+}
+
+func transformKeepouts(ks []Keepout, t geom.Transform) []Keepout {
+	if len(ks) == 0 {
+		return nil
+	}
+	out := make([]Keepout, len(ks))
+	for i, k := range ks {
+		k.Reg = k.Reg.TransformBy(t)
+		k.Bounds = t.ApplyRect(k.Bounds)
+		out[i] = k
+	}
+	return out
+}
+
+func prefixPath(name, rel string) string {
+	if rel == "" {
+		return name
+	}
+	return name + "." + rel
+}
+
+// takeUF hands out the cache's reusable union-find sized for n nodes.
+func (c *Cache) takeUF(n int) *uf {
+	u := &c.ufScratch
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.size = make([]int, n)
+	}
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := 0; i < n; i++ {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+// classifyReuse is classify with cache-owned scratch and an optional
+// recycled output buffer.
+func (c *Cache) classifyReuse(u *uf, n int, out []int) ([]int, int) {
+	if cap(out) >= n {
+		out = out[:n]
+	} else {
+		out = make([]int, n)
+	}
+	if cap(c.classScratch) < n {
+		c.classScratch = make([]int32, n)
+	}
+	rootToClass := c.classScratch[:n]
+	for i := range rootToClass {
+		rootToClass[i] = 0
+	}
+	numClasses := 0
+	for i := 0; i < n; i++ {
+		root := u.find(i)
+		if cl := rootToClass[root]; cl != 0 {
+			out[i] = int(cl - 1)
+			continue
+		}
+		rootToClass[root] = int32(numClasses + 1)
+		out[i] = numClasses
+		numClasses++
+	}
+	return out, numClasses
+}
+
+// CrossItemPairs enumerates the candidate item pairs whose lowest common
+// ancestor is this definition: own-item vs own-item, own-item vs embedded
+// child item, and child vs child (different calls), with bounding boxes
+// within gap in the L∞ sense — the same predicate as the flat interaction
+// sweep. Pairs internal to one child are that child's business. Summing
+// each definition's pairs over its instances reproduces the flat sweep's
+// candidate multiset exactly (every chip-level pair has a unique LCA).
+// Enumeration order is deterministic for identical artifacts.
+func (a *SymbolArtifacts) CrossItemPairs(gap int64, emit func(i, j int)) {
+	if a.NumItems() < 2 {
+		return
+	}
+	forEachCrossPair(a.NumItems(), a.OwnItemEnd(), a.Children,
+		func(si int) (int, int) { return a.Children[si].ItemStart, a.Children[si].ItemEnd },
+		func(i int) geom.Rect { return a.ItemView(i).Bounds },
+		func(si, local int) geom.Rect { return a.Children[si].sd.items[local].Bounds },
+		gap, emit)
+}
+
+// bipartiteThreshold bounds the brute-force cross product in span-vs-span
+// refinement; beyond it a plane sweep takes over.
+const bipartiteThreshold = 256
+
+// connectSweep discovers same-layer footprint connectivity at this
+// definition's level: own-vs-own, own-vs-child, and child-vs-child pairs
+// (pairs internal to one child were resolved in the child's artifacts).
+// Connected pairs are unioned; touching-but-unconnected pairs are returned
+// as illegal-connection candidates in canonical (low foot, high foot)
+// orientation.
+func (c *Cache) connectSweep(art *SymbolArtifacts, u *uf) [][2]int {
+	var illegal [][2]int
+	ownEnd := art.ownFootEnd()
+	if art.NumFoots() < 2 {
+		return nil
+	}
+	test := func(i, j int) {
+		if i > j {
+			i, j = j, i
+		}
+		a, b := art.FootView(i), art.FootView(j)
+		if a.Layer != b.Layer || !a.Bounds.Touches(b.Bounds) {
+			return
+		}
+		if !a.Reg.Overlaps(b.Reg) {
+			return
+		}
+		if geom.SkeletonsConnected(art.FootSkel(i), art.FootSkel(j)) {
+			u.union(i, j)
+		} else {
+			illegal = append(illegal, [2]int{i, j})
+		}
+	}
+	forEachCrossPair(art.NumFoots(), ownEnd, art.Children,
+		func(si int) (int, int) { return art.Children[si].FootStart, art.Children[si].FootEnd },
+		func(i int) geom.Rect { return art.FootView(i).Bounds },
+		func(si, local int) geom.Rect { return art.Children[si].sd.foots[local].Bounds },
+		0, test)
+	return illegal
+}
+
+// forEachCrossPair enumerates candidate element pairs at one hierarchy
+// level without visiting pairs internal to a child: a coarse sweep over
+// own entries and child bounding boxes, refined per candidate by scanning
+// only the entries near the partner. The enumeration is deterministic for
+// identical inputs, which the engine's replayable caches rely on.
+func forEachCrossPair(n, ownEnd int, children []ChildSpan,
+	childRange func(si int) (int, int), boundsAt func(i int) geom.Rect,
+	spanBounds func(si, local int) geom.Rect,
+	gap int64, emit func(i, j int)) {
+
+	var pf geom.PairFinder
+	for i := 0; i < ownEnd; i++ {
+		pf.AddRect(i, boundsAt(i), 0)
+	}
+	coarseBase := n
+	for si := range children {
+		pf.AddRect(coarseBase+si, children[si].Bounds, 1)
+	}
+	if pf.Len() < 2 {
+		return
+	}
+	within := func(a, b geom.Rect) bool { return a.Expand(gap).Touches(b) }
+	// collect gathers the child's entries near the probe rect, with their
+	// bounds, reading the span embedding directly (no per-element index
+	// resolution — this scan is the hot inner loop of a root re-derive).
+	type entry struct {
+		i int
+		b geom.Rect
+	}
+	collect := func(si int, probe geom.Rect, buf []entry) []entry {
+		buf = buf[:0]
+		probe = probe.Expand(gap)
+		lo, hi := childRange(si)
+		for local := 0; local < hi-lo; local++ {
+			b := spanBounds(si, local)
+			if probe.Touches(b) {
+				buf = append(buf, entry{lo + local, b})
+			}
+		}
+		return buf
+	}
+	var bufA, bufB []entry
+	pf.Pairs(gap, nil, func(p geom.Pair) {
+		ai, bi := p.A.ID, p.B.ID
+		aChild, bChild := ai >= coarseBase, bi >= coarseBase
+		switch {
+		case !aChild && !bChild:
+			emit(ai, bi)
+		case aChild != bChild:
+			own, child := ai, bi
+			if aChild {
+				own, child = bi, ai
+			}
+			// The collect probe is exactly the pairing predicate against
+			// the own entry's bounds, so everything collected pairs.
+			bufA = collect(child-coarseBase, boundsAt(own), bufA)
+			for _, e := range bufA {
+				emit(own, e.i)
+			}
+		default:
+			sa, sb := ai-coarseBase, bi-coarseBase
+			bufA = collect(sa, children[sb].Bounds, bufA)
+			if len(bufA) == 0 {
+				return
+			}
+			bufB = collect(sb, children[sa].Bounds, bufB)
+			if len(bufB) == 0 {
+				return
+			}
+			if len(bufA)*len(bufB) <= bipartiteThreshold {
+				for _, ea := range bufA {
+					for _, eb := range bufB {
+						if within(ea.b, eb.b) {
+							emit(ea.i, eb.i)
+						}
+					}
+				}
+				return
+			}
+			var bp geom.PairFinder
+			for _, ea := range bufA {
+				bp.AddRect(ea.i, ea.b, 0)
+			}
+			for _, eb := range bufB {
+				bp.AddRect(eb.i, eb.b, 1)
+			}
+			bp.Pairs(gap, func(x, y geom.Item) bool { return x.Tag != y.Tag }, func(q geom.Pair) {
+				emit(q.A.ID, q.B.ID)
+			})
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package netlist
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// sortedPairs returns a copy of ps in canonical order for set comparison.
+func sortedPairs(ps [][2]int) [][2]int {
+	out := make([][2]int, len(ps))
+	copy(out, ps)
+	for i := range out {
+		if out[i][0] > out[i][1] {
+			out[i][0], out[i][1] = out[i][1], out[i][0]
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// diffExtractions fails the test unless the two extractions are equal
+// (illegal pairs compared as sets — discovery order is the one place the
+// hierarchical and flat sweeps legitimately differ).
+func diffExtractions(t *testing.T, label string, inc *Extraction, full *Extraction) {
+	t.Helper()
+	if len(inc.Items) != len(full.Items) {
+		t.Fatalf("%s: item count %d != %d", label, len(inc.Items), len(full.Items))
+	}
+	for i := range inc.Items {
+		a, b := inc.Items[i], full.Items[i]
+		if a.Layer != b.Layer || a.Bounds != b.Bounds || a.Net != b.Net ||
+			a.Dev != b.Dev || a.Sym != b.Sym || a.Elem != b.Elem || a.Path != b.Path {
+			t.Fatalf("%s: item %d differs:\n inc: %+v\nfull: %+v", label, i, a, b)
+		}
+		if !reflect.DeepEqual(a.Reg, b.Reg) {
+			t.Fatalf("%s: item %d region differs", label, i)
+		}
+	}
+	if !reflect.DeepEqual(sortedPairs(inc.IllegalPairs), sortedPairs(full.IllegalPairs)) {
+		t.Fatalf("%s: illegal pairs differ:\n inc: %v\nfull: %v",
+			label, sortedPairs(inc.IllegalPairs), sortedPairs(full.IllegalPairs))
+	}
+	if !reflect.DeepEqual(inc.Gates, full.Gates) {
+		t.Fatalf("%s: gates differ", label)
+	}
+	if !reflect.DeepEqual(inc.BaseKeepouts, full.BaseKeepouts) {
+		t.Fatalf("%s: base keepouts differ", label)
+	}
+	diffNetlists(t, label, inc.Netlist, full.Netlist)
+}
+
+func diffNetlists(t *testing.T, label string, a, b *Netlist) {
+	t.Helper()
+	if len(a.Nets) != len(b.Nets) {
+		t.Fatalf("%s: net count %d != %d", label, len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Nets {
+		if !reflect.DeepEqual(a.Nets[i], b.Nets[i]) {
+			t.Fatalf("%s: net %d differs:\n inc: %+v\nfull: %+v", label, i, a.Nets[i], b.Nets[i])
+		}
+	}
+	if len(a.Devices) != len(b.Devices) {
+		t.Fatalf("%s: device count %d != %d", label, len(a.Devices), len(b.Devices))
+	}
+	for i := range a.Devices {
+		da, db := a.Devices[i], b.Devices[i]
+		if da.Path != db.Path || da.Type != db.Type || da.Class != db.Class ||
+			da.T != db.T || da.Symbol != db.Symbol {
+			t.Fatalf("%s: device %d differs:\n inc: %+v\nfull: %+v", label, i, da, db)
+		}
+		if !reflect.DeepEqual(da.TerminalNets, db.TerminalNets) {
+			t.Fatalf("%s: device %d terminal nets differ: %v vs %v",
+				label, i, da.TerminalNets, db.TerminalNets)
+		}
+	}
+	if !reflect.DeepEqual(a.byName, b.byName) {
+		t.Fatalf("%s: name tables differ", label)
+	}
+}
+
+func diffIssues(t *testing.T, label string, a, b []Issue) {
+	t.Helper()
+	if len(a) == 0 && len(b) == 0 {
+		return
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: issues differ:\n inc: %v\nfull: %v", label, a, b)
+	}
+}
+
+func checkIncrementalMatch(t *testing.T, label string, d *layout.Design, tc *tech.Technology, c *Cache) {
+	t.Helper()
+	full, fullIssues, fullErr := ExtractFull(d, tc)
+	inc, incIssues, incErr := ExtractIncremental(d, tc, c, nil)
+	if (fullErr == nil) != (incErr == nil) {
+		t.Fatalf("%s: error mismatch: full=%v inc=%v", label, fullErr, incErr)
+	}
+	if fullErr != nil {
+		return
+	}
+	diffIssues(t, label, incIssues, fullIssues)
+	diffExtractions(t, label, inc.Extraction, full)
+
+	// The instance tree must tile the item array exactly.
+	for ii := 1; ii < len(inc.Instances); ii++ {
+		in := inc.Instances[ii]
+		end := in.ItemStart + len(in.Art.Items)
+		if in.ItemStart < 0 || end > len(inc.Items) {
+			t.Fatalf("%s: instance %d item range [%d,%d) out of bounds", label, ii, in.ItemStart, end)
+		}
+		for k := range in.Art.Items {
+			gi := in.ItemStart + k
+			li := &in.Art.Items[k]
+			g := &inc.Items[gi]
+			if g.Layer != li.Layer || g.Sym != li.Sym || g.Elem != li.Elem {
+				t.Fatalf("%s: instance %d item %d does not correspond to def item", label, ii, k)
+			}
+			if g.Bounds != in.T.ApplyRect(li.Bounds) {
+				t.Fatalf("%s: instance %d item %d bounds not the transform of def bounds", label, ii, k)
+			}
+		}
+	}
+}
+
+func TestIncrementalMatchesFull(t *testing.T) {
+	tc := tech.NMOS()
+	c := NewCache()
+
+	chip := workload.NewChip(tc, "clean", 4, 5)
+	checkIncrementalMatch(t, "clean 4x5", chip.Design, tc, c)
+
+	dirty := workload.NewChip(tc, "dirty", 6, 7)
+	workload.InjectErrors(dirty, 20, 1980)
+	checkIncrementalMatch(t, "dirty 6x7", dirty.Design, tc, NewCache())
+
+	bip := workload.NewBipolarChip("bip", 6)
+	bip.BreakIsolation(2)
+	checkIncrementalMatch(t, "bipolar", bip.Design, tech.Bipolar(), NewCache())
+
+	for _, p := range workload.AllPathologies() {
+		checkIncrementalMatch(t, "pathology "+p.Name, p.Design, p.Tech, NewCache())
+	}
+}
+
+// TestIncrementalWarmMatchesFull mutates one symbol and re-extracts with a
+// warm cache: the result must equal a from-scratch flat extraction of the
+// mutated design.
+func TestIncrementalWarmMatchesFull(t *testing.T) {
+	tc := tech.NMOS()
+	c := NewCache()
+	chip := workload.NewChip(tc, "warm", 4, 6)
+	if _, _, err := ExtractIncremental(chip.Design, tc, c, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit 1: add a wire to the top symbol.
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	chip.Design.Top.AddWire(metalL, 750, "", geom.Pt(-20000, 0), geom.Pt(-20000, 8000))
+	checkIncrementalMatch(t, "top edit", chip.Design, tc, c)
+
+	// Edit 2: mutate the shared cell symbol (dirties every instance).
+	inv, ok := chip.Design.Symbol("inv")
+	if !ok {
+		t.Fatal("no inv symbol")
+	}
+	inv.AddBox(metalL, geom.R(-1000, 5000, 0, 5750), "")
+	checkIncrementalMatch(t, "cell edit", chip.Design, tc, c)
+
+	// Edit 3: declare a net on an existing element (changes names only).
+	chip.Design.Top.Elements[0].Net = "trunkprobe"
+	checkIncrementalMatch(t, "net rename", chip.Design, tc, c)
+}

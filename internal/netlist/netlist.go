@@ -25,6 +25,7 @@ package netlist
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/device"
 	"repro/internal/geom"
@@ -60,6 +61,12 @@ type Net struct {
 // IsAnonymous reports whether the net has no declared name.
 func (n *Net) IsAnonymous() bool { return len(n.Declared) == 0 }
 
+// TerminalNet is one terminal→net assignment of a device.
+type TerminalNet struct {
+	Name string
+	Net  NetID
+}
+
 // DeviceUse is one instantiated device.
 type DeviceUse struct {
 	Path   string // hierarchical instance path ("" for a top-level device)
@@ -67,10 +74,42 @@ type DeviceUse struct {
 	Type   string // declared device type
 	Class  string // device class
 	T      geom.Transform
-	// TerminalNets maps terminal names to nets.
-	TerminalNets map[string]NetID
+	// TerminalNets lists terminal→net assignments, sorted by terminal
+	// name. A sorted slice rather than a map: devices are the most
+	// numerous re-derived objects in an incremental session, and a
+	// three-entry map per device per recheck is pure allocator load.
+	TerminalNets []TerminalNet
 	// Info is the cached electrical analysis of the defining symbol.
 	Info *device.Info
+}
+
+// TerminalNet returns the net of the named terminal.
+func (d *DeviceUse) TerminalNet(name string) (NetID, bool) {
+	for i := range d.TerminalNets {
+		if d.TerminalNets[i].Name == name {
+			return d.TerminalNets[i].Net, true
+		}
+	}
+	return 0, false
+}
+
+// TerminalNetIDs appends the device's distinct terminal net ids to buf in
+// terminal-name order.
+func (d *DeviceUse) TerminalNetIDs(buf []NetID) []NetID {
+	for i := range d.TerminalNets {
+		g := d.TerminalNets[i].Net
+		dup := false
+		for _, h := range buf {
+			if h == g {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, g)
+		}
+	}
+	return buf
 }
 
 // Issue is a netlist-level finding (not necessarily fatal).
@@ -142,65 +181,112 @@ func joinPath(base, name string) string {
 	return base + "." + name
 }
 
+// classify converts the union-find over footprints into canonical class
+// labels: classes are numbered by the index of their first footprint, which
+// fixes the public net numbering ("n<k>" names) independently of union
+// order.
+func classify(uf *uf, n int) (classOf []int, numClasses int) {
+	classOf = make([]int, n)
+	rootToClass := make([]int32, n) // roots are foot indices; 0 means unset
+	for i := 0; i < n; i++ {
+		root := uf.find(i)
+		if c := rootToClass[root]; c != 0 {
+			classOf[i] = int(c - 1)
+			continue
+		}
+		rootToClass[root] = int32(numClasses + 1)
+		classOf[i] = numClasses
+		numClasses++
+	}
+	return classOf, numClasses
+}
+
 // assemble converts union-find classes into the final Netlist.
 func assemble(foots []footprint, devices []DeviceUse, uf *uf, tc *tech.Technology, issues []Issue) (*Netlist, []Issue, error) {
-	rootToNet := make(map[int]NetID)
-	nl := &Netlist{byName: make(map[string]NetID)}
-
-	// Deterministic net order: first footprint index per class.
-	for i := range foots {
-		root := uf.find(i)
-		if _, ok := rootToNet[root]; !ok {
-			rootToNet[root] = NetID(len(nl.Nets))
-			nl.Nets = append(nl.Nets, Net{ID: NetID(len(nl.Nets))})
-		}
-		net := &nl.Nets[rootToNet[root]]
-		net.Elements += foots[i].elements
-		net.Bounds = net.Bounds.Union(foots[i].bounds)
-		if foots[i].declared != "" {
-			net.Declared = append(net.Declared, foots[i].declared)
-		}
-	}
-
+	classOf, numClasses := classify(uf, len(foots))
 	// Resolve device terminal nets from provisional footprint ids.
 	for di := range devices {
 		dev := &devices[di]
-		for term, provisional := range dev.TerminalNets {
-			dev.TerminalNets[term] = rootToNet[uf.find(int(provisional))]
+		for ti := range dev.TerminalNets {
+			dev.TerminalNets[ti].Net = NetID(classOf[int(dev.TerminalNets[ti].Net)])
 		}
-		// Deterministic terminal order for the net's view.
-		terms := make([]string, 0, len(dev.TerminalNets))
-		for t := range dev.TerminalNets {
-			terms = append(terms, t)
+	}
+	nl := assembleNets(numClasses, classOf, func(i int) (geom.Rect, string, int) {
+		return foots[i].bounds, foots[i].declared, foots[i].elements
+	}, len(foots), devices)
+	return nl, nameNets(nl, &issues), nil
+}
+
+// assembleNets builds the Netlist skeleton — nets in canonical class order
+// with aggregated bounds, element counts, declared names, and device
+// terminal references — from any footprint representation. Device
+// TerminalNets must already hold final net ids. Shared by the flat
+// extractor and the incremental engine so both produce identical netlists.
+func assembleNets(numClasses int, classOf []int, foot func(i int) (bounds geom.Rect, declared string, elements int), numFoots int, devices []DeviceUse) *Netlist {
+	nl := &Netlist{byName: make(map[string]NetID, numClasses), Nets: make([]Net, numClasses)}
+	for i := range nl.Nets {
+		nl.Nets[i].ID = NetID(i)
+	}
+	for i := 0; i < numFoots; i++ {
+		net := &nl.Nets[classOf[i]]
+		bounds, declared, elements := foot(i)
+		net.Elements += elements
+		net.Bounds = net.Bounds.Union(bounds)
+		if declared != "" {
+			net.Declared = append(net.Declared, declared)
 		}
-		sort.Strings(terms)
-		for _, t := range terms {
-			nid := dev.TerminalNets[t]
-			nl.Nets[nid].Terminals = append(nl.Nets[nid].Terminals, TermRef{Device: di, Terminal: t})
+	}
+	// Pre-size each net's terminal list (one counting pass beats
+	// per-append growth at tens of thousands of terminals).
+	counts := make([]int32, numClasses)
+	for di := range devices {
+		for ti := range devices[di].TerminalNets {
+			counts[devices[di].TerminalNets[ti].Net]++
+		}
+	}
+	for i := range nl.Nets {
+		if counts[i] > 0 {
+			nl.Nets[i].Terminals = make([]TermRef, 0, counts[i])
+		}
+	}
+	for di := range devices {
+		dev := &devices[di]
+		// TerminalNets is sorted by name: deterministic terminal order.
+		for ti := range dev.TerminalNets {
+			tn := &dev.TerminalNets[ti]
+			nl.Nets[tn.Net].Terminals = append(nl.Nets[tn.Net].Terminals, TermRef{Device: di, Terminal: tn.Name})
 		}
 	}
 	nl.Devices = devices
+	return nl
+}
 
-	// Names: dedupe declared, detect merges, synthesize anonymous names.
-	nameFirstNet := make(map[string]NetID)
+// nameNets finalizes net names: dedupe declared names, detect merges and
+// opens, synthesize anonymous names, and fill the lookup table. It appends
+// NET.MERGED/NET.OPEN findings to issues and returns the final slice.
+func nameNets(nl *Netlist, issues *[]Issue) []Issue {
+	nameFirstNet := make(map[string]NetID, len(nl.Nets))
+	if nl.byName == nil {
+		nl.byName = make(map[string]NetID, len(nl.Nets))
+	}
 	for i := range nl.Nets {
 		net := &nl.Nets[i]
 		net.Declared = dedupeStrings(net.Declared)
 		if len(net.Declared) > 0 {
 			net.Name = net.Declared[0]
 			if len(net.Declared) > 1 {
-				issues = append(issues, Issue{
+				*issues = append(*issues, Issue{
 					Rule:   "NET.MERGED",
 					Detail: fmt.Sprintf("declared nets %v are physically connected", net.Declared),
 					Where:  net.Bounds,
 				})
 			}
 		} else {
-			net.Name = fmt.Sprintf("n%d", i)
+			net.Name = "n" + strconv.Itoa(i)
 		}
 		for _, dn := range net.Declared {
 			if prev, seen := nameFirstNet[dn]; seen {
-				issues = append(issues, Issue{
+				*issues = append(*issues, Issue{
 					Rule:   "NET.OPEN",
 					Detail: fmt.Sprintf("net %q is split across unconnected pieces", dn),
 					Where:  nl.Nets[prev].Bounds.Union(net.Bounds),
@@ -214,7 +300,7 @@ func assemble(foots []footprint, devices []DeviceUse, uf *uf, tc *tech.Technolog
 			nl.byName[net.Name] = net.ID
 		}
 	}
-	return nl, issues, nil
+	return *issues
 }
 
 func dedupeStrings(ss []string) []string {

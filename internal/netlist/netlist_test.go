@@ -100,7 +100,7 @@ func TestTransistorTerminalNets(t *testing.T) {
 		t.Fatalf("device = %+v", dev)
 	}
 	for term, wantNet := range map[string]string{"g": "gat", "s": "src", "d": "drn"} {
-		nid, ok := dev.TerminalNets[term]
+		nid, ok := dev.TerminalNet(term)
 		if !ok {
 			t.Fatalf("terminal %q missing (%v)", term, dev.TerminalNets)
 		}
@@ -109,7 +109,9 @@ func TestTransistorTerminalNets(t *testing.T) {
 		}
 	}
 	// Source and drain must be distinct nets (no transistor short).
-	if dev.TerminalNets["s"] == dev.TerminalNets["d"] {
+	srcNet, _ := dev.TerminalNet("s")
+	drnNet, _ := dev.TerminalNet("d")
+	if srcNet == drnNet {
 		t.Fatal("source and drain merged through the transistor")
 	}
 }

@@ -69,7 +69,8 @@ func ConstructionRules(nl *Netlist, tc *tech.Technology) []Issue {
 		if dev.Type != tech.DevNMOSDep && dev.Type != tech.DevNMOSPullup {
 			continue
 		}
-		for term, nid := range dev.TerminalNets {
+		for ti := range dev.TerminalNets {
+			term, nid := dev.TerminalNets[ti].Name, dev.TerminalNets[ti].Net
 			if term == "g" {
 				continue // the gate is tied back to the source by design
 			}

@@ -184,3 +184,34 @@ func NewChip(tc *tech.Technology, name string, rows, cols int) *Chip {
 func (c *Chip) DeviceCount() int {
 	return c.Design.Stats().FlatDevices
 }
+
+// NewChipUnique builds a rows×cols inverter-array chip in which every row
+// is its own symbol definition ("row0".."row<n-1>") instead of one shared
+// master. The cells inside each row still share one definition. Real
+// chips sit between the two extremes — many distinct macro definitions,
+// each heavily instanced — and this variant models the many-definitions
+// axis: an edit to one row definition leaves the other rows' definitions
+// (and their cached per-definition checking artifacts) untouched, which
+// is the workload the incremental engine's single-symbol-edit experiments
+// measure.
+func NewChipUnique(tc *tech.Technology, name string, rows, cols int) *Chip {
+	d := layout.NewDesign(name)
+	lib := NewCellLibrary(d, tc)
+	cell := NewInverterCell(d, lib, "inv")
+
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	top := d.MustSymbol("chip")
+	for r := 0; r < rows; r++ {
+		row := NewRow(d, lib, fmt.Sprintf("row%d", r), cell, cols)
+		top.AddCall(row, geom.Translate(geom.Pt(0, int64(r)*PitchY)), fmt.Sprintf("r%d", r))
+	}
+	if rows > 1 {
+		top.AddWire(metalL, 750, "VDD",
+			geom.Pt(VddTrunkX, VddRailY), geom.Pt(VddTrunkX, int64(rows-1)*PitchY+VddRailY))
+		east := RowEastEnd(cols)
+		top.AddWire(metalL, 750, "GND",
+			geom.Pt(east, GndRailY), geom.Pt(east, int64(rows-1)*PitchY+GndRailY))
+	}
+	d.Top = top
+	return &Chip{Design: d, Lib: lib, Rows: rows, Cols: cols}
+}
