@@ -7,11 +7,17 @@
 // Usage:
 //
 //	dicheck [flags] layout.cif
+//	dicheck -validate rules.deck...
 //
-//	-tech nmos|bipolar   technology (default nmos)
+//	-tech NAME           registered technology (default nmos; see -tech help)
+//	-deck FILE           load the technology from a rule deck instead
+//	-validate            validate rule decks given as arguments and exit
 //	-flat                run only the traditional baseline
 //	-both                run both checkers
 //	-metric euclid|ortho spacing metric for the DIC (default euclid)
+//	-noconstruct         skip the non-geometric construction rules (the
+//	                     bipolar demo workload needs this: its device
+//	                     terminals are deliberately unwired)
 //	-workers n           interaction-stage goroutines (0 = all cores, 1 = serial)
 //	-v                   print every violation, not just the summary
 //	-netlist             print the extracted hierarchical net list
@@ -26,42 +32,57 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
+	dic "repro"
 	"repro/internal/cif"
 	"repro/internal/core"
+	"repro/internal/deck"
+	"repro/internal/device"
 	"repro/internal/flat"
 	"repro/internal/process"
 	"repro/internal/tech"
 )
 
 func main() {
-	techName := flag.String("tech", "nmos", "technology: nmos or bipolar")
+	techName := flag.String("tech", "nmos",
+		fmt.Sprintf("technology: %s", strings.Join(tech.Names(), ", ")))
+	deckFile := flag.String("deck", "", "load the technology from a rule deck file instead of -tech")
+	validate := flag.Bool("validate", false, "validate the rule decks given as arguments, then exit")
 	flatOnly := flag.Bool("flat", false, "run only the traditional mask-level baseline")
 	both := flag.Bool("both", false, "run both checkers")
 	metric := flag.String("metric", "euclid", "DIC spacing metric: euclid or ortho")
 	verbose := flag.Bool("v", false, "print every violation")
 	showNetlist := flag.Bool("netlist", false, "print the extracted net list")
 	showStats := flag.Bool("stats", false, "print per-stage statistics")
+	noConstruct := flag.Bool("noconstruct", false, "skip the non-geometric construction rules (fanout, rails)")
 	procModel := flag.Bool("process", false, "give spacing violations a second opinion from the Eq.1 process model")
 	workers := flag.Int("workers", 0, "interaction-stage goroutines (0 = all cores, 1 = serial reference)")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	repeat := flag.Int("repeat", 0, "run the incremental engine this many times (0 = one-shot pipeline)")
 	flag.Parse()
 
+	if *validate {
+		files := flag.Args()
+		if *deckFile != "" {
+			files = append([]string{*deckFile}, files...)
+		}
+		if len(files) == 0 {
+			fatalf("-validate needs at least one deck file")
+		}
+		os.Exit(validateDecks(files))
+	}
+
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dicheck [flags] layout.cif")
+		fmt.Fprintln(os.Stderr, "       dicheck -validate rules.deck...")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	var tc *tech.Technology
-	switch *techName {
-	case "nmos":
-		tc = tech.NMOS()
-	case "bipolar":
-		tc = tech.Bipolar()
-	default:
-		fatalf("unknown technology %q", *techName)
+	tc, err := dic.ResolveTechnology(*techName, *deckFile)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	src, err := os.ReadFile(flag.Arg(0))
@@ -80,7 +101,7 @@ func main() {
 
 	exitCode := 0
 	if !*flatOnly {
-		opts := core.Options{Workers: *workers}
+		opts := core.Options{Workers: *workers, SkipConstruction: *noConstruct}
 		if *metric == "ortho" {
 			opts.Metric = core.Orthogonal
 		}
@@ -196,6 +217,42 @@ func countFlatRules(vs []flat.Violation) map[string]int {
 		out[v.Rule]++
 	}
 	return out
+}
+
+// validateDecks runs the full validation over each deck, printing every
+// problem, and returns the exit code (1 if any deck has errors).
+func validateDecks(files []string) int {
+	code := 0
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		d, err := deck.Parse(string(src))
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		probs := tech.ValidateDeck(d, device.Classes())
+		for _, p := range probs {
+			fmt.Printf("%s: %v\n", path, p)
+		}
+		if len(deck.Errors(probs)) > 0 {
+			code = 1
+			continue
+		}
+		if _, err := tech.FromDeck(d); err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: ok (%q, %d layers, %d cells, %d devices, %d warnings)\n",
+			path, d.Name, len(d.Layers), len(d.Spaces), len(d.Devices), len(probs))
+	}
+	return code
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,60 @@
+package dic_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	dic "repro"
+	"repro/internal/deck"
+	"repro/internal/tech"
+)
+
+// TestLoadDeckRoundTrip exercises the public deck path end to end: render
+// the shipped CMOS technology back to deck text, load it from disk with
+// LoadDeck, and demand a byte-identical report fingerprint for a checked
+// chip — a user-authored deck file is a first-class technology.
+func TestLoadDeckRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cmos-copy.deck")
+	if err := os.WriteFile(path, []byte(deck.Write(tech.ToDeck(dic.CMOS()))), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dic.LoadDeck(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := func(tc *dic.Technology) string {
+		chip := dic.NewCMOSChip(tc, "roundtrip", 2, 3)
+		rep, err := dic.Check(chip.Design, tc, dic.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dic.Fingerprint(rep)
+	}
+	if fp(dic.CMOS()) != fp(loaded) {
+		t.Fatal("deck written to disk and reloaded diverges from the embedded CMOS process")
+	}
+}
+
+func TestLoadDeckRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.deck")
+	if err := os.WriteFile(path, []byte("tech bad\nlayer a cif=XA\nspace a ghost diff=3\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dic.LoadDeck(path); err == nil {
+		t.Fatal("invalid deck loaded without error")
+	}
+}
+
+func TestTechnologies(t *testing.T) {
+	names := dic.Technologies()
+	want := map[string]bool{"nmos": true, "bipolar": true, "cmos": true}
+	if len(names) != len(want) {
+		t.Fatalf("Technologies() = %v", names)
+	}
+	for _, n := range names {
+		if !want[n] {
+			t.Fatalf("unexpected technology %q", n)
+		}
+	}
+}

@@ -5,13 +5,21 @@
 //
 // The package re-exports the stable surface of the internal packages:
 //
-//	Technologies:  NMOS, Bipolar
+//	Technologies:  NMOS, Bipolar, CMOS — plus LoadDeck for user processes
 //	Input/output:  ParseCIF, WriteCIF (extended CIF with 9N/9D/9I)
 //	The checker:   Check (the paper's five-stage hierarchical pipeline)
 //	The baseline:  CheckFlat (traditional mask-level DRC)
 //	Extraction:    ExtractNetlist (hierarchical net list, dot notation)
 //	Process model: ProcessModel (Gaussian exposure, Eq. 1)
-//	Workloads:     NewChip, InjectErrors, Pathologies
+//	Workloads:     NewChip, NewCMOSChip, InjectErrors, Pathologies
+//
+// Three technologies ship with the checker: the paper's λ-based
+// silicon-gate nMOS process, the simplified bipolar process of Figure 6,
+// and a λ=100 Mead–Conway-style p-well CMOS process. Every process is
+// defined by a rule deck — a loadable text file holding the layers, the
+// Figure 12 interaction matrix, and the device types (the CMOS process
+// exists only as its deck) — so checking a new process means writing a
+// deck, not code: see LoadDeck and the README's "Rule decks" section.
 //
 // Quickstart:
 //
@@ -34,8 +42,14 @@
 package dic
 
 import (
+	"fmt"
+	"os"
+	"strings"
+
 	"repro/internal/cif"
 	"repro/internal/core"
+	"repro/internal/deck"
+	"repro/internal/device"
 	"repro/internal/eval"
 	"repro/internal/flat"
 	"repro/internal/geom"
@@ -78,6 +92,10 @@ type (
 	Model = process.Model
 	// Chip is a generated workload.
 	Chip = workload.Chip
+	// CMOSChip is a generated CMOS inverter-array workload.
+	CMOSChip = workload.CMOSChip
+	// Deck is the parsed form of a rule deck (see LoadDeck).
+	Deck = deck.Deck
 	// Injected is one ground-truth injected error.
 	Injected = workload.Injected
 	// Pathology is one paper-figure pathology case.
@@ -118,6 +136,51 @@ func NMOS() *Technology { return tech.NMOS() }
 
 // Bipolar returns the simplified bipolar technology of Figure 6.
 func Bipolar() *Technology { return tech.Bipolar() }
+
+// CMOS returns the λ=100 Mead–Conway-style p-well CMOS technology. The
+// process is defined entirely by its embedded rule deck — there is no Go
+// constructor behind it.
+func CMOS() *Technology { return tech.CMOS() }
+
+// Technologies returns the names of the registered technologies.
+func Technologies() []string { return tech.Names() }
+
+// LoadDeck reads, validates, and compiles a rule-deck file into a
+// Technology ready for checking. Validation covers the deck's semantics
+// against this build's device classes here; FromDeck checks the structure
+// (duplicate layers, asymmetric interaction cells, dangling references,
+// roles). The first error aborts the load. See the README for the deck
+// format.
+func LoadDeck(path string) (*Technology, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := deck.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	probs := tech.ValidateDeck(d, device.Classes())
+	if errs := deck.Errors(probs); len(errs) > 0 {
+		return nil, fmt.Errorf("dic: deck %s: %v (%d problems total)", path, errs[0], len(probs))
+	}
+	return tech.FromDeck(d)
+}
+
+// ResolveTechnology resolves a tool's technology selection the way the
+// shipped commands do: a non-empty deckPath loads that rule deck via
+// LoadDeck; otherwise name must be registered, and the error for an
+// unknown name lists the valid ones.
+func ResolveTechnology(name, deckPath string) (*Technology, error) {
+	if deckPath != "" {
+		return LoadDeck(deckPath)
+	}
+	fn, ok := tech.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown technology %q (valid: %s)", name, strings.Join(tech.Names(), ", "))
+	}
+	return fn(), nil
+}
 
 // ParseCIF reads extended CIF text into a design.
 func ParseCIF(src string, tc *Technology, name string) (*Design, error) {
@@ -175,6 +238,12 @@ func ProcessModel() Model { return process.DefaultModel() }
 // NewChip generates a rows×cols inverter-array workload chip.
 func NewChip(tc *Technology, name string, rows, cols int) *Chip {
 	return workload.NewChip(tc, name, rows, cols)
+}
+
+// NewCMOSChip generates a rows×cols CMOS inverter-array workload chip for
+// the deck-defined CMOS technology.
+func NewCMOSChip(tc *Technology, name string, rows, cols int) *CMOSChip {
+	return workload.NewCMOSChip(tc, name, rows, cols)
 }
 
 // NewChipUnique generates the inverter-array chip with one distinct row

@@ -132,7 +132,7 @@ func Check(d *layout.Design, tc *tech.Technology, opts Options) (*Report, error)
 		return nil, err
 	}
 	rep := &Report{Design: d, Tech: tc}
-	c := &checker{design: d, tech: tc, opts: opts, rep: rep}
+	c := &checker{design: d, tech: tc, ct: tc.Compile(), opts: opts, rep: rep}
 
 	c.stage("check elements", c.checkElements)
 	c.stage("check primitive symbols", c.checkPrimitiveSymbols)
@@ -178,6 +178,7 @@ func Check(d *layout.Design, tc *tech.Technology, opts Options) (*Report, error)
 type checker struct {
 	design *layout.Design
 	tech   *tech.Technology
+	ct     *tech.Compiled // frozen rule table; hot paths never touch the maps
 	opts   Options
 	rep    *Report
 

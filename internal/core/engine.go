@@ -45,6 +45,7 @@ import (
 // the engine's caches; treat them as immutable.
 type Engine struct {
 	tc   *tech.Technology
+	ct   *tech.Compiled
 	opts Options
 
 	cache *netlist.Cache
@@ -84,6 +85,7 @@ type EngineStats struct {
 func NewEngine(tc *tech.Technology, opts Options) *Engine {
 	return &Engine{
 		tc:       tc,
+		ct:       tc.Compile(),
 		opts:     opts,
 		cache:    netlist.NewCache(),
 		elems:    make(map[layout.Hash]*elemEntry),
@@ -128,7 +130,7 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 	e.prev = cur
 
 	rep := &Report{Design: d, Tech: e.tc}
-	c := &checker{design: d, tech: e.tc, opts: e.opts, rep: rep}
+	c := &checker{design: d, tech: e.tc, ct: e.ct, opts: e.opts, rep: rep}
 
 	c.stage("check elements", func() { e.checkElements(c, d, hashes) })
 	c.stage("check primitive symbols", func() { e.checkPrimitiveSymbols(c, d, hashes) })
@@ -406,6 +408,12 @@ func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *
 	art.CrossItemPairs(maxGap, func(i, j int) {
 		if i > j {
 			i, j = j, i
+		}
+		// Same pre-bucketing gate as the chip-level sweep's pair filter:
+		// layers that can never interact are dropped before the pair is
+		// recorded, so candidate counters stay identical across pipelines.
+		if !e.ct.Interacts(art.ItemView(i).Layer, art.ItemView(j).Layer) {
+			return
 		}
 		pa, pb := i, j
 		if art.Virtual {
@@ -814,8 +822,7 @@ func (e *Engine) absorbKeepouts(c *checker, inc *netlist.IncExtraction, ii int, 
 // global keepout sweeps exactly as the chip-level checker does.
 func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats *EngineStats) {
 	ex := inc.Extraction
-	maxGap := e.tc.MaxSpacing()
-	lay := lookupLayerIDs(e.tc)
+	maxGap := e.ct.MaxSpacing()
 
 	// Global net facts feeding the signatures.
 	hasDev := make([]bool, len(ex.Netlist.Nets))
@@ -838,8 +845,8 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 	}
 
 	var keep keepLayers
-	keep.cutID, keep.hasCut = e.tc.LayerByName(tech.NMOSContact)
-	keep.isoID, keep.hasIso = e.tc.LayerByName(tech.BipIso)
+	keep.cutID, keep.hasCut = e.ct.Cut()
+	keep.isoID, keep.hasIso = e.ct.Isolation()
 	// The chip-level gate sweep bails out when no cut geometry exists at
 	// all; checks and violations stay identical either way (a definition
 	// tally only ever counts real pairs), so the conservative layer mask
@@ -865,7 +872,7 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 			// Every pair is device-internal: adjudication cannot touch
 			// the net environment, so the one tally serves all instances.
 			if di.freeTally == nil {
-				di.freeTally = e.adjudicateDef(di, lay, nil, nil)
+				di.freeTally = e.adjudicateDef(di, nil, nil)
 				stats.SigMisses++
 			} else {
 				stats.SigHits++
@@ -876,7 +883,7 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 		sig := e.netEnvSignature(di, inc, ii, hasDev, shared, scratch)
 		tally, ok := di.sigs[string(sig)]
 		if !ok {
-			tally = e.adjudicateDef(di, lay, scratch.labels, sig)
+			tally = e.adjudicateDef(di, scratch.labels, sig)
 			di.sigs[string(sig)] = tally
 			stats.SigMisses++
 		} else {
@@ -889,7 +896,7 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 // adjudicateDef runs the shared subcase logic over every candidate pair of
 // one definition under one net-environment signature, producing the
 // replayable tally.
-func (e *Engine) adjudicateDef(di *defInter, lay layerIDs, labels []int, sig []byte) *interactionTally {
+func (e *Engine) adjudicateDef(di *defInter, labels []int, sig []byte) *interactionTally {
 	env := &sigEnv{di: di, labels: labels}
 	if sig != nil {
 		// Unpack the per-position bits back out of the signature bytes
@@ -909,7 +916,7 @@ func (e *Engine) adjudicateDef(di *defInter, lay layerIDs, labels []int, sig []b
 	for i := range di.pairs {
 		p := &di.pairs[i]
 		g.p = p
-		adjudicatePair(e.tc, e.opts, lay, di.itemAt(p.a), di.itemAt(p.b), env, &g, t)
+		adjudicatePair(e.tc, e.ct, e.opts, di.itemAt(p.a), di.itemAt(p.b), env, &g, t)
 	}
 	return t
 }

@@ -44,7 +44,7 @@ func TestEngineMatchesCheck(t *testing.T) {
 	workload.InjectErrors(dirty, 25, 42)
 	cases = append(cases, tcase{"dirty 6x7", dirty.Design, nm})
 
-	bip := workload.NewBipolarChip("bip", 6)
+	bip := workload.NewBipolarChip(tech.Bipolar(), "bip", 6)
 	bip.BreakIsolation(2)
 	cases = append(cases, tcase{"bipolar", bip.Design, tech.Bipolar()})
 

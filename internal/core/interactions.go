@@ -44,31 +44,16 @@ type pairGeom interface {
 	processOK(a, b *netlist.ConnItem, mis, margin float64) bool
 }
 
-// layerIDs caches the device-rule layer lookups shared by every pair.
-type layerIDs struct {
-	polyID, diffID, isoID    tech.LayerID
-	hasPoly, hasDiff, hasIso bool
-}
-
-func lookupLayerIDs(tc *tech.Technology) layerIDs {
-	var l layerIDs
-	l.polyID, l.hasPoly = tc.LayerByName(tech.NMOSPoly)
-	l.diffID, l.hasDiff = tc.LayerByName(tech.NMOSDiff)
-	l.isoID, l.hasIso = tc.LayerByName(tech.BipIso)
-	return l
-}
-
 // interactionChecker is the read-only context shared by every interaction
-// worker: the extraction, the technology, the device-relation indexes, and
-// the options. It is built once per run and never mutated afterwards, so
-// adjudication may run from many goroutines concurrently as long as each
-// call gets its own tally.
+// worker: the extraction, the compiled technology, the device-relation
+// indexes, and the options. It is built once per run and never mutated
+// afterwards, so adjudication may run from many goroutines concurrently as
+// long as each call gets its own tally.
 type interactionChecker struct {
 	c  *checker
 	ex *netlist.Extraction
 	tc *tech.Technology
-
-	lay layerIDs
+	ct *tech.Compiled
 
 	// Terminal-net sets per device: an element is "related" to a device
 	// when it shares a net with one of the device's terminals (the paper:
@@ -98,7 +83,7 @@ type interactionTally struct {
 }
 
 func newInteractionChecker(c *checker, ex *netlist.Extraction) *interactionChecker {
-	ic := &interactionChecker{c: c, ex: ex, tc: c.tech, lay: lookupLayerIDs(c.tech)}
+	ic := &interactionChecker{c: c, ex: ex, tc: c.tech, ct: c.ct}
 
 	ic.devNets = make([]map[netlist.NetID]bool, len(ex.Netlist.Devices))
 	ic.netDevs = make(map[netlist.NetID]map[int]bool)
@@ -199,7 +184,7 @@ func (ic *interactionChecker) processOK(a, b *netlist.ConnItem, mis, margin floa
 func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 	a := &ic.ex.Items[p.A.ID]
 	b := &ic.ex.Items[p.B.ID]
-	adjudicatePair(ic.tc, ic.c.opts, ic.lay, a, b, ic, ic, t)
+	adjudicatePair(ic.tc, ic.ct, ic.c.opts, a, b, ic, ic, t)
 }
 
 // adjudicatePair runs the Figure 12 subcase logic for one candidate pair:
@@ -209,14 +194,15 @@ func (ic *interactionChecker) pair(p geom.Pair, t *interactionTally) {
 // answers come from env and the measurements from g, so the same logic —
 // and therefore byte-identical reports — serves both the chip-level sweep
 // and the incremental engine's definition-level replay.
-func adjudicatePair(tc *tech.Technology, opts Options, lay layerIDs, a, b *netlist.ConnItem, env pairEnv, g pairGeom, t *interactionTally) {
+func adjudicatePair(tc *tech.Technology, ct *tech.Compiled, opts Options, a, b *netlist.ConnItem, env pairEnv, g pairGeom, t *interactionTally) {
 	t.candidates++
 	sameDevice := a.Dev >= 0 && a.Dev == b.Dev
 
-	// Accidental transistor (Figure 8): poly over diffusion outside a
-	// single declared device. Implicit devices are not allowed.
-	if lay.hasPoly && lay.hasDiff && !sameDevice &&
-		((a.Layer == lay.polyID && b.Layer == lay.diffID) || (a.Layer == lay.diffID && b.Layer == lay.polyID)) {
+	// Accidental transistor (Figure 8): poly over any diffusion-role layer
+	// outside a single declared device. Implicit devices are not allowed.
+	polyID, hasPoly := ct.Poly()
+	if hasPoly && !sameDevice &&
+		((a.Layer == polyID && ct.IsDiffusion(b.Layer)) || (ct.IsDiffusion(a.Layer) && b.Layer == polyID)) {
 		if a.Bounds.Overlaps(b.Bounds) {
 			t.checks++
 			if ovb, ok := g.accOverlapBounds(a, b); ok {
@@ -235,7 +221,7 @@ func adjudicatePair(tc *tech.Technology, opts Options, lay layerIDs, a, b *netli
 		}
 	}
 
-	rule := tc.Spacing(a.Layer, b.Layer)
+	rule := ct.Rule(a.Layer, b.Layer)
 	if rule.DiffNet == 0 && rule.SameNet == 0 {
 		t.skippedNoRule++
 		return
@@ -280,9 +266,9 @@ func adjudicatePair(tc *tech.Technology, opts Options, lay layerIDs, a, b *netli
 
 	// Figure 6b: devices that may legally touch isolation are exempt
 	// from the base-isolation spacing cell.
-	if lay.hasIso && (a.Layer == lay.isoID || b.Layer == lay.isoID) {
+	if isoID, hasIso := ct.Isolation(); hasIso && (a.Layer == isoID || b.Layer == isoID) {
 		other := a
-		if a.Layer == lay.isoID {
+		if a.Layer == isoID {
 			other = b
 		}
 		if env.mayTouchIsolation(other.Dev) {
@@ -390,7 +376,7 @@ func (c *checker) absorb(ex *netlist.Extraction, t *interactionTally) {
 // worker accumulates into its own tally and the tallies merge in strip
 // order, making the parallel report identical to the serial one.
 func (c *checker) checkInteractions(ex *netlist.Extraction) {
-	maxGap := c.tech.MaxSpacing()
+	maxGap := c.ct.MaxSpacing()
 
 	var pf geom.PairFinder
 	for i := range ex.Items {
@@ -398,6 +384,13 @@ func (c *checker) checkInteractions(ex *netlist.Extraction) {
 	}
 
 	ic := newInteractionChecker(c, ex)
+	// The compiled interacts-with sets gate the sweep: a pair whose layers
+	// carry no spacing cell and no device rule can never produce a check
+	// or a violation, so it is dropped before bucketing instead of walking
+	// the whole adjudication preamble per pair. The engine's per-definition
+	// enumeration applies the identical predicate, keeping reports and
+	// candidate counters byte-identical between the two pipelines.
+	filter := func(a, b geom.Item) bool { return c.ct.InteractsTag(a.Tag, b.Tag) }
 	canon := func(p geom.Pair) geom.Pair {
 		if p.B.ID < p.A.ID {
 			p.A, p.B = p.B, p.A
@@ -406,13 +399,13 @@ func (c *checker) checkInteractions(ex *netlist.Extraction) {
 	}
 	if workers := c.opts.workerCount(); workers == 1 || pf.Len() < 2 {
 		var t interactionTally
-		pf.Pairs(maxGap, nil, func(p geom.Pair) { ic.pair(canon(p), &t) })
+		pf.Pairs(maxGap, filter, func(p geom.Pair) { ic.pair(canon(p), &t) })
 		c.absorb(ex, &t)
 	} else {
 		shards := pf.Shards(maxGap, workers*geom.StripsPerWorker)
 		tallies := make([]interactionTally, len(shards))
 		geom.RunShards(len(shards), workers, func(k int) {
-			shards[k].Pairs(nil, func(p geom.Pair) { ic.pair(canon(p), &tallies[k]) })
+			shards[k].Pairs(filter, func(p geom.Pair) { ic.pair(canon(p), &tallies[k]) })
 		})
 		for k := range tallies {
 			c.absorb(ex, &tallies[k])
@@ -432,7 +425,7 @@ func (c *checker) checkGateKeepouts(ex *netlist.Extraction) {
 	if len(ex.Gates) == 0 {
 		return
 	}
-	cutID, ok := c.tech.LayerByName(tech.NMOSContact)
+	cutID, ok := c.ct.Cut()
 	if !ok {
 		return
 	}
@@ -480,7 +473,7 @@ func (c *checker) checkBaseKeepouts(ex *netlist.Extraction) {
 	if len(ex.BaseKeepouts) == 0 {
 		return
 	}
-	isoID, ok := c.tech.LayerByName(tech.BipIso)
+	isoID, ok := c.ct.Isolation()
 	if !ok {
 		return
 	}

@@ -1,0 +1,229 @@
+package deck
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/golden-min.deck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "golden-min" || d.Lambda != 200 {
+		t.Fatalf("tech = %q λ=%d", d.Name, d.Lambda)
+	}
+	if len(d.Layers) != 2 || d.Layers[0].Name != "alpha" || d.Layers[0].Role != "metal" {
+		t.Fatalf("layers = %+v", d.Layers)
+	}
+	if d.Layers[0].Width != 400 || d.Layers[0].Space != 600 {
+		t.Fatalf("λ-dims: %+v", d.Layers[0])
+	}
+	if d.Layers[1].Width != 350 {
+		t.Fatalf("raw dim: %+v", d.Layers[1])
+	}
+	if len(d.Spaces) != 3 {
+		t.Fatalf("spaces = %+v", d.Spaces)
+	}
+	ab := d.Spaces[1]
+	if ab.DiffNet != 300 || ab.SameNet != 200 || !ab.ExemptRelated || ab.Note != "alpha to beta" {
+		t.Fatalf("a-b cell = %+v", ab)
+	}
+	if len(d.Devices) != 1 {
+		t.Fatalf("devices = %+v", d.Devices)
+	}
+	dev := d.Devices[0]
+	if dev.Class != "contact" || dev.Describe != "a widget" {
+		t.Fatalf("device = %+v", dev)
+	}
+	if !reflect.DeepEqual(dev.Uses, []Use{{Role: "lower", Layer: "beta"}}) {
+		t.Fatalf("uses = %+v", dev.Uses)
+	}
+	if !reflect.DeepEqual(dev.Params, []Param{{Key: "cut-size", Value: 400}, {Key: "metal-enclosure", Value: 200}}) {
+		t.Fatalf("params = %+v", dev.Params)
+	}
+	if !reflect.DeepEqual(d.PowerNets, []string{"VDD"}) || !reflect.DeepEqual(d.GroundNets, []string{"GND", "vss"}) {
+		t.Fatalf("rails = %v / %v", d.PowerNets, d.GroundNets)
+	}
+	if probs := Validate(d, Options{}); len(Errors(probs)) != 0 {
+		t.Fatalf("golden deck should validate: %v", probs)
+	}
+}
+
+// TestWriteParseIdempotent: canonicalizing any valid testdata deck is a
+// fixed point — parse→write→parse yields the same Deck and the same text.
+func TestWriteParseIdempotent(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.deck")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		text1 := Write(d)
+		d2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("%s: reparse of written deck: %v\n%s", f, err, text1)
+		}
+		stripLines(d)
+		stripLines(d2)
+		if !reflect.DeepEqual(d, d2) {
+			t.Fatalf("%s: deck not stable under write/parse:\n%+v\nvs\n%+v", f, d, d2)
+		}
+		if text2 := Write(d2); text1 != text2 {
+			t.Fatalf("%s: writer not idempotent:\n%s\nvs\n%s", f, text1, text2)
+		}
+	}
+}
+
+// stripLines zeroes source-line fields so decks from different texts
+// compare by content.
+func stripLines(d *Deck) {
+	for i := range d.Layers {
+		d.Layers[i].Line = 0
+	}
+	for i := range d.Spaces {
+		d.Spaces[i].Line = 0
+	}
+	for i := range d.Devices {
+		d.Devices[i].Line = 0
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no tech", "layer a cif=XA\n", "tech statement must come first"},
+		{"missing tech", "# empty\n", "missing tech"},
+		{"dup tech", "tech a\ntech b\n", "duplicate tech"},
+		{"unknown stmt", "tech a\nfrobnicate x\n", "unknown statement"},
+		{"bad lambda", "tech a lambda=abc\n", "bad lambda"},
+		{"lambda-less λ", "tech a\nlayer l cif=XL width=2L\n", "no lambda"},
+		{"bad fraction", "tech a lambda=100\nlayer l cif=XL width=2.7L\n", "half-λ"},
+		{"odd lambda half", "tech a lambda=101\nlayer l cif=XL width=1.5L\n", "odd"},
+		{"negative dim", "tech a\nlayer l cif=XL width=-3\n", "bad dimension"},
+		{"huge lambda", "tech a lambda=9223372036854775807\n", "bad lambda"},
+		{"λ overflow", "tech a lambda=1099511627776\nlayer l cif=XL width=2L\n", "exceeds"},
+		{"raw dim overflow", "tech a\nlayer l cif=XL width=1099511627777\n", "exceeds"},
+		{"layer no cif", "tech a\nlayer l\n", "needs cif"},
+		{"space arity", "tech a\nlayer l cif=XL\nspace l\n", "two layer names"},
+		{"orphan param", "tech a\nparam k=1\n", "outside a device"},
+		{"orphan use", "tech a\nuse r=l\n", "outside a device"},
+		{"param binds to device only", "tech a\ndevice d class=c\nlayer l cif=XL\nparam k=1\n", "outside a device"},
+		{"device no class", "tech a\ndevice d\n", "needs class"},
+		{"rail kind", "tech a\nrail sideways X\n", "power or ground"},
+		{"unterminated quote", "tech a\nlayer l cif=XL role=\"oops\n", "unterminated quote"},
+		{"spliced key space", "tech a\ndevice d class=c\n  use a\" \"b=x\n", "must not contain spaces"},
+		{"spliced key hash", "tech a\ndevice d class=c\n  param a\"#\"=1\n", "must not contain spaces"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidateFindings(t *testing.T) {
+	read := func(f string) *Deck {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Parse(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	asym := Validate(read("testdata/bad-asymmetric.deck"), Options{})
+	if errs := Errors(asym); len(errs) != 1 || !strings.Contains(errs[0].Detail, "asymmetric") {
+		t.Fatalf("asymmetric deck: %v", asym)
+	}
+	dup := Validate(read("testdata/bad-duplicate-layer.deck"), Options{})
+	var wantDupLayer, wantDupCIF bool
+	for _, p := range Errors(dup) {
+		if strings.Contains(p.Detail, `duplicate layer "a"`) {
+			wantDupLayer = true
+		}
+		if strings.Contains(p.Detail, `duplicate CIF code "XA"`) {
+			wantDupCIF = true
+		}
+	}
+	if !wantDupLayer || !wantDupCIF {
+		t.Fatalf("duplicate-layer deck: %v", dup)
+	}
+
+	d, err := Parse("tech t\nlayer l cif=XL role=warp\nspace l l\nspace l ghost diff=3\ndevice d class=nope\n  use lower=ghost\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := Validate(d, Options{KnownClasses: []string{"contact"}, KnownRoles: []string{"metal"}})
+	wants := map[string]Severity{
+		"unknown role \"warp\"":    Warning,
+		"no audit note":            Warning,
+		"unknown layer \"ghost\"":  Error,
+		"unknown class \"nope\"":   Error,
+		"unknown role \"lower\"":   Warning,
+		"binds role \"lower\" to ": Error,
+	}
+	for want, sev := range wants {
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p.Detail, want) && p.Severity == sev {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %v finding containing %q in %v", sev, want, probs)
+		}
+	}
+}
+
+func TestValidateRepeats(t *testing.T) {
+	d, err := Parse("tech t\nlayer l cif=XL\ndevice d class=c\n  param k=1\n  param k=2\n  use r=l\n  use r=l\ndevice d class=c\nrail power V V\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := Validate(d, Options{})
+	for _, want := range []string{"repeats param", "repeats use role", "duplicate device type", `rail net "V"`} {
+		found := false
+		for _, p := range Errors(probs) {
+			if strings.Contains(p.Detail, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing error containing %q in %v", want, probs)
+		}
+	}
+}
+
+func TestDimCanonicalization(t *testing.T) {
+	d := &Deck{Lambda: 250}
+	for v, want := range map[int64]string{
+		750: "3L", 375: "1.5L", 250: "1L", 125: "0.5L", 300: "300", 0: "0",
+	} {
+		if got := d.dim(v); got != want {
+			t.Errorf("dim(%d) = %q, want %q", v, got, want)
+		}
+	}
+	noLam := &Deck{}
+	if got := noLam.dim(750); got != "750" {
+		t.Errorf("λ-less dim = %q", got)
+	}
+}

@@ -1,0 +1,30 @@
+package deck
+
+import "testing"
+
+// FuzzParseDeck drives the parser with arbitrary text. The invariants: no
+// panic on any input, and any input that parses must survive the canonical
+// round trip (write, reparse, write again identically) — the writer may
+// never emit text its own parser rejects or reads differently.
+func FuzzParseDeck(f *testing.F) {
+	f.Add("tech t lambda=250\nlayer a cif=XA role=metal width=2L space=3L\nspace a a diff=1.5L note=\"x\"\n")
+	f.Add("tech t\nlayer a cif=XA\ndevice d class=c depletion describe=\"y\"\n  use lower=a\n  param k=40\nrail power VDD\n")
+	f.Add("# comment only\n")
+	f.Add("tech \"quoted name\" lambda=2\nspace a b exempt-related\n")
+	f.Add("tech t lambda=9223372036854775807\nlayer a cif=XA width=3L\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text1 := Write(d)
+		d2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("written deck does not reparse: %v\ninput: %q\nwritten: %q", err, src, text1)
+		}
+		if text2 := Write(d2); text1 != text2 {
+			t.Fatalf("writer not idempotent:\nfirst:  %q\nsecond: %q", text1, text2)
+		}
+		Validate(d, Options{})
+	})
+}

@@ -1,0 +1,329 @@
+package deck
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads deck text into its structured form. Syntax errors carry line
+// numbers; the first error aborts the parse. Parse checks syntax and local
+// well-formedness only — cross-statement consistency (duplicate layers,
+// conflicting cells, unknown classes) is Validate's job, so a tool can show
+// every problem at once rather than the first.
+func Parse(src string) (*Deck, error) {
+	d := &Deck{}
+	var curDev *Device
+	sawTech := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := ln + 1
+		toks, err := tokenize(raw)
+		if err != nil {
+			return nil, fmt.Errorf("deck: line %d: %v", line, err)
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		kw, args := toks[0].text, toks[1:]
+		if kw != "param" && kw != "use" {
+			curDev = nil
+		}
+		if !sawTech && kw != "tech" {
+			// Everything depends on the tech line — λ-expressions read its
+			// lambda — so enforce the order for every statement kind.
+			return nil, fmt.Errorf("deck: line %d: tech statement must come first", line)
+		}
+		switch kw {
+		case "tech":
+			if sawTech {
+				return nil, fmt.Errorf("deck: line %d: duplicate tech statement", line)
+			}
+			sawTech = true
+			if len(args) == 0 || isAttr(args[0]) {
+				return nil, fmt.Errorf("deck: line %d: tech needs a name", line)
+			}
+			d.Name = args[0].text
+			for _, a := range args[1:] {
+				k, v, err := splitAttr(a)
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+				switch k {
+				case "lambda":
+					n, err := strconv.ParseInt(v, 10, 64)
+					if err != nil || n < 0 || n > MaxDim {
+						return nil, fmt.Errorf("deck: line %d: bad lambda %q", line, v)
+					}
+					d.Lambda = n
+				default:
+					return nil, fmt.Errorf("deck: line %d: unknown tech attribute %q", line, k)
+				}
+			}
+		case "layer":
+			if len(args) == 0 || isAttr(args[0]) {
+				return nil, fmt.Errorf("deck: line %d: layer needs a name", line)
+			}
+			l := Layer{Name: args[0].text, Line: line}
+			for _, a := range args[1:] {
+				k, v, err := splitAttr(a)
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+				switch k {
+				case "cif":
+					l.CIF = v
+				case "role":
+					l.Role = v
+				case "width":
+					l.Width, err = d.parseDim(v)
+				case "space":
+					l.Space, err = d.parseDim(v)
+				default:
+					err = fmt.Errorf("unknown layer attribute %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+			}
+			if l.CIF == "" {
+				return nil, fmt.Errorf("deck: line %d: layer %q needs cif=", line, l.Name)
+			}
+			d.Layers = append(d.Layers, l)
+		case "space":
+			if len(args) < 2 || isAttr(args[0]) || isAttr(args[1]) {
+				return nil, fmt.Errorf("deck: line %d: space needs two layer names", line)
+			}
+			s := Space{A: args[0].text, B: args[1].text, Line: line}
+			for _, a := range args[2:] {
+				if !a.quoted && a.text == "exempt-related" {
+					s.ExemptRelated = true
+					continue
+				}
+				k, v, err := splitAttr(a)
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+				switch k {
+				case "diff":
+					s.DiffNet, err = d.parseDim(v)
+				case "same":
+					s.SameNet, err = d.parseDim(v)
+				case "note":
+					s.Note = v
+				default:
+					err = fmt.Errorf("unknown space attribute %q", k)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+			}
+			d.Spaces = append(d.Spaces, s)
+		case "device":
+			if len(args) == 0 || isAttr(args[0]) {
+				return nil, fmt.Errorf("deck: line %d: device needs a type name", line)
+			}
+			dev := Device{Type: args[0].text, Line: line}
+			for _, a := range args[1:] {
+				if !a.quoted && a.text == "depletion" {
+					dev.Depletion = true
+					continue
+				}
+				k, v, err := splitAttr(a)
+				if err != nil {
+					return nil, fmt.Errorf("deck: line %d: %v", line, err)
+				}
+				switch k {
+				case "class":
+					dev.Class = v
+				case "describe":
+					dev.Describe = v
+				default:
+					return nil, fmt.Errorf("deck: line %d: unknown device attribute %q", line, k)
+				}
+			}
+			if dev.Class == "" {
+				return nil, fmt.Errorf("deck: line %d: device %q needs class=", line, dev.Type)
+			}
+			d.Devices = append(d.Devices, dev)
+			curDev = &d.Devices[len(d.Devices)-1]
+		case "param":
+			if curDev == nil {
+				return nil, fmt.Errorf("deck: line %d: param outside a device statement", line)
+			}
+			if len(args) != 1 {
+				return nil, fmt.Errorf("deck: line %d: param needs exactly one key=value", line)
+			}
+			k, v, err := splitAttr(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			n, err := d.parseDim(v)
+			if err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			curDev.Params = append(curDev.Params, Param{Key: k, Value: n})
+		case "use":
+			if curDev == nil {
+				return nil, fmt.Errorf("deck: line %d: use outside a device statement", line)
+			}
+			if len(args) != 1 {
+				return nil, fmt.Errorf("deck: line %d: use needs exactly one role=layer", line)
+			}
+			k, v, err := splitAttr(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			curDev.Uses = append(curDev.Uses, Use{Role: k, Layer: v})
+		case "rail":
+			if len(args) < 2 {
+				return nil, fmt.Errorf("deck: line %d: rail needs a kind and at least one net name", line)
+			}
+			switch args[0].text {
+			case "power":
+				d.PowerNets = append(d.PowerNets, tokenTexts(args[1:])...)
+			case "ground":
+				d.GroundNets = append(d.GroundNets, tokenTexts(args[1:])...)
+			default:
+				return nil, fmt.Errorf("deck: line %d: rail kind must be power or ground, got %q", line, args[0].text)
+			}
+		default:
+			return nil, fmt.Errorf("deck: line %d: unknown statement %q", line, kw)
+		}
+	}
+	if !sawTech {
+		return nil, fmt.Errorf("deck: missing tech statement")
+	}
+	return d, nil
+}
+
+// MaxDim bounds every dimension a deck may express (raw or λ-scaled):
+// 2^40 centimicrons is over a hundred kilometers, far beyond any mask,
+// and the cap keeps λ multiplication overflow-free.
+const MaxDim = int64(1) << 40
+
+// parseDim evaluates one dimension token: a plain centimicron integer or a
+// λ-expression (an integer or half-integer multiple of lambda, like "3L" or
+// "1.5L").
+func (d *Deck) parseDim(tok string) (int64, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("empty dimension")
+	}
+	if strings.HasSuffix(tok, "L") {
+		if d.Lambda <= 0 {
+			return 0, fmt.Errorf("λ-expression %q in a deck with no lambda", tok)
+		}
+		num := tok[:len(tok)-1]
+		whole, frac, hasFrac := strings.Cut(num, ".")
+		n, err := strconv.ParseInt(whole, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad λ-expression %q", tok)
+		}
+		if n > MaxDim/d.Lambda {
+			return 0, fmt.Errorf("λ-expression %q exceeds the %d centimicron limit", tok, MaxDim)
+		}
+		v := n * d.Lambda
+		if hasFrac {
+			if frac != "5" {
+				return 0, fmt.Errorf("λ-expression %q: only half-λ fractions are supported", tok)
+			}
+			if d.Lambda%2 != 0 {
+				return 0, fmt.Errorf("λ-expression %q: lambda %d is odd, half-λ is not on the grid", tok, d.Lambda)
+			}
+			v += d.Lambda / 2
+		}
+		return v, nil
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad dimension %q", tok)
+	}
+	if n > MaxDim {
+		return 0, fmt.Errorf("dimension %q exceeds the %d centimicron limit", tok, MaxDim)
+	}
+	return n, nil
+}
+
+// token is one lexed word. A token that began with a double quote is never
+// interpreted as key=value, so quoted names may contain any character.
+type token struct {
+	text   string
+	quoted bool
+}
+
+// tokenTexts projects tokens back to their text.
+func tokenTexts(toks []token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.text
+	}
+	return out
+}
+
+// isAttr reports whether a token is key=value rather than a bare name.
+func isAttr(tok token) bool { return !tok.quoted && strings.ContainsRune(tok.text, '=') }
+
+// splitAttr splits key=value, with the value unquoted by the tokenizer.
+// Keys must be writable bare — a key containing separators (reachable only
+// by splicing quotes into the middle of a token, e.g. `a" "b=x`) could
+// never round-trip through the canonical writer, so it is rejected here.
+func splitAttr(tok token) (key, val string, err error) {
+	if tok.quoted {
+		return "", "", fmt.Errorf("expected key=value, got %q", tok.text)
+	}
+	k, v, ok := strings.Cut(tok.text, "=")
+	if !ok || k == "" {
+		return "", "", fmt.Errorf("expected key=value, got %q", tok.text)
+	}
+	if strings.ContainsAny(k, " \t\r#") {
+		return "", "", fmt.Errorf("attribute key %q must not contain spaces or '#'", k)
+	}
+	return k, v, nil
+}
+
+// tokenize splits one line into tokens: whitespace-separated words, with
+// double-quoted spans kept intact and unquoted, and '#' starting a comment
+// outside quotes.
+func tokenize(line string) ([]token, error) {
+	var toks []token
+	var cur strings.Builder
+	inQuote := false
+	started := false
+	ledQuote := false
+	flush := func() {
+		if started {
+			toks = append(toks, token{text: cur.String(), quoted: ledQuote})
+			cur.Reset()
+			started = false
+			ledQuote = false
+		}
+	}
+	for _, r := range line {
+		switch {
+		case inQuote:
+			if r == '"' {
+				inQuote = false
+			} else {
+				cur.WriteRune(r)
+			}
+		case r == '"':
+			inQuote = true
+			if !started {
+				ledQuote = true
+			}
+			started = true
+		case r == '#':
+			flush()
+			return toks, nil
+		case r == ' ' || r == '\t' || r == '\r':
+			flush()
+		default:
+			cur.WriteRune(r)
+			started = true
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	return toks, nil
+}

@@ -14,20 +14,25 @@ import (
 // non-metal, non-cut conductor the symbol contains geometry on.
 func analyzeContact(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (*Info, []Problem) {
 	var probs []Problem
-	metalID, cutID := contactLayers(tc)
+	metalID, cutID := contactLayers(tc, spec)
 	metal := sym.LayerRegion(metalID)
 	cut := sym.LayerRegion(cutID)
 
-	// Find the lower conductor: the layer (other than metal/cut) with
+	// Find the lower conductor: the explicit "lower" role binding when the
+	// deck declares one, otherwise the layer (other than metal/cut) with
 	// geometry in the symbol.
 	lowerID := tech.NoLayer
-	for _, l := range tc.Layers() {
-		if l.ID == metalID || l.ID == cutID {
-			continue
-		}
-		if !sym.LayerRegion(l.ID).Empty() {
-			lowerID = l.ID
-			break
+	if _, bound := spec.Layers["lower"]; bound {
+		lowerID = roleID(tc, spec, "lower", "")
+	} else {
+		for _, l := range tc.Layers() {
+			if l.ID == metalID || l.ID == cutID {
+				continue
+			}
+			if !sym.LayerRegion(l.ID).Empty() {
+				lowerID = l.ID
+				break
+			}
 		}
 	}
 	info := &Info{SpacingExemptSameNet: true}
@@ -87,10 +92,10 @@ func analyzeContact(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technolog
 // metal covers the cut; everything is one node.
 func analyzeButting(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (*Info, []Problem) {
 	var probs []Problem
-	poly := layerRegion(sym, tc, tech.NMOSPoly)
-	diff := layerRegion(sym, tc, tech.NMOSDiff)
-	cut := layerRegion(sym, tc, tech.NMOSContact)
-	metal := layerRegion(sym, tc, tech.NMOSMetal)
+	poly := roleRegion(sym, tc, spec, tech.RolePoly, tech.NMOSPoly)
+	diff := roleRegion(sym, tc, spec, tech.RoleDiffusion, tech.NMOSDiff)
+	cut := roleRegion(sym, tc, spec, tech.RoleContact, tech.NMOSContact)
+	metal := roleRegion(sym, tc, spec, tech.RoleMetal, tech.NMOSMetal)
 	info := &Info{SpacingExemptSameNet: true}
 
 	overlap := poly.Intersect(diff)
@@ -124,16 +129,17 @@ func analyzeButting(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technolog
 
 	for _, t := range []struct {
 		name string
+		role string
 		lay  string
 		reg  geom.Region
 	}{
-		{"p", tech.NMOSPoly, poly},
-		{"d", tech.NMOSDiff, diff},
-		{"m", tech.NMOSMetal, metal},
+		{"p", tech.RolePoly, tech.NMOSPoly, poly},
+		{"d", tech.RoleDiffusion, tech.NMOSDiff, diff},
+		{"m", tech.RoleMetal, tech.NMOSMetal, metal},
 	} {
 		if !t.reg.Empty() {
 			info.Terminals = append(info.Terminals, Terminal{
-				Name: t.name, Layer: layerID(tc, t.lay), Reg: t.reg, Node: 0,
+				Name: t.name, Layer: roleID(tc, spec, t.role, t.lay), Reg: t.reg, Node: 0,
 			})
 		}
 	}
@@ -145,9 +151,9 @@ func analyzeButting(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technolog
 // The buried window must enclose the poly∩diffusion overlap.
 func analyzeBuried(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (*Info, []Problem) {
 	var probs []Problem
-	poly := layerRegion(sym, tc, tech.NMOSPoly)
-	diff := layerRegion(sym, tc, tech.NMOSDiff)
-	buried := layerRegion(sym, tc, tech.NMOSBuried)
+	poly := roleRegion(sym, tc, spec, tech.RolePoly, tech.NMOSPoly)
+	diff := roleRegion(sym, tc, spec, tech.RoleDiffusion, tech.NMOSDiff)
+	buried := roleRegion(sym, tc, spec, tech.RoleBuried, tech.NMOSBuried)
 	info := &Info{SpacingExemptSameNet: true}
 
 	overlap := poly.Intersect(diff)
@@ -167,32 +173,21 @@ func analyzeBuried(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology
 	}
 	if !poly.Empty() {
 		info.Terminals = append(info.Terminals, Terminal{
-			Name: "p", Layer: layerID(tc, tech.NMOSPoly), Reg: poly, Node: 0,
+			Name: "p", Layer: roleID(tc, spec, tech.RolePoly, tech.NMOSPoly), Reg: poly, Node: 0,
 		})
 	}
 	if !diff.Empty() {
 		info.Terminals = append(info.Terminals, Terminal{
-			Name: "d", Layer: layerID(tc, tech.NMOSDiff), Reg: diff, Node: 0,
+			Name: "d", Layer: roleID(tc, spec, tech.RoleDiffusion, tech.NMOSDiff), Reg: diff, Node: 0,
 		})
 	}
 	return info, probs
 }
 
-// contactLayers picks the metal and cut layers of the technology by name
-// across the shipped techs.
-func contactLayers(tc *tech.Technology) (metal, cut tech.LayerID) {
-	metal, cut = tech.NoLayer, tech.NoLayer
-	for _, name := range []string{tech.NMOSMetal, tech.BipMetal} {
-		if id, ok := tc.LayerByName(name); ok {
-			metal = id
-			break
-		}
-	}
-	for _, name := range []string{tech.NMOSContact, tech.BipContact} {
-		if id, ok := tc.LayerByName(name); ok {
-			cut = id
-			break
-		}
-	}
+// contactLayers resolves the metal and cut layers through the device's
+// role bindings, the technology's role tags, or the legacy layer names.
+func contactLayers(tc *tech.Technology, spec tech.DeviceSpec) (metal, cut tech.LayerID) {
+	metal = roleID(tc, spec, tech.RoleMetal, tech.NMOSMetal)
+	cut = roleID(tc, spec, tech.RoleContact, tech.NMOSContact)
 	return metal, cut
 }

@@ -140,18 +140,22 @@ func Analyze(sym *layout.Symbol, tc *tech.Technology) (*Info, []Problem) {
 	return info, probs
 }
 
-// layerRegion unions a symbol's elements on the named layer.
-func layerRegion(sym *layout.Symbol, tc *tech.Technology, name string) geom.Region {
-	id, ok := tc.LayerByName(name)
+// roleRegion unions a symbol's elements on the layer a device-rule role
+// resolves to: the device's explicit "use" binding first, then the
+// technology's role-tagged layer, then the legacy layer name. The role
+// indirection is what lets one analyzer serve both polarities of a CMOS
+// process — the p-channel spec binds "diffusion" to the p-diffusion layer.
+func roleRegion(sym *layout.Symbol, tc *tech.Technology, spec tech.DeviceSpec, role, fallback string) geom.Region {
+	id, ok := tc.LayerFor(spec, role, fallback)
 	if !ok {
 		return geom.EmptyRegion()
 	}
 	return sym.LayerRegion(id)
 }
 
-// layerID resolves a layer name, falling back to NoLayer.
-func layerID(tc *tech.Technology, name string) tech.LayerID {
-	id, ok := tc.LayerByName(name)
+// roleID resolves a device-rule role to a layer id, NoLayer if unbound.
+func roleID(tc *tech.Technology, spec tech.DeviceSpec, role, fallback string) tech.LayerID {
+	id, ok := tc.LayerFor(spec, role, fallback)
 	if !ok {
 		return tech.NoLayer
 	}

@@ -52,14 +52,33 @@ func NewPolyContact(d *layout.Design, tc *tech.Technology, name string) *layout.
 	return newContact(d, tc, name, tech.DevContactPoly, tech.NMOSPoly)
 }
 
+// NewContact builds a canonical contact for any declared contact-class
+// device type, resolving the cut, metal, and lower-conductor layers
+// through the device's role bindings — the deck's "use" lines — so one
+// builder serves every process (the CMOS workload draws its n-diffusion,
+// p-diffusion, and poly contacts from it).
+func NewContact(d *layout.Design, tc *tech.Technology, name, devType string) *layout.Symbol {
+	spec, _ := tc.Device(devType)
+	cutL, _ := tc.LayerFor(spec, tech.RoleContact, tech.NMOSContact)
+	metalL, _ := tc.LayerFor(spec, tech.RoleMetal, tech.NMOSMetal)
+	lowerL, _ := tc.LayerFor(spec, "lower", "")
+	return buildContact(d, tc, name, devType, cutL, metalL, lowerL)
+}
+
 func newContact(d *layout.Design, tc *tech.Technology, name, devType, lowerName string) *layout.Symbol {
+	cutL, _ := tc.LayerByName(tech.NMOSContact)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	lowerL, _ := tc.LayerByName(lowerName)
+	return buildContact(d, tc, name, devType, cutL, metalL, lowerL)
+}
+
+// buildContact lays down the shared contact geometry: the cut at origin,
+// metal and lower conductor enclosing it by the spec margins.
+func buildContact(d *layout.Design, tc *tech.Technology, name, devType string, cutL, metalL, lowerL tech.LayerID) *layout.Symbol {
 	spec, _ := tc.Device(devType)
 	cs := spec.Params["cut-size"]
 	me := spec.Params["metal-enclosure"]
 	le := spec.Params["lower-enclosure"]
-	cutL, _ := tc.LayerByName(tech.NMOSContact)
-	metalL, _ := tc.LayerByName(tech.NMOSMetal)
-	lowerL, _ := tc.LayerByName(lowerName)
 
 	s := d.MustSymbol(name)
 	s.DeviceType = devType

@@ -19,13 +19,20 @@ import (
 // end to the isolation diffusion is the legal ground tie of Figure 6b.
 func analyzeResistor(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (*Info, []Problem) {
 	var probs []Problem
-	// The body lives on whichever resistive layer the symbol draws on:
-	// nMOS diffusion or bipolar base.
+	// The body lives on whichever resistive layer the symbol draws on: an
+	// explicit "body" role binding, else the first diffusion- or base-role
+	// layer (legacy names as a last resort) with geometry in the symbol.
 	bodyID := tech.NoLayer
-	for _, name := range []string{tech.NMOSDiff, tech.BipBase} {
-		if id, ok := tc.LayerByName(name); ok && !sym.LayerRegion(id).Empty() {
-			bodyID = id
-			break
+	if _, bound := spec.Layers["body"]; bound {
+		bodyID = roleID(tc, spec, "body", "")
+	} else {
+		for _, role := range []struct{ role, fallback string }{
+			{tech.RoleDiffusion, tech.NMOSDiff}, {tech.RoleBase, tech.BipBase},
+		} {
+			if id, ok := tc.LayerFor(spec, role.role, role.fallback); ok && !sym.LayerRegion(id).Empty() {
+				bodyID = id
+				break
+			}
 		}
 	}
 	info := &Info{
@@ -85,9 +92,9 @@ func analyzeResistor(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technolo
 // the chip, not just inside the symbol.
 func analyzeNPN(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (*Info, []Problem) {
 	var probs []Problem
-	base := layerRegion(sym, tc, tech.BipBase)
-	emitter := layerRegion(sym, tc, tech.BipEmitter)
-	iso := layerRegion(sym, tc, tech.BipIso)
+	base := roleRegion(sym, tc, spec, tech.RoleBase, tech.BipBase)
+	emitter := roleRegion(sym, tc, spec, tech.RoleEmitter, tech.BipEmitter)
+	iso := roleRegion(sym, tc, spec, tech.RoleIsolation, tech.BipIso)
 	info := &Info{SpacingExemptSameNet: true}
 
 	if base.Empty() {
@@ -123,11 +130,11 @@ func analyzeNPN(sym *layout.Symbol, spec tech.DeviceSpec, tc *tech.Technology) (
 	}
 
 	info.Terminals = append(info.Terminals,
-		Terminal{Name: "b", Layer: layerID(tc, tech.BipBase), Reg: base, Node: 0},
+		Terminal{Name: "b", Layer: roleID(tc, spec, tech.RoleBase, tech.BipBase), Reg: base, Node: 0},
 	)
 	if !emitter.Empty() {
 		info.Terminals = append(info.Terminals,
-			Terminal{Name: "e", Layer: layerID(tc, tech.BipEmitter), Reg: emitter, Node: 1},
+			Terminal{Name: "e", Layer: roleID(tc, spec, tech.RoleEmitter, tech.BipEmitter), Reg: emitter, Node: 1},
 		)
 	}
 	return info, probs

@@ -462,12 +462,12 @@ func E06(quick bool) (*Table, error) {
 		sizes = sizes[:1]
 	}
 	for _, n := range sizes {
-		clean := workload.NewBipolarChip("e06clean", n)
+		clean := workload.NewBipolarChip(tech.Bipolar(), "e06clean", n)
 		cleanRep, err := core.Check(clean.Design, clean.Tech, core.Options{SkipConstruction: true, Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
-		broken := workload.NewBipolarChip("e06broken", n)
+		broken := workload.NewBipolarChip(tech.Bipolar(), "e06broken", n)
 		where := broken.BreakIsolation(n / 2)
 		brokenRep, err := core.Check(broken.Design, broken.Tech, core.Options{SkipConstruction: true, Workers: Workers})
 		if err != nil {

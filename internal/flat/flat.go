@@ -143,15 +143,23 @@ func Check(d *layout.Design, tc *tech.Technology, opts Options) (*Report, error)
 	return rep, nil
 }
 
-// gateContactFlags implements the naive cut∩poly∩diffusion rule.
+// gateContactFlags implements the naive cut∩poly∩diffusion rule. Layers
+// resolve through the compiled technology's roles, so the rule covers any
+// process with gate and diffusion material — both polarities in CMOS.
 func gateContactFlags(regions []geom.Region, tc *tech.Technology) []Violation {
-	polyID, okP := tc.LayerByName(tech.NMOSPoly)
-	diffID, okD := tc.LayerByName(tech.NMOSDiff)
-	cutID, okC := tc.LayerByName(tech.NMOSContact)
-	if !okP || !okD || !okC {
+	ct := tc.Compile()
+	polyID, okP := ct.Poly()
+	cutID, okC := ct.Cut()
+	if !okP || !okC || !ct.HasDiffusion() {
 		return nil
 	}
-	gate := regions[polyID].Intersect(regions[diffID])
+	diff := geom.EmptyRegion()
+	for _, l := range tc.Layers() {
+		if ct.IsDiffusion(l.ID) {
+			diff = diff.Union(regions[l.ID])
+		}
+	}
+	gate := regions[polyID].Intersect(diff)
 	if gate.Empty() {
 		return nil
 	}

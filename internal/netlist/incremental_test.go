@@ -144,7 +144,7 @@ func TestIncrementalMatchesFull(t *testing.T) {
 	workload.InjectErrors(dirty, 20, 1980)
 	checkIncrementalMatch(t, "dirty 6x7", dirty.Design, tc, NewCache())
 
-	bip := workload.NewBipolarChip("bip", 6)
+	bip := workload.NewBipolarChip(tech.Bipolar(), "bip", 6)
 	bip.BreakIsolation(2)
 	checkIncrementalMatch(t, "bipolar", bip.Design, tech.Bipolar(), NewCache())
 

@@ -62,11 +62,12 @@ func ConstructionRules(nl *Netlist, tc *tech.Technology) []Issue {
 			})
 		}
 	}
-	// Rule 4: depletion device to ground. Both the bare depletion
-	// transistor and the depletion pullup count.
+	// Rule 4: depletion device to ground. Which device types count is deck
+	// data (the depletion attribute) — in the shipped nMOS process, the
+	// bare depletion transistor and the depletion pullup.
 	for di := range nl.Devices {
 		dev := &nl.Devices[di]
-		if dev.Type != tech.DevNMOSDep && dev.Type != tech.DevNMOSPullup {
+		if spec, ok := tc.Device(dev.Type); !ok || !spec.Depletion {
 			continue
 		}
 		for ti := range dev.TerminalNets {

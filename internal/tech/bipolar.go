@@ -9,6 +9,10 @@ package tech
 // Mask-level checkers cannot express this distinction — the two cases are
 // identical geometry on identical layers — which is precisely the paper's
 // argument for device-aware checking.
+//
+// The process is defined by decks/bipolar.deck; Bipolar is a thin loader
+// over the embedded text, and bipolarFromCode is the retained reference
+// constructor for the deck-parity tests.
 
 // Bipolar layer name constants.
 const (
@@ -26,17 +30,23 @@ const (
 	DevBipContact   = "contact-bip"   // metal contact
 )
 
-// Bipolar builds the simplified bipolar technology. Dimensions use a 100
+func init() { Register("bipolar", Bipolar) }
+
+// Bipolar builds the simplified bipolar technology of Figure 6 from its
+// embedded rule deck (decks/bipolar.deck). Dimensions use a 100
 // centimicron (1 µm) unit.
-func Bipolar() *Technology {
+func Bipolar() *Technology { return mustParseDeck(bipolarDeck) }
+
+// bipolarFromCode is the legacy hand-built constructor.
+func bipolarFromCode() *Technology {
 	const u = 100
 	t := New("bipolar-demo", 0)
 
-	iso := t.AddLayer(Layer{Name: BipIso, CIF: "BI", MinWidth: 4 * u, MinSpace: 6 * u})
-	base := t.AddLayer(Layer{Name: BipBase, CIF: "BB", MinWidth: 4 * u, MinSpace: 6 * u})
-	em := t.AddLayer(Layer{Name: BipEmitter, CIF: "BE", MinWidth: 3 * u, MinSpace: 4 * u})
-	c := t.AddLayer(Layer{Name: BipContact, CIF: "BC", MinWidth: 2 * u, MinSpace: 2 * u})
-	m := t.AddLayer(Layer{Name: BipMetal, CIF: "BM", MinWidth: 3 * u, MinSpace: 3 * u})
+	iso := t.AddLayer(Layer{Name: BipIso, CIF: "BI", Role: RoleIsolation, MinWidth: 4 * u, MinSpace: 6 * u})
+	base := t.AddLayer(Layer{Name: BipBase, CIF: "BB", Role: RoleBase, MinWidth: 4 * u, MinSpace: 6 * u})
+	em := t.AddLayer(Layer{Name: BipEmitter, CIF: "BE", Role: RoleEmitter, MinWidth: 3 * u, MinSpace: 4 * u})
+	c := t.AddLayer(Layer{Name: BipContact, CIF: "BC", Role: RoleContact, MinWidth: 2 * u, MinSpace: 2 * u})
+	m := t.AddLayer(Layer{Name: BipMetal, CIF: "BM", Role: RoleMetal, MinWidth: 3 * u, MinSpace: 3 * u})
 
 	t.SetSpacing(base, base, SpacingRule{
 		DiffNet: 6 * u, SameNet: 0, ExemptRelated: true,

@@ -1,0 +1,151 @@
+package tech
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/deck"
+)
+
+// FromDeck compiles a parsed rule deck into a Technology. Structural
+// validation runs first (deck.Validate with the roles this package
+// understands); any error-severity problem aborts the load. Device classes
+// are not checked here — the deck package must not depend on the checker's
+// class registry — callers wanting that pass device.Classes() to
+// deck.Validate themselves (dic.LoadDeck and dicheck -validate do).
+func FromDeck(d *deck.Deck) (*Technology, error) {
+	probs := ValidateDeck(d, nil)
+	if errs := deck.Errors(probs); len(errs) > 0 {
+		return nil, fmt.Errorf("tech: deck %q invalid: %v (%d more)", d.Name, errs[0], len(errs)-1)
+	}
+	t := New(d.Name, d.Lambda)
+	ids := make(map[string]LayerID, len(d.Layers))
+	for i := range d.Layers {
+		l := &d.Layers[i]
+		ids[l.Name] = t.AddLayer(Layer{
+			Name: l.Name, CIF: l.CIF, Role: l.Role,
+			MinWidth: l.Width, MinSpace: l.Space,
+		})
+	}
+	for i := range d.Spaces {
+		s := &d.Spaces[i]
+		t.SetSpacing(ids[s.A], ids[s.B], SpacingRule{
+			DiffNet: s.DiffNet, SameNet: s.SameNet,
+			ExemptRelated: s.ExemptRelated, Note: s.Note,
+		})
+	}
+	for i := range d.Devices {
+		dev := &d.Devices[i]
+		spec := DeviceSpec{
+			Class:     dev.Class,
+			Describe:  dev.Describe,
+			Depletion: dev.Depletion,
+		}
+		if len(dev.Params) > 0 {
+			spec.Params = make(map[string]int64, len(dev.Params))
+			for _, p := range dev.Params {
+				spec.Params[p.Key] = p.Value
+			}
+		}
+		if len(dev.Uses) > 0 {
+			spec.Layers = make(map[string]string, len(dev.Uses))
+			for _, u := range dev.Uses {
+				spec.Layers[u.Role] = u.Layer
+			}
+		}
+		t.AddDevice(dev.Type, spec)
+	}
+	t.PowerNets = append([]string(nil), d.PowerNets...)
+	t.GroundNets = append([]string(nil), d.GroundNets...)
+	return t, nil
+}
+
+// ToDeck renders a Technology back into its deck form, in canonical order:
+// layers by id, interaction cells upper-triangular, devices and their
+// params sorted by name. FromDeck(ToDeck(t)) reproduces t.
+func ToDeck(t *Technology) *deck.Deck {
+	d := &deck.Deck{Name: t.Name, Lambda: t.Lambda}
+	for _, l := range t.layers {
+		d.Layers = append(d.Layers, deck.Layer{
+			Name: l.Name, CIF: l.CIF, Role: l.Role,
+			Width: l.MinWidth, Space: l.MinSpace,
+		})
+	}
+	pairs := make([]LayerPair, 0, len(t.spacing))
+	for p := range t.spacing {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	for _, p := range pairs {
+		r := t.spacing[p]
+		d.Spaces = append(d.Spaces, deck.Space{
+			A: t.layers[p.A].Name, B: t.layers[p.B].Name,
+			DiffNet: r.DiffNet, SameNet: r.SameNet,
+			ExemptRelated: r.ExemptRelated, Note: r.Note,
+		})
+	}
+	for _, name := range t.DeviceTypes() {
+		spec := t.devices[name]
+		dev := deck.Device{
+			Type: name, Class: spec.Class,
+			Describe: spec.Describe, Depletion: spec.Depletion,
+		}
+		roles := make([]string, 0, len(spec.Layers))
+		for r := range spec.Layers {
+			roles = append(roles, r)
+		}
+		sort.Strings(roles)
+		for _, r := range roles {
+			dev.Uses = append(dev.Uses, deck.Use{Role: r, Layer: spec.Layers[r]})
+		}
+		keys := make([]string, 0, len(spec.Params))
+		for k := range spec.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			dev.Params = append(dev.Params, deck.Param{Key: k, Value: spec.Params[k]})
+		}
+		d.Devices = append(d.Devices, dev)
+	}
+	d.PowerNets = append([]string(nil), t.PowerNets...)
+	d.GroundNets = append([]string(nil), t.GroundNets...)
+	return d
+}
+
+// ValidateDeck runs the deck validator with this package's role
+// vocabulary plus the caller's device classes — the single option set
+// every load path enforces (FromDeck calls it with nil classes; callers
+// that know the checker's classes, like dic.LoadDeck and dicheck, pass
+// device.Classes()).
+func ValidateDeck(d *deck.Deck, knownClasses []string) []deck.Problem {
+	return deck.Validate(d, deck.Options{
+		KnownClasses:  knownClasses,
+		KnownRoles:    Roles(),
+		KnownUseRoles: UseRoles(),
+	})
+}
+
+// ParseDeck parses and compiles deck text in one step.
+func ParseDeck(src string) (*Technology, error) {
+	d, err := deck.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromDeck(d)
+}
+
+// mustParseDeck loads an embedded deck; the shipped decks are covered by
+// the parity tests, so a failure here is a build defect, not user input.
+func mustParseDeck(src string) *Technology {
+	t, err := ParseDeck(src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,17 @@
+package tech
+
+import _ "embed"
+
+// The shipped technologies are defined by rule decks embedded at build
+// time; the Go constructors are thin loaders over these texts. Editing a
+// deck changes the process — no code change required — which is the
+// paper's technology-parameterization made literal.
+
+//go:embed decks/nmos.deck
+var nmosDeck string
+
+//go:embed decks/bipolar.deck
+var bipolarDeck string
+
+//go:embed decks/cmos.deck
+var cmosDeck string

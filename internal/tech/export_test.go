@@ -1,0 +1,9 @@
+package tech
+
+// Legacy hand-built constructors, exported to the package's external test
+// binary only: the chip-fingerprint parity tests check whole pipeline runs
+// against them.
+var (
+	NMOSFromCode    = nmosFromCode
+	BipolarFromCode = bipolarFromCode
+)

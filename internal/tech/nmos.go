@@ -3,8 +3,11 @@ package tech
 // Silicon-gate nMOS process in the Mead–Conway style used throughout the
 // paper (Figures 7, 8, 11, 12, 14). λ = 250 centimicrons (2.5 µm process).
 //
-// Layer set matches Figure 12's D, P, M, C plus the implant and buried
-// layers needed for depletion loads and buried contacts.
+// The process is defined by decks/nmos.deck; NMOS is a thin loader over
+// the embedded deck text. nmosFromCode below is the original hand-built
+// constructor, retained verbatim as the reference the deck-parity tests
+// compare against: the deck-loaded technology must be deep-equal to it,
+// and a checked chip's fingerprint must be byte-identical either way.
 
 // nMOS layer name constants (human names).
 const (
@@ -31,18 +34,24 @@ const (
 	DevNMOSPullup = "nmos-pullup"
 )
 
-// NMOS builds the silicon-gate nMOS technology. All dimensions are
+func init() { Register("nmos", NMOS) }
+
+// NMOS builds the silicon-gate nMOS technology from its embedded rule
+// deck (decks/nmos.deck).
+func NMOS() *Technology { return mustParseDeck(nmosDeck) }
+
+// nmosFromCode is the legacy hand-built constructor. All dimensions are
 // multiples of λ/2 so every rule is exact on the centimicron grid.
-func NMOS() *Technology {
+func nmosFromCode() *Technology {
 	const lam = 250
 	t := New("nmos-2.5um", lam)
 
-	d := t.AddLayer(Layer{Name: NMOSDiff, CIF: "ND", MinWidth: 2 * lam, MinSpace: 3 * lam})
-	p := t.AddLayer(Layer{Name: NMOSPoly, CIF: "NP", MinWidth: 2 * lam, MinSpace: 2 * lam})
-	m := t.AddLayer(Layer{Name: NMOSMetal, CIF: "NM", MinWidth: 3 * lam, MinSpace: 3 * lam})
-	c := t.AddLayer(Layer{Name: NMOSContact, CIF: "NC", MinWidth: 2 * lam, MinSpace: 2 * lam})
-	i := t.AddLayer(Layer{Name: NMOSImplant, CIF: "NI", MinWidth: 2 * lam, MinSpace: 0})
-	b := t.AddLayer(Layer{Name: NMOSBuried, CIF: "NB", MinWidth: 2 * lam, MinSpace: 0})
+	d := t.AddLayer(Layer{Name: NMOSDiff, CIF: "ND", Role: RoleDiffusion, MinWidth: 2 * lam, MinSpace: 3 * lam})
+	p := t.AddLayer(Layer{Name: NMOSPoly, CIF: "NP", Role: RolePoly, MinWidth: 2 * lam, MinSpace: 2 * lam})
+	m := t.AddLayer(Layer{Name: NMOSMetal, CIF: "NM", Role: RoleMetal, MinWidth: 3 * lam, MinSpace: 3 * lam})
+	c := t.AddLayer(Layer{Name: NMOSContact, CIF: "NC", Role: RoleContact, MinWidth: 2 * lam, MinSpace: 2 * lam})
+	i := t.AddLayer(Layer{Name: NMOSImplant, CIF: "NI", Role: RoleImplant, MinWidth: 2 * lam, MinSpace: 0})
+	b := t.AddLayer(Layer{Name: NMOSBuried, CIF: "NB", Role: RoleBuried, MinWidth: 2 * lam, MinSpace: 0})
 
 	// Figure 12: the upper-triangular interaction matrix with same-net and
 	// different-net subcases. Cells left unset are the paper's "not
@@ -90,8 +99,9 @@ func NMOS() *Technology {
 		},
 	})
 	t.AddDevice(DevNMOSDep, DeviceSpec{
-		Class:    "mos-transistor",
-		Describe: "depletion nMOS transistor (implanted channel)",
+		Class:     "mos-transistor",
+		Describe:  "depletion nMOS transistor (implanted channel)",
+		Depletion: true,
 		Params: map[string]int64{
 			"gate-extension":  2 * lam,
 			"sd-extension":    2 * lam,
@@ -140,8 +150,9 @@ func NMOS() *Technology {
 		},
 	})
 	t.AddDevice(DevNMOSPullup, DeviceSpec{
-		Class:    "pullup",
-		Describe: "depletion pullup with buried gate-to-source tie",
+		Class:     "pullup",
+		Describe:  "depletion pullup with buried gate-to-source tie",
+		Depletion: true,
 		Params: map[string]int64{
 			"gate-extension":  2 * lam,
 			"sd-extension":    2 * lam,

@@ -1,0 +1,45 @@
+package tech_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// TestChipFingerprintParity is the acceptance lock for the deck refactor:
+// a checked chip's duration-free report fingerprint must be byte-identical
+// whether the technology came from the legacy Go constructor or from the
+// embedded rule deck — violations, netlist, every counter.
+func TestChipFingerprintParity(t *testing.T) {
+	fp := func(tc *tech.Technology) string {
+		chip := workload.NewChip(tc, "parity", 3, 4)
+		workload.InjectErrors(chip, 5, 42)
+		rep, err := core.Check(chip.Design, tc, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Fingerprint(rep)
+	}
+	legacy := fp(tech.NMOSFromCode())
+	deckLoaded := fp(tech.NMOS())
+	if legacy != deckLoaded {
+		t.Fatalf("nMOS fingerprints diverge between legacy constructor and deck:\n--- legacy ---\n%s\n--- deck ---\n%s",
+			legacy, deckLoaded)
+	}
+}
+
+func TestBipolarFingerprintParity(t *testing.T) {
+	fp := func(tc *tech.Technology) string {
+		chip := workload.NewBipolarChip(tc, "parity-bip", 5)
+		rep, err := core.Check(chip.Design, tc, core.Options{Workers: 1, SkipConstruction: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Fingerprint(rep)
+	}
+	if legacy, deckLoaded := fp(tech.BipolarFromCode()), fp(tech.Bipolar()); legacy != deckLoaded {
+		t.Fatalf("bipolar fingerprints diverge:\n--- legacy ---\n%s\n--- deck ---\n%s", legacy, deckLoaded)
+	}
+}

@@ -1,0 +1,30 @@
+package tech
+
+import "sort"
+
+// registry maps technology names to constructors. The shipped processes
+// register themselves at init; tools resolve -tech flags through ByName so
+// the valid set is data, not a switch statement scattered per command.
+var registry = map[string]func() *Technology{}
+
+// Register adds a named technology constructor. Later registrations under
+// the same name win, letting tests shadow a shipped process.
+func Register(name string, fn func() *Technology) {
+	registry[name] = fn
+}
+
+// ByName resolves a registered technology name.
+func ByName(name string) (func() *Technology, bool) {
+	fn, ok := registry[name]
+	return fn, ok
+}
+
+// Names returns the registered technology names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -13,6 +13,7 @@ package tech
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // LayerID identifies a mask layer within a technology.
@@ -26,8 +27,44 @@ type Layer struct {
 	ID       LayerID
 	Name     string // human name, e.g. "diffusion"
 	CIF      string // CIF layer name, e.g. "ND"
+	Role     string // semantic role for device rules (see Roles; "" = none)
 	MinWidth int64  // minimum feature width (centimicrons); 0 = unchecked
 	MinSpace int64  // default same-layer different-net spacing
+}
+
+// Layer roles: the semantic hooks device-dependent rules attach to. A
+// technology tags each layer with at most one role; the compiled form
+// resolves them once so the checker never matches layer names in hot
+// paths. Roles keep the device rules technology-parameterized: the
+// accidental-transistor check, for example, fires for poly crossing any
+// diffusion-role layer, whatever the process calls them.
+const (
+	RoleDiffusion = "diffusion" // transistor source/drain material
+	RolePoly      = "poly"      // transistor gate material
+	RoleMetal     = "metal"     // interconnect metal
+	RoleContact   = "contact"   // contact cuts (gate-keepout probe layer)
+	RoleImplant   = "implant"   // depletion implant
+	RoleBuried    = "buried"    // buried-contact window
+	RoleWell      = "well"      // CMOS well
+	RoleIsolation = "isolation" // bipolar isolation (base-keepout probe layer)
+	RoleBase      = "base"      // bipolar base diffusion
+	RoleEmitter   = "emitter"   // bipolar emitter diffusion
+)
+
+// Roles returns every layer role the compiler and device rules understand.
+func Roles() []string {
+	return []string{
+		RoleDiffusion, RolePoly, RoleMetal, RoleContact, RoleImplant,
+		RoleBuried, RoleWell, RoleIsolation, RoleBase, RoleEmitter,
+	}
+}
+
+// UseRoles returns the roles a device "use" binding may name: every layer
+// role plus the device-local pseudo-roles — "lower" for a contact's lower
+// conductor and "body" for a resistor body — which bind a layer for one
+// device class without tagging the layer itself.
+func UseRoles() []string {
+	return append(Roles(), "lower", "body")
 }
 
 // SpacingRule is one cell of the Figure 12 interaction matrix: the spacing
@@ -62,6 +99,40 @@ type DeviceSpec struct {
 	Class    string           // checker registry key, e.g. "mos-transistor"
 	Params   map[string]int64 // rule margins used by the class checker
 	Describe string           // one-line human description
+
+	// Layers binds the class checker's semantic roles to concrete layers
+	// for this device type (e.g. a p-channel transistor binding
+	// "diffusion" to the p-diffusion layer). Unbound roles fall back to
+	// the technology's role-tagged layer, then to the legacy layer names.
+	Layers map[string]string
+
+	// Depletion marks the device for the depletion-to-ground construction
+	// rule (the paper's rule 4). It is deck data, not code, so any process
+	// can opt its device types in.
+	Depletion bool
+}
+
+// LayerFor resolves a device-rule role to a layer: the device's explicit
+// binding first, then the technology's role-tagged layer, then the given
+// fallback layer name.
+func (t *Technology) LayerFor(spec DeviceSpec, role, fallback string) (LayerID, bool) {
+	if name, ok := spec.Layers[role]; ok {
+		if id, ok := t.byName[name]; ok {
+			return id, true
+		}
+		return NoLayer, false
+	}
+	for i := range t.layers {
+		if t.layers[i].Role == role {
+			return t.layers[i].ID, true
+		}
+	}
+	if fallback != "" {
+		if id, ok := t.byName[fallback]; ok {
+			return id, true
+		}
+	}
+	return NoLayer, false
 }
 
 // Technology is a complete process description.
@@ -78,6 +149,12 @@ type Technology struct {
 	// non-geometric construction rules.
 	PowerNets  []string
 	GroundNets []string
+
+	// compiled caches the frozen checker-facing form; any mutation of the
+	// layer set, spacing matrix, or device table invalidates it. The slot
+	// is atomic so technologies shared by concurrent Check calls are safe
+	// (mutating a technology concurrently with checking never was).
+	compiled atomic.Pointer[Compiled]
 }
 
 // New creates an empty technology.
@@ -99,6 +176,7 @@ func (t *Technology) AddLayer(l Layer) LayerID {
 	t.layers = append(t.layers, l)
 	t.byName[l.Name] = id
 	t.byCIF[l.CIF] = id
+	t.compiled.Store(nil)
 	return id
 }
 
@@ -128,6 +206,7 @@ func (t *Technology) LayerByCIF(name string) (LayerID, bool) {
 // SetSpacing sets the interaction-matrix cell for a layer pair.
 func (t *Technology) SetSpacing(a, b LayerID, rule SpacingRule) {
 	t.spacing[Pair(a, b)] = rule
+	t.compiled.Store(nil)
 }
 
 // Spacing returns the interaction-matrix cell for a layer pair; the zero
@@ -137,24 +216,18 @@ func (t *Technology) Spacing(a, b LayerID) SpacingRule {
 }
 
 // MaxSpacing returns the largest spacing value anywhere in the matrix —
-// the interaction search radius for candidate generation.
+// the interaction search radius for candidate generation. The value is
+// computed once at freeze time (see Compile); callers in per-check hot
+// paths no longer rescan the matrix.
 func (t *Technology) MaxSpacing() int64 {
-	var m int64
-	for _, r := range t.spacing {
-		if r.DiffNet > m {
-			m = r.DiffNet
-		}
-		if r.SameNet > m {
-			m = r.SameNet
-		}
-	}
-	return m
+	return t.Compile().MaxSpacing()
 }
 
 // AddDevice registers a device type under the given type name (the name a
 // primitive symbol declares with the 9D extension).
 func (t *Technology) AddDevice(name string, spec DeviceSpec) {
 	t.devices[name] = spec
+	t.compiled.Store(nil)
 }
 
 // Device returns the spec for a declared device type.

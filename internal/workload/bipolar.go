@@ -28,8 +28,7 @@ const bipPitch = 4000
 //   - an isolation frame along the bottom with one tongue per pair rising
 //     to touch the resistor's far end — the legal ground tie of Figure 6b,
 //     routed well clear of every transistor base.
-func NewBipolarChip(name string, n int) *BipolarChip {
-	tc := tech.Bipolar()
+func NewBipolarChip(tc *tech.Technology, name string, n int) *BipolarChip {
 	isoL, _ := tc.LayerByName(tech.BipIso)
 	d := layout.NewDesign(name)
 

@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/tech"
 )
 
 func TestBipolarChipClean(t *testing.T) {
-	chip := NewBipolarChip("bip", 6)
+	chip := NewBipolarChip(tech.Bipolar(), "bip", 6)
 	rep, err := core.Check(chip.Design, chip.Tech, core.Options{SkipConstruction: true})
 	if err != nil {
 		t.Fatal(err)
@@ -22,7 +23,7 @@ func TestBipolarChipClean(t *testing.T) {
 }
 
 func TestBipolarChipBreakIsolation(t *testing.T) {
-	chip := NewBipolarChip("bip", 6)
+	chip := NewBipolarChip(tech.Bipolar(), "bip", 6)
 	where := chip.BreakIsolation(3)
 	rep, err := core.Check(chip.Design, chip.Tech, core.Options{SkipConstruction: true})
 	if err != nil {

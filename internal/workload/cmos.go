@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// CMOS inverter-array workload for the deck-defined p-well CMOS process
+// (λ = 100 centimicrons). Like the nMOS standard cell, every coordinate is
+// derived so the full DIC pipeline reports zero violations: each clearance
+// is at exactly the rule distance or better and every connection is
+// skeletal, making the chip a sharp regression test for checking a
+// technology that exists only as a rule deck.
+//
+// Cell topology (y up; the n-channel half sits in the grounded p-well at
+// the bottom, the p-channel half in the substrate at the top):
+//
+//	input:  poly wire joining both gates, west port at (CMOSWestPortX, 800)
+//	output: metal joining the two drain contacts, dropped back to poly
+//	        through a poly contact for the east port at (CMOSEastPortX, 800)
+//	GND:    n-source contact strapped down across the row's GND rail
+//	VDD:    p-source contact strapped up across the row's VDD rail
+//	well:   one row-wide p-well wire on the "VSS" substrate-tie net
+//
+// Cell geometry constants (centimicrons, λ=100).
+const (
+	CMOSPitchX = 2800
+	CMOSPitchY = 4000
+
+	// Chain port positions: a cell's east port is the next cell's west
+	// port at CMOSPitchX spacing.
+	CMOSWestPortX = -1200
+	CMOSEastPortX = 1600
+	cmosPortY     = 800
+
+	// Rail centerlines and the vertical separation of the two halves.
+	cmosGndRailY = -700
+	cmosVddRailY = 2300
+	cmosPMOSY    = 1600
+
+	// Trunk positions (chip coordinates).
+	CMOSVddTrunkX = -3000
+)
+
+// CMOSChip is a generated CMOS inverter-array workload.
+type CMOSChip struct {
+	Design *layout.Design
+	Tech   *tech.Technology
+	Rows   int
+	Cols   int
+}
+
+// CMOSCellLibrary holds the shared primitive device symbols.
+type CMOSCellLibrary struct {
+	Tech  *tech.Technology
+	NMOS  *layout.Symbol // n-channel pulldown, gate extended north
+	PMOS  *layout.Symbol // p-channel pullup, gate extended south
+	CND   *layout.Symbol // metal to n-diffusion contact
+	CPD   *layout.Symbol // metal to p-diffusion contact
+	CPoly *layout.Symbol // metal to poly contact
+}
+
+// NewCMOSCellLibrary creates the shared device symbols in the design.
+func NewCMOSCellLibrary(d *layout.Design, tc *tech.Technology) *CMOSCellLibrary {
+	lib := &CMOSCellLibrary{Tech: tc}
+
+	ndL, _ := tc.LayerByName(tech.CMOSNDiff)
+	pdL, _ := tc.LayerByName(tech.CMOSPDiff)
+	polyL, _ := tc.LayerByName(tech.CMOSPoly)
+
+	// Pulldown: 2λ×2λ channel; the gate runs 5λ north of the channel
+	// center so the input poly can join it 2λ clear of the n-diffusion.
+	n := d.MustSymbol("lib.cmos-nmos")
+	n.DeviceType = tech.DevCMOSNMOS
+	n.AddBox(ndL, geom.R(-300, -100, 300, 100), "")
+	n.AddBox(polyL, geom.R(-100, -300, 100, 600), "")
+	lib.NMOS = n
+
+	// Pullup: the mirror image, gate running south toward the pulldown.
+	p := d.MustSymbol("lib.cmos-pmos")
+	p.DeviceType = tech.DevCMOSPMOS
+	p.AddBox(pdL, geom.R(-300, -100, 300, 100), "")
+	p.AddBox(polyL, geom.R(-100, -600, 100, 300), "")
+	lib.PMOS = p
+
+	lib.CND = device.NewContact(d, tc, "lib.contact-nd", tech.DevContactNDiff)
+	lib.CPD = device.NewContact(d, tc, "lib.contact-pd", tech.DevContactPDiff)
+	lib.CPoly = device.NewContact(d, tc, "lib.contact-po", tech.DevContactCPoly)
+	return lib
+}
+
+// NewCMOSInverterCell builds the standard CMOS inverter cell symbol. The
+// cell contains no rails or well (rows own those).
+func NewCMOSInverterCell(d *layout.Design, lib *CMOSCellLibrary, name string) *layout.Symbol {
+	tc := lib.Tech
+	ndL, _ := tc.LayerByName(tech.CMOSNDiff)
+	pdL, _ := tc.LayerByName(tech.CMOSPDiff)
+	polyL, _ := tc.LayerByName(tech.CMOSPoly)
+	metalL, _ := tc.LayerByName(tech.CMOSMetal)
+
+	s := d.MustSymbol(name)
+	s.AddCall(lib.NMOS, geom.Identity, "tn")
+	s.AddCall(lib.PMOS, geom.Translate(geom.Pt(0, cmosPMOSY)), "tp")
+	s.AddCall(lib.CND, geom.Translate(geom.Pt(-600, 0)), "cs")
+	s.AddCall(lib.CND, geom.Translate(geom.Pt(600, 0)), "cd")
+	s.AddCall(lib.CPD, geom.Translate(geom.Pt(-600, cmosPMOSY)), "ps")
+	s.AddCall(lib.CPD, geom.Translate(geom.Pt(600, cmosPMOSY)), "pd")
+	s.AddCall(lib.CPoly, geom.Translate(geom.Pt(1200, cmosPortY)), "po")
+
+	// Sources into their contacts, 1λ inside the transistor diffusion.
+	s.AddWire(ndL, 200, "GND", geom.Pt(-600, 0), geom.Pt(-200, 0))
+	s.AddWire(pdL, 200, "VDD", geom.Pt(-600, cmosPMOSY), geom.Pt(-200, cmosPMOSY))
+	// Drains east into the output contacts.
+	s.AddWire(ndL, 200, "", geom.Pt(200, 0), geom.Pt(600, 0))
+	s.AddWire(pdL, 200, "", geom.Pt(200, cmosPMOSY), geom.Pt(600, cmosPMOSY))
+	// Input: the vertical poly joining the two gates, 2λ into each, and
+	// the west port feeding it.
+	s.AddWire(polyL, 200, "", geom.Pt(0, 400), geom.Pt(0, 1200))
+	s.AddWire(polyL, 200, "", geom.Pt(CMOSWestPortX, cmosPortY), geom.Pt(0, cmosPortY))
+	// Output: metal joining the drain contacts, with a branch into the
+	// poly contact that presents the output on poly for the next cell.
+	s.AddWire(metalL, 300, "", geom.Pt(600, 0), geom.Pt(600, cmosPMOSY))
+	s.AddWire(metalL, 300, "", geom.Pt(600, cmosPortY), geom.Pt(1200, cmosPortY))
+	s.AddWire(polyL, 200, "", geom.Pt(1200, cmosPortY), geom.Pt(CMOSEastPortX, cmosPortY))
+	// Straps down across the GND rail and up across the VDD rail.
+	s.AddWire(metalL, 300, "GND", geom.Pt(-600, 0), geom.Pt(-600, cmosGndRailY))
+	s.AddWire(metalL, 300, "VDD", geom.Pt(-600, cmosPMOSY), geom.Pt(-600, cmosVddRailY))
+	return s
+}
+
+// NewCMOSRow builds a row symbol: cols inverter cells chained west to
+// east, an input-head poly contact, the row's GND and VDD rails, and the
+// row-wide p-well under the n-channel half, tied to the "VSS" substrate
+// net (a ground rail name, so the construction rules treat it as supply).
+func NewCMOSRow(d *layout.Design, lib *CMOSCellLibrary, name string, cell *layout.Symbol, cols int) *layout.Symbol {
+	tc := lib.Tech
+	polyL, _ := tc.LayerByName(tech.CMOSPoly)
+	metalL, _ := tc.LayerByName(tech.CMOSMetal)
+	wellL, _ := tc.LayerByName(tech.CMOSWell)
+
+	row := d.MustSymbol(name)
+	for c := 0; c < cols; c++ {
+		row.AddCall(cell, geom.Translate(geom.Pt(int64(c)*CMOSPitchX, 0)), fmt.Sprintf("c%d", c))
+	}
+	// Input head: poly contact feeding the first cell's west port.
+	row.AddCall(lib.CPoly, geom.Translate(geom.Pt(-2100, cmosPortY)), "head")
+	row.AddWire(polyL, 200, "", geom.Pt(-2100, cmosPortY), geom.Pt(CMOSWestPortX, cmosPortY))
+
+	east := CMOSRowEastEnd(cols)
+	row.AddWire(metalL, 300, "GND", geom.Pt(-2300, cmosGndRailY), geom.Pt(east, cmosGndRailY))
+	row.AddWire(metalL, 300, "VDD",
+		geom.Pt(CMOSVddTrunkX, cmosVddRailY), geom.Pt(int64(cols-1)*CMOSPitchX+400, cmosVddRailY))
+	row.AddWire(wellL, 1200, "VSS", geom.Pt(-2400, 0), geom.Pt(int64(cols-1)*CMOSPitchX+1600, 0))
+	return row
+}
+
+// CMOSRowEastEnd returns the GND trunk x position for a row of cols cells.
+func CMOSRowEastEnd(cols int) int64 { return int64(cols-1)*CMOSPitchX + 2200 }
+
+// NewCMOSChip builds a rows×cols CMOS inverter-array chip with per-row
+// rails tied into chip-wide VDD and GND trunks.
+func NewCMOSChip(tc *tech.Technology, name string, rows, cols int) *CMOSChip {
+	d := layout.NewDesign(name)
+	lib := NewCMOSCellLibrary(d, tc)
+	cell := NewCMOSInverterCell(d, lib, "cmos-inv")
+	row := NewCMOSRow(d, lib, "cmos-row", cell, cols)
+
+	metalL, _ := tc.LayerByName(tech.CMOSMetal)
+	top := d.MustSymbol("chip")
+	for r := 0; r < rows; r++ {
+		top.AddCall(row, geom.Translate(geom.Pt(0, int64(r)*CMOSPitchY)), fmt.Sprintf("r%d", r))
+	}
+	if rows > 1 {
+		top.AddWire(metalL, 300, "VDD",
+			geom.Pt(CMOSVddTrunkX, cmosVddRailY), geom.Pt(CMOSVddTrunkX, int64(rows-1)*CMOSPitchY+cmosVddRailY))
+		east := CMOSRowEastEnd(cols)
+		top.AddWire(metalL, 300, "GND",
+			geom.Pt(east, cmosGndRailY), geom.Pt(east, int64(rows-1)*CMOSPitchY+cmosGndRailY))
+		// Well trunk: one vertical p-well strap ties the rows' wells into a
+		// single VSS substrate net. x=1400 runs between a cell's output
+		// poly contact and the next cell's source, 4λ clear of p-diffusion
+		// on both sides (the well-to-p+ cell is 2λ).
+		wellL, _ := tc.LayerByName(tech.CMOSWell)
+		top.AddWire(wellL, 400, "VSS",
+			geom.Pt(1400, 0), geom.Pt(1400, int64(rows-1)*CMOSPitchY))
+	}
+	d.Top = top
+	return &CMOSChip{Design: d, Tech: tc, Rows: rows, Cols: cols}
+}
+
+// DeviceCount returns the number of device instances on the chip.
+func (c *CMOSChip) DeviceCount() int {
+	return c.Design.Stats().FlatDevices
+}
+
+// BreakAccidentalTransistor draws an interconnect poly wire straight across
+// the i-th column's n-diffusion output wire in row 0 — the Figure 8
+// accidental transistor, in the deck-defined process — and returns its
+// ground-truth location. Mask-level checkers accept the geometry silently;
+// the DIC must flag DEV.ACCIDENTAL.
+func (c *CMOSChip) BreakAccidentalTransistor(i int) geom.Rect {
+	polyL, _ := c.Tech.LayerByName(tech.CMOSPoly)
+	x := int64(i) * CMOSPitchX
+	c.Design.Top.AddWire(polyL, 200, "",
+		geom.Pt(x+400, -400), geom.Pt(x+400, 400))
+	return geom.R(x+300, -100, x+500, 100)
+}
