@@ -221,6 +221,27 @@ func BenchmarkRegionUnion(b *testing.B) {
 	}
 }
 
+// BenchmarkRegionBulkUnion tracks the k-way single-sweep combiner against
+// the workload BenchmarkRegionUnion covers rect-by-rect: 16 overlapping
+// 100-rect regions folded in one pass, into a recycled destination.
+func BenchmarkRegionBulkUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	regs := make([]geom.Region, 16)
+	for k := range regs {
+		rects := make([]geom.Rect, 100)
+		for i := range rects {
+			x, y := int64(rng.Intn(20000)), int64(rng.Intn(20000))
+			rects[i] = geom.R(x, y, x+int64(100+rng.Intn(1500)), y+int64(100+rng.Intn(1500)))
+		}
+		regs[k] = geom.FromRects(rects).Translate(geom.Point{X: int64(k) * 977, Y: int64(k) * 1493})
+	}
+	var dst geom.Region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.BulkUnionInto(&dst, regs)
+	}
+}
+
 func BenchmarkRegionErodeDilate(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	rects := make([]geom.Rect, 200)
@@ -378,6 +399,22 @@ func nudgeRow(s *layout.Symbol, step int64) {
 // rebuilt. Compare with BenchmarkRecheckOneSymbol.
 func BenchmarkCheckCold(b *testing.B) {
 	tc, chip, _ := recheckWorkload(32, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.NewEngine(tc, core.Options{}).Check(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+// BenchmarkCheckColdLarge is BenchmarkCheckCold at 64×64 (4096 cells,
+// 64 unique row definitions) — the scaling point of the cold-check curve.
+func BenchmarkCheckColdLarge(b *testing.B) {
+	tc, chip, _ := recheckWorkload(64, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := core.NewEngine(tc, core.Options{}).Check(chip.Design)

@@ -25,12 +25,16 @@
 //	-json                emit the report as machine-readable JSON
 //	-repeat n            run the incremental engine n times (cold + warm
 //	                     replays), printing per-run timings and cache stats
+//	-cpuprofile FILE     write a pprof CPU profile of the run
+//	-memprofile FILE     write a pprof heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -46,6 +50,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so profile-writing defers fire before the process
+// exits with the report's status code.
+func run() int {
 	techName := flag.String("tech", "nmos",
 		fmt.Sprintf("technology: %s", strings.Join(tech.Names(), ", ")))
 	deckFile := flag.String("deck", "", "load the technology from a rule deck file instead of -tech")
@@ -61,7 +71,36 @@ func main() {
 	workers := flag.Int("workers", 0, "interaction-stage goroutines (0 = all cores, 1 = serial reference)")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	repeat := flag.Int("repeat", 0, "run the incremental engine this many times (0 = one-shot pipeline)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	// Profiling hooks: hot-path investigation shouldn't require writing a
+	// throwaway test harness around the checker.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dicheck: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dicheck: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *validate {
 		files := flag.Args()
@@ -71,14 +110,14 @@ func main() {
 		if len(files) == 0 {
 			fatalf("-validate needs at least one deck file")
 		}
-		os.Exit(validateDecks(files))
+		return validateDecks(files)
 	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: dicheck [flags] layout.cif")
 		fmt.Fprintln(os.Stderr, "       dicheck -validate rules.deck...")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 	tc, err := dic.ResolveTechnology(*techName, *deckFile)
 	if err != nil {
@@ -163,7 +202,7 @@ func main() {
 			exitCode = 1
 		}
 	}
-	os.Exit(exitCode)
+	return exitCode
 }
 
 func printDICReport(rep *core.Report, verbose, stats, nets bool) {
@@ -256,6 +295,9 @@ func validateDecks(files []string) int {
 }
 
 func fatalf(format string, args ...any) {
+	// Hard exits skip run()'s defers; flush an in-flight CPU profile so
+	// -cpuprofile never leaves a truncated file (no-op when not profiling).
+	pprof.StopCPUProfile()
 	fmt.Fprintf(os.Stderr, "dicheck: "+format+"\n", args...)
 	os.Exit(2)
 }

@@ -5,29 +5,42 @@
 // Usage:
 //
 //	drcbench [-quick] [-run E01,E09] [-workers n]
+//	drcbench -json [-o DIR]
 //
 //	-quick    smaller chip sizes (fast smoke run)
 //	-run      comma-separated experiment ids (default: all)
 //	-workers  DIC interaction-stage goroutines (0 = all cores, 1 = serial);
 //	          E18 reports serial vs parallel regardless of this setting
+//	-json     run the perfbench kernel suite instead of the experiments and
+//	          write a BENCH_<date>.json snapshot (ns/op + allocs/op per
+//	          named benchmark) — the repo's perf trajectory artifact
+//	-o        directory for the JSON snapshot (default ".")
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/perfbench"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	workers := flag.Int("workers", 0, "DIC interaction-stage goroutines (0 = all cores, 1 = serial)")
+	jsonOut := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_<date>.json")
+	outDir := flag.String("o", ".", "output directory for the -json snapshot")
 	flag.Parse()
 	eval.Workers = *workers
+
+	if *jsonOut {
+		os.Exit(writeBenchSnapshot(*outDir))
+	}
 
 	type experiment struct {
 		id string
@@ -76,4 +89,27 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeBenchSnapshot runs the perfbench suite and writes the dated JSON
+// artifact, echoing a human-readable table to stdout.
+func writeBenchSnapshot(dir string) int {
+	fmt.Println("running kernel benchmark suite (this takes a minute)...")
+	snap := perfbench.Run(time.Now(), eval.Workers)
+	for _, r := range snap.Results {
+		fmt.Printf("  %-22s %14.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesOp, r.AllocsOp)
+	}
+	out, err := snap.JSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
+		return 1
+	}
+	path := filepath.Join(dir, snap.Filename())
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
 }

@@ -315,6 +315,11 @@ type defInter struct {
 	netFree   bool
 	freeTally *interactionTally
 
+	// fresh marks an entry produced by the parallel prebuild phase that no
+	// instance has consumed yet (the first consumer reports the build in
+	// the run stats, keeping them identical to the serial path's).
+	fresh bool
+
 	sigs map[string]*interactionTally
 
 	// Keepout checks (contact-over-gate, isolation-vs-base) have no net
@@ -339,9 +344,27 @@ type keepTally struct {
 func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *EngineStats) *defInter {
 	if di, ok := e.inter[art.Hash]; ok && di.art == art {
 		e.interGen[art.Hash] = e.runs
-		stats.InterReused++
+		if di.fresh {
+			// Prebuilt in this run's parallel phase: the first instance to
+			// reach it reports the build, exactly as the serial path would.
+			di.fresh = false
+			stats.InterBuilt++
+		} else {
+			stats.InterReused++
+		}
 		return di
 	}
+	di := e.buildDefInter(art, maxGap)
+	e.inter[art.Hash] = di
+	e.interGen[art.Hash] = e.runs
+	stats.InterBuilt++
+	return di
+}
+
+// buildDefInter computes a definition's interaction cache without touching
+// the engine's cache maps or stats. It reads only immutable artifact and
+// technology state, so distinct definitions may build concurrently.
+func (e *Engine) buildDefInter(art *netlist.SymbolArtifacts, maxGap int64) *defInter {
 	di := &defInter{
 		art:          art,
 		classPos:     make(map[int]int),
@@ -392,18 +415,43 @@ func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *
 		}
 	}
 	di.netFree = true
-	var itemIdx map[int]int
+	var itemIdx []int32
+	var layers []tech.LayerID
 	resolve := func(gi int) int {
-		if k, ok := itemIdx[gi]; ok {
-			return k
+		if k := itemIdx[gi]; k >= 0 {
+			return int(k)
 		}
 		k := len(di.items)
 		di.items = append(di.items, art.ResolveItem(gi))
-		itemIdx[gi] = k
+		itemIdx[gi] = int32(k)
 		return k
 	}
+	layerOf := func(gi int) tech.LayerID {
+		if layers != nil {
+			return layers[gi]
+		}
+		return art.Items[gi].Layer
+	}
 	if art.Virtual {
-		itemIdx = make(map[int]int)
+		// Flat per-item tables replace per-candidate map lookups and span
+		// binary searches: the callback below runs once per sweep
+		// candidate, the hottest loop of a definition (re)build.
+		n := art.NumItems()
+		itemIdx = make([]int32, n)
+		for i := range itemIdx {
+			itemIdx[i] = -1
+		}
+		layers = make([]tech.LayerID, n)
+		for i := 0; i < art.OwnItemEnd(); i++ {
+			layers[i] = art.Items[i].Layer
+		}
+		for si := range art.Children {
+			sp := &art.Children[si]
+			items := sp.SpanItems()
+			for k := range items {
+				layers[sp.ItemStart+k] = items[k].Layer
+			}
+		}
 	}
 	art.CrossItemPairs(maxGap, func(i, j int) {
 		if i > j {
@@ -412,7 +460,7 @@ func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *
 		// Same pre-bucketing gate as the chip-level sweep's pair filter:
 		// layers that can never interact are dropped before the pair is
 		// recorded, so candidate counters stay identical across pipelines.
-		if !e.ct.Interacts(art.ItemView(i).Layer, art.ItemView(j).Layer) {
+		if !e.ct.Interacts(layerOf(i), layerOf(j)) {
 			return
 		}
 		pa, pb := i, j
@@ -439,9 +487,6 @@ func (e *Engine) defInterFor(art *netlist.SymbolArtifacts, maxGap int64, stats *
 			}
 		}
 	})
-	e.inter[art.Hash] = di
-	e.interGen[art.Hash] = e.runs
-	stats.InterBuilt++
 	return di
 }
 
@@ -604,11 +649,7 @@ type defPairGeom struct {
 
 func (g *defPairGeom) accOverlapBounds(a, b *netlist.ConnItem) (geom.Rect, bool) {
 	if g.p.flags&gAcc == 0 {
-		ov := a.Reg.Intersect(b.Reg)
-		g.p.accOK = !ov.Empty()
-		if g.p.accOK {
-			g.p.accBounds = ov.Bounds()
-		}
+		g.p.accBounds, g.p.accOK = geom.IntersectBounds(a.Reg, b.Reg)
 		g.p.flags |= gAcc
 	}
 	return g.p.accBounds, g.p.accOK
@@ -729,13 +770,13 @@ func (e *Engine) buildKeepouts(di *defInter, lay keepLayers) {
 					continue
 				}
 				di.gateT.checks++
-				if ov := it.Reg.Intersect(g.Reg); !ov.Empty() {
+				if ovb, ok := geom.IntersectBounds(it.Reg, g.Reg); ok {
 					di.gateT.vs = append(di.gateT.vs, violationDraft{
 						v: Violation{
 							Rule:     "DEV.GATE.CONTACT",
 							Severity: Error,
 							Detail:   "contact cut over the active gate of a transistor (Figure 7)",
-							Where:    ov.Bounds(),
+							Where:    ovb,
 							Path:     art.ResolveItem(i).Path,
 						},
 						aNet: netlist.NoNet, bNet: netlist.NoNet,
@@ -853,6 +894,42 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 	// is a pure work gate.
 	keep.hasCut = keep.hasCut && inc.Root.MayHaveLayer(keep.cutID, true) && len(ex.Gates) > 0
 	keep.hasIso = keep.hasIso && len(ex.BaseKeepouts) > 0
+
+	// Parallel prebuild: the per-definition candidate sweeps (CrossItemPairs
+	// plus the keepout probes) are the stage's dominant cost on a cold or
+	// heavily edited run, and they are independent across definitions —
+	// they read only immutable artifacts and the compiled technology. Build
+	// every missing entry on the worker pool first; the serial replay loop
+	// below then finds them cached. Tallies, signatures, and report
+	// assembly stay serial, so the report is byte-identical to the
+	// single-worker oracle (enforced by the engine parity tests).
+	if workers := e.opts.workerCount(); workers > 1 {
+		var order []*netlist.SymbolArtifacts
+		seen := make(map[*netlist.SymbolArtifacts]bool, 64)
+		for ii := range inc.Instances {
+			art := inc.Instances[ii].Art
+			if seen[art] {
+				continue
+			}
+			seen[art] = true
+			if di, ok := e.inter[art.Hash]; ok && di.art == art {
+				continue
+			}
+			order = append(order, art)
+		}
+		if len(order) > 1 {
+			dis := make([]*defInter, len(order))
+			geom.RunShards(len(order), workers, func(k int) {
+				dis[k] = e.buildDefInter(order[k], maxGap)
+				e.buildKeepouts(dis[k], keep)
+			})
+			for k, art := range order {
+				dis[k].fresh = true
+				e.inter[art.Hash] = dis[k]
+				e.interGen[art.Hash] = e.runs
+			}
+		}
+	}
 
 	scratch := &sigScratch{
 		labelOf:   make([]int, len(ex.Netlist.Nets)),

@@ -154,13 +154,12 @@ func (ic *interactionChecker) mayTouchIsolation(dev int) bool {
 	return info != nil && info.MayTouchIsolation
 }
 
-// accOverlapBounds implements pairGeom directly.
+// accOverlapBounds implements pairGeom directly. The violation geometry
+// is only ever a bounding box, so the overlap region is never built:
+// IntersectBounds walks the two span structures and accumulates the tight
+// bbox with zero allocation.
 func (ic *interactionChecker) accOverlapBounds(a, b *netlist.ConnItem) (geom.Rect, bool) {
-	ov := a.Reg.Intersect(b.Reg)
-	if ov.Empty() {
-		return geom.Rect{}, false
-	}
-	return ov.Bounds(), true
+	return geom.IntersectBounds(a.Reg, b.Reg)
 }
 
 func (ic *interactionChecker) regOverlaps(a, b *netlist.ConnItem) bool {
@@ -453,12 +452,12 @@ func (c *checker) checkGateKeepouts(ex *netlist.Extraction) {
 			return // in-symbol case handled by stage 2
 		}
 		c.countCheck()
-		if ov := item.Reg.Intersect(gate.Reg); !ov.Empty() {
+		if ovb, ok := geom.IntersectBounds(item.Reg, gate.Reg); ok {
 			c.add(Violation{
 				Rule:     "DEV.GATE.CONTACT",
 				Severity: Error,
 				Detail:   "contact cut over the active gate of a transistor (Figure 7)",
-				Where:    ov.Bounds(),
+				Where:    ovb,
 				Path:     item.Path,
 			})
 		}

@@ -153,12 +153,13 @@ func gateContactFlags(regions []geom.Region, tc *tech.Technology) []Violation {
 	if !okP || !okC || !ct.HasDiffusion() {
 		return nil
 	}
-	diff := geom.EmptyRegion()
+	var diffRegs []geom.Region
 	for _, l := range tc.Layers() {
 		if ct.IsDiffusion(l.ID) {
-			diff = diff.Union(regions[l.ID])
+			diffRegs = append(diffRegs, regions[l.ID])
 		}
 	}
+	diff := geom.BulkUnion(diffRegs)
 	gate := regions[polyID].Intersect(diff)
 	if gate.Empty() {
 		return nil

@@ -44,7 +44,7 @@ func (r Region) Contours() []Polygon {
 	}
 	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
 	diff := func(a, b []Span) []Span {
-		return combineSpans(a, b, func(x, y bool) bool { return x && !y })
+		return combineSpansInto(nil, a, b, opSubtract)
 	}
 	for _, y := range ys {
 		e := levels[y]

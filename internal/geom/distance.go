@@ -6,22 +6,39 @@ import "math"
 // (0 if they touch or overlap) along with a realizing pair of points — the
 // paper's "line of closest approach", along which the 2-D process model
 // translates one element and evaluates the exposure function.
+//
+// The walk iterates the canonical band decompositions directly (no rect
+// materialization, no allocation) and prunes whole band pairs by their
+// vertical separation, which already lower-bounds the Euclidean distance.
 func RegionDist(a, b Region) (float64, Point, Point) {
-	ra, rb := a.Rects(), b.Rects()
 	best := math.Inf(1)
 	var pa, pb Point
-	for _, qa := range ra {
-		for _, qb := range rb {
-			// Cheap lower bound before the exact computation.
-			if lb := float64(qa.OrthogonalDist(qb)); lb >= best {
+	for ai := range a.bands {
+		ba := &a.bands[ai]
+		for bi := range b.bands {
+			bb := &b.bands[bi]
+			if dy := bandGap(ba, bb); float64(dy) >= best {
+				if bb.y1 >= ba.y2 {
+					break // later b bands are even further down-sweep
+				}
 				continue
 			}
-			d := qa.EuclideanDist(qb)
-			if d < best {
-				best = d
-				pa, pb = qa.ClosestPoints(qb)
-				if best == 0 {
-					return 0, pa, pb
+			for _, sa := range ba.spans {
+				qa := Rect{sa.X1, ba.y1, sa.X2, ba.y2}
+				for _, sb := range bb.spans {
+					qb := Rect{sb.X1, bb.y1, sb.X2, bb.y2}
+					// Cheap lower bound before the exact computation.
+					if lb := float64(qa.OrthogonalDist(qb)); lb >= best {
+						continue
+					}
+					d := qa.EuclideanDist(qb)
+					if d < best {
+						best = d
+						pa, pb = qa.ClosestPoints(qb)
+						if best == 0 {
+							return 0, pa, pb
+						}
+					}
 				}
 			}
 		}
@@ -29,17 +46,43 @@ func RegionDist(a, b Region) (float64, Point, Point) {
 	return best, pa, pb
 }
 
+// bandGap returns the vertical separation of two bands (0 when their y
+// ranges overlap).
+func bandGap(a, b *band) int64 {
+	if a.y2 <= b.y1 {
+		return b.y1 - a.y2
+	}
+	if b.y2 <= a.y1 {
+		return a.y1 - b.y2
+	}
+	return 0
+}
+
 // RegionOrthoDist returns the minimum orthogonal (L∞) separation between
 // two regions: the smallest s such that dilating a by s overlaps b. This is
 // the distance measured by traditional expand-check-overlap spacing.
 func RegionOrthoDist(a, b Region) int64 {
 	var best int64 = math.MaxInt64
-	for _, qa := range a.Rects() {
-		for _, qb := range b.Rects() {
-			if d := qa.OrthogonalDist(qb); d < best {
-				best = d
-				if best == 0 {
-					return 0
+	for ai := range a.bands {
+		ba := &a.bands[ai]
+		for bi := range b.bands {
+			bb := &b.bands[bi]
+			if dy := bandGap(ba, bb); dy >= best {
+				if bb.y1 >= ba.y2 {
+					break
+				}
+				continue
+			}
+			for _, sa := range ba.spans {
+				qa := Rect{sa.X1, ba.y1, sa.X2, ba.y2}
+				for _, sb := range bb.spans {
+					qb := Rect{sb.X1, bb.y1, sb.X2, bb.y2}
+					if d := qa.OrthogonalDist(qb); d < best {
+						best = d
+						if best == 0 {
+							return 0
+						}
+					}
 				}
 			}
 		}

@@ -1,13 +1,15 @@
 package geom
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // Item is an identified bounding box registered with a PairFinder.
 type Item struct {
-	ID   int
-	Box  Rect
-	Tag  int // caller-defined classification (e.g. layer), carried through
-	Data any // optional payload
+	ID  int
+	Box Rect
+	Tag int // caller-defined classification (e.g. layer), carried through
 }
 
 // Pair is an unordered candidate interaction between two items
@@ -60,11 +62,18 @@ func (pf *PairFinder) ensureSorted() {
 	}
 	pf.sorted = make([]Item, len(pf.items))
 	copy(pf.sorted, pf.items)
-	sort.Slice(pf.sorted, func(i, j int) bool {
-		if pf.sorted[i].Box.X1 != pf.sorted[j].Box.X1 {
-			return pf.sorted[i].Box.X1 < pf.sorted[j].Box.X1
+	slices.SortFunc(pf.sorted, func(a, b Item) int {
+		switch {
+		case a.Box.X1 < b.Box.X1:
+			return -1
+		case a.Box.X1 > b.Box.X1:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
 		}
-		return pf.sorted[i].ID < pf.sorted[j].ID
+		return 0
 	})
 	pf.maxH = 0
 	for i := range pf.sorted {

@@ -3,7 +3,7 @@ package geom
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Polygon is a simple closed polygon given by its vertices in order; the
@@ -174,7 +174,7 @@ func (p Polygon) ToRects() ([]Rect, error) {
 				xs = append(xs, v.x)
 			}
 		}
-		sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+		slices.Sort(xs)
 		if len(xs)%2 != 0 {
 			return nil, fmt.Errorf("geom: polygon slab at y=%d has odd crossing count (self-intersecting?)", yLo)
 		}
@@ -230,7 +230,7 @@ func dedupSortedInt64(xs []int64) []int64 {
 	if len(xs) == 0 {
 		return xs
 	}
-	sort.Slice(xs, func(a, b int) bool { return xs[a] < xs[b] })
+	slices.Sort(xs)
 	out := xs[:1]
 	for _, x := range xs[1:] {
 		if x != out[len(out)-1] {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package geom
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; its allocations make AllocsPerRun guards meaningless.
+const raceEnabled = false

@@ -2,8 +2,10 @@ package geom
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"strings"
+	"sync"
 )
 
 // Span is a half-open horizontal interval [X1, X2).
@@ -27,8 +29,19 @@ type band struct {
 // pair still fuses into a single connected component (corner-sharing does
 // not), which is the physical connectivity of fabricated geometry.
 //
+// Regions are immutable values: every operation returns a new region (or
+// writes one through an explicit *Into variant) and never mutates its
+// inputs, so regions may be shared and copied freely.
+//
 // The zero value is the empty region and is ready to use.
 type Region struct {
+	// bands is the slab list. Regions built by the sweep core back every
+	// band's span list with ONE shared array (the arena), and the first
+	// band's slice is left with the arena's full capacity so the *Into
+	// variants can recover and recycle the whole backing store — a
+	// steady-state accumulation loop allocates nothing, and the Region
+	// header stays one slice wide (it is embedded by value in hot checker
+	// structs, where a second slice header would cost ~20% array growth).
 	bands []band
 }
 
@@ -44,52 +57,31 @@ func FromRectR(r Rect) Region {
 }
 
 // FromRects returns the union of the given rects. Degenerate rects are
-// ignored. The construction is a single y-sweep with per-band 1-D union,
-// O((n + bands) log n).
+// ignored. The construction is a single y-sweep over sorted event slices
+// with an incrementally maintained, x-ordered active list — no maps, no
+// per-band rescans — and the result is materialized in exactly two
+// allocations (the band list and one shared span arena).
 func FromRects(rs []Rect) Region {
-	live := rs[:0:0]
-	for _, r := range rs {
-		if !r.Empty() {
-			live = append(live, r)
-		}
-	}
-	if len(live) == 0 {
-		return Region{}
-	}
-	ys := make([]int64, 0, 2*len(live))
-	for _, r := range live {
-		ys = append(ys, r.Y1, r.Y2)
-	}
-	ys = dedupSortedInt64(ys)
-
-	// Event lists: rects starting and ending at each elementary band edge.
-	starts := make(map[int64][]int)
-	ends := make(map[int64][]int)
-	for i, r := range live {
-		starts[r.Y1] = append(starts[r.Y1], i)
-		ends[r.Y2] = append(ends[r.Y2], i)
-	}
-	active := make(map[int]bool)
 	var out Region
-	for i := 0; i+1 < len(ys); i++ {
-		yLo, yHi := ys[i], ys[i+1]
-		for _, id := range starts[yLo] {
-			active[id] = true
-		}
-		for _, id := range ends[yLo] {
-			delete(active, id)
-		}
-		if len(active) == 0 {
-			continue
-		}
-		spans := make([]Span, 0, len(active))
-		for id := range active {
-			spans = append(spans, Span{live[id].X1, live[id].X2})
-		}
-		spans = unionSpans(spans)
-		out.appendBand(yLo, yHi, spans)
-	}
+	FromRectsInto(&out, rs)
 	return out
+}
+
+// UnionRects is FromRects under its algebraic name: the k-way union of a
+// rect batch in one sweep, the bulk form callers should prefer over folding
+// pairwise Union calls (which is O(n²) in total span traffic).
+func UnionRects(rs []Rect) Region { return FromRects(rs) }
+
+// FromRectsInto computes the union of rs into dst, recycling dst's band
+// and span storage when capacities allow. dst must not be shared with a
+// region the caller still needs (regions returned by value operations may
+// alias each other; regions used as *Into destinations must be exclusively
+// owned).
+func FromRectsInto(dst *Region, rs []Rect) {
+	sw := getSweeper()
+	sw.fromRects(rs)
+	sw.materialize(dst)
+	putSweeper(sw)
 }
 
 // FromPolygon converts a simple rectilinear polygon to a region.
@@ -101,48 +93,619 @@ func FromPolygon(p Polygon) (Region, error) {
 	return FromRects(rects), nil
 }
 
-// appendBand adds a band to the region under construction, merging it with
-// the previous band when they are vertically adjacent with equal spans.
-func (r *Region) appendBand(y1, y2 int64, spans []Span) {
-	if y1 >= y2 || len(spans) == 0 {
+// BulkUnion returns the union of all the given regions in a single k-way
+// sweep: one pass over the combined band structure instead of k-1 pairwise
+// sweeps over ever-growing intermediates.
+func BulkUnion(regs []Region) Region {
+	// A single non-empty input needs no sweep; regions are immutable, so
+	// sharing its storage is safe.
+	if r, n := soleNonEmpty(regs); n <= 1 {
+		return r
+	}
+	var out Region
+	bulkUnionInto(&out, regs)
+	return out
+}
+
+// BulkUnionInto is BulkUnion recycling dst's storage (see FromRectsInto
+// for the ownership contract).
+func BulkUnionInto(dst *Region, regs []Region) {
+	if r, n := soleNonEmpty(regs); n <= 1 {
+		copyRegionInto(dst, r)
 		return
 	}
-	if n := len(r.bands); n > 0 {
-		prev := &r.bands[n-1]
-		if prev.y2 == y1 && spansEqual(prev.spans, spans) {
+	bulkUnionInto(dst, regs)
+}
+
+func soleNonEmpty(regs []Region) (Region, int) {
+	var sole Region
+	n := 0
+	for i := range regs {
+		if !regs[i].Empty() {
+			sole = regs[i]
+			n++
+		}
+	}
+	return sole, n
+}
+
+func bulkUnionInto(dst *Region, regs []Region) {
+	sw := getSweeper()
+	sw.bulkUnion(regs)
+	sw.materialize(dst)
+	putSweeper(sw)
+}
+
+// recycledArena recovers a region's span backing store for reuse: sweep-
+// built regions leave the arena's full capacity on their first band's
+// slice. Regions assembled any other way simply yield no capacity and a
+// fresh array is allocated.
+func (r *Region) recycledArena() []Span {
+	if len(r.bands) == 0 {
+		return nil
+	}
+	return r.bands[0].spans[:0]
+}
+
+// keepArenaRecoverable re-slices the first band to the arena's full
+// capacity (the first band's spans always sit at the arena's start), so a
+// later *Into call on this region can recycle the whole backing array.
+func keepArenaRecoverable(bands []band, arena []Span) {
+	if len(bands) > 0 && len(arena) > 0 && &bands[0].spans[0] == &arena[0] {
+		bands[0].spans = arena[:len(bands[0].spans)]
+	}
+}
+
+// copyRegionInto deep-copies src into dst, recycling dst's storage.
+func copyRegionInto(dst *Region, src Region) {
+	ns := src.NumRects()
+	arena := dst.recycledArena()
+	if cap(arena) < ns {
+		arena = make([]Span, 0, ns)
+	}
+	bands := dst.bands
+	if cap(bands) < len(src.bands) {
+		bands = make([]band, len(src.bands))
+	}
+	bands = bands[:len(src.bands)]
+	for i, b := range src.bands {
+		lo := len(arena)
+		arena = append(arena, b.spans...)
+		bands[i] = band{b.y1, b.y2, arena[lo:len(arena):len(arena)]}
+	}
+	keepArenaRecoverable(bands, arena)
+	dst.bands = bands
+}
+
+// ---- The sweep core ---------------------------------------------------
+
+// Truth-table opcodes for the boolean span combiners: bit (inA<<1 | inB)
+// holds the membership of the output set.
+const (
+	opUnion     uint8 = 0b1110
+	opIntersect uint8 = 0b1000
+	opSubtract  uint8 = 0b0100
+	opXor       uint8 = 0b0110
+)
+
+// sweepEvent is one rect start or end edge in the FromRects y-sweep.
+type sweepEvent struct {
+	y   int64
+	idx int32
+	end bool
+}
+
+// bandMeta is one output band under construction: its spans live at
+// arena[lo:hi] so the arena can grow (and reallocate) freely until
+// materialize fixes the final slices.
+type bandMeta struct {
+	y1, y2 int64
+	lo, hi int32
+}
+
+// sweeper holds every scratch buffer of the region construction sweeps.
+// Instances are pooled: steady-state region algebra performs no scratch
+// allocation at all, and a result region costs exactly two allocations
+// (its band list and its span arena) — zero when written through an *Into
+// variant whose destination has capacity.
+type sweeper struct {
+	events  []sweepEvent
+	active  []int32
+	meta    []bandMeta
+	arena   []Span
+	ys      []int64
+	lists   [][]Span
+	cursors []int
+	gather  []Span
+	rects   []Rect
+}
+
+var sweeperPool = sync.Pool{New: func() any { return new(sweeper) }}
+
+func getSweeper() *sweeper {
+	sw := sweeperPool.Get().(*sweeper)
+	sw.meta = sw.meta[:0]
+	sw.arena = sw.arena[:0]
+	return sw
+}
+
+func putSweeper(sw *sweeper) {
+	// Drop references into caller-owned span lists; everything else is
+	// plain value scratch and safe to retain.
+	for i := range sw.lists {
+		sw.lists[i] = nil
+	}
+	sw.lists = sw.lists[:0]
+	sweeperPool.Put(sw)
+}
+
+// emitBand closes the band [y1,y2) whose spans were appended at arena[lo:],
+// merging it into the previous band when vertically adjacent with equal
+// spans (the canonical-form maximality rule).
+func (sw *sweeper) emitBand(y1, y2 int64, lo int32) {
+	hi := int32(len(sw.arena))
+	if y1 >= y2 || hi == lo {
+		sw.arena = sw.arena[:lo]
+		return
+	}
+	if n := len(sw.meta); n > 0 {
+		prev := &sw.meta[n-1]
+		if prev.y2 == y1 && spansEqual(sw.arena[prev.lo:prev.hi], sw.arena[lo:hi]) {
 			prev.y2 = y2
+			sw.arena = sw.arena[:lo]
 			return
 		}
 	}
-	r.bands = append(r.bands, band{y1, y2, spans})
+	sw.meta = append(sw.meta, bandMeta{y1, y2, lo, hi})
 }
 
-// unionSpans canonicalizes an arbitrary span list: sort, merge overlapping
-// and touching intervals, drop degenerates.
-func unionSpans(spans []Span) []Span {
-	live := spans[:0]
-	for _, s := range spans {
-		if s.X1 < s.X2 {
-			live = append(live, s)
-		}
+// materialize copies the staged bands into dst with exactly two
+// allocations, or none when dst's recycled storage suffices.
+func (sw *sweeper) materialize(dst *Region) {
+	if len(sw.meta) == 0 {
+		dst.bands = dst.bands[:0]
+		return
 	}
-	if len(live) <= 1 {
-		return live
+	arena := dst.recycledArena()
+	if cap(arena) < len(sw.arena) {
+		arena = make([]Span, len(sw.arena))
+	} else {
+		arena = arena[:len(sw.arena)]
 	}
-	sort.Slice(live, func(a, b int) bool { return live[a].X1 < live[b].X1 })
-	out := live[:1]
-	for _, s := range live[1:] {
-		last := &out[len(out)-1]
-		if s.X1 <= last.X2 {
-			if s.X2 > last.X2 {
-				last.X2 = s.X2
-			}
-		} else {
-			out = append(out, s)
-		}
+	copy(arena, sw.arena)
+	bands := dst.bands
+	if cap(bands) < len(sw.meta) {
+		bands = make([]band, len(sw.meta))
 	}
-	return out
+	bands = bands[:len(sw.meta)]
+	for i, m := range sw.meta {
+		bands[i] = band{m.y1, m.y2, arena[m.lo:m.hi:m.hi]}
+	}
+	keepArenaRecoverable(bands, arena)
+	dst.bands = bands
 }
+
+// fromRects stages the union of rs: rect edges become a sorted event
+// slice, the active set is an x-ordered list maintained incrementally by
+// binary insertion/removal, and each elementary band folds the active list
+// into merged spans in one linear pass (the list is already x-sorted).
+func (sw *sweeper) fromRects(rs []Rect) {
+	ev := sw.events[:0]
+	for i := range rs {
+		if !rs[i].Empty() {
+			ev = append(ev,
+				sweepEvent{rs[i].Y1, int32(i), false},
+				sweepEvent{rs[i].Y2, int32(i), true})
+		}
+	}
+	sw.events = ev
+	if len(ev) == 0 {
+		return
+	}
+	slices.SortFunc(ev, func(a, b sweepEvent) int {
+		switch {
+		case a.y < b.y:
+			return -1
+		case a.y > b.y:
+			return 1
+		}
+		return 0
+	})
+	active := sw.active[:0]
+	for i := 0; i < len(ev); {
+		y := ev[i].y
+		for i < len(ev) && ev[i].y == y {
+			if ev[i].end {
+				active = activeRemove(active, rs, ev[i].idx)
+			} else {
+				active = activeInsert(active, rs, ev[i].idx)
+			}
+			i++
+		}
+		if i >= len(ev) || len(active) == 0 {
+			continue
+		}
+		lo := int32(len(sw.arena))
+		for _, id := range active {
+			r := &rs[id]
+			if n := len(sw.arena); int32(n) > lo && r.X1 <= sw.arena[n-1].X2 {
+				if r.X2 > sw.arena[n-1].X2 {
+					sw.arena[n-1].X2 = r.X2
+				}
+			} else {
+				sw.arena = append(sw.arena, Span{r.X1, r.X2})
+			}
+		}
+		sw.emitBand(y, ev[i].y, lo)
+	}
+	sw.active = active
+}
+
+// activeInsert adds rect idx to the active list, keeping it ordered by
+// (X1, idx).
+func activeInsert(active []int32, rs []Rect, idx int32) []int32 {
+	x1 := rs[idx].X1
+	lo, hi := 0, len(active)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ax := rs[active[m]].X1; ax < x1 || (ax == x1 && active[m] < idx) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	active = append(active, 0)
+	copy(active[lo+1:], active[lo:])
+	active[lo] = idx
+	return active
+}
+
+// activeRemove deletes rect idx from the active list.
+func activeRemove(active []int32, rs []Rect, idx int32) []int32 {
+	x1 := rs[idx].X1
+	lo, hi := 0, len(active)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ax := rs[active[m]].X1; ax < x1 || (ax == x1 && active[m] < idx) {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	copy(active[lo:], active[lo+1:])
+	return active[:len(active)-1]
+}
+
+// bulkUnion stages the k-way union: one pass over the merged y-edge list,
+// with a band cursor per region. Slabs covered by a single region copy its
+// canonical spans verbatim; two regions merge span lists directly; more
+// fall back to gather-sort-merge.
+func (sw *sweeper) bulkUnion(regs []Region) {
+	ys := sw.ys[:0]
+	for ri := range regs {
+		for bi := range regs[ri].bands {
+			ys = append(ys, regs[ri].bands[bi].y1, regs[ri].bands[bi].y2)
+		}
+	}
+	sw.ys = ys
+	if len(ys) == 0 {
+		return
+	}
+	ys = dedupSortedInt64(ys)
+
+	if cap(sw.cursors) < len(regs) {
+		sw.cursors = make([]int, len(regs))
+	}
+	cursors := sw.cursors[:len(regs)]
+	for i := range cursors {
+		cursors[i] = 0
+	}
+	lists := sw.lists[:0]
+	for k := 0; k+1 < len(ys); k++ {
+		yLo, yHi := ys[k], ys[k+1]
+		lists = lists[:0]
+		for ri := range regs {
+			bands := regs[ri].bands
+			c := cursors[ri]
+			for c < len(bands) && bands[c].y2 <= yLo {
+				c++
+			}
+			cursors[ri] = c
+			if c < len(bands) && bands[c].y1 <= yLo {
+				lists = append(lists, bands[c].spans)
+			}
+		}
+		lo := int32(len(sw.arena))
+		switch len(lists) {
+		case 0:
+			continue
+		case 1:
+			sw.arena = append(sw.arena, lists[0]...)
+		case 2:
+			sw.arena = combineSpansInto(sw.arena, lists[0], lists[1], opUnion)
+		default:
+			gather := sw.gather[:0]
+			for _, l := range lists {
+				gather = append(gather, l...)
+			}
+			slices.SortFunc(gather, func(a, b Span) int {
+				switch {
+				case a.X1 < b.X1:
+					return -1
+				case a.X1 > b.X1:
+					return 1
+				}
+				return 0
+			})
+			for _, s := range gather {
+				if n := len(sw.arena); int32(n) > lo && s.X1 <= sw.arena[n-1].X2 {
+					if s.X2 > sw.arena[n-1].X2 {
+						sw.arena[n-1].X2 = s.X2
+					}
+				} else {
+					sw.arena = append(sw.arena, s)
+				}
+			}
+			sw.gather = gather
+		}
+		sw.emitBand(yLo, yHi, lo)
+	}
+	sw.lists = lists
+}
+
+// boolOp stages the pointwise boolean combination of a and b, walking the
+// two band lists directly (no materialized y-edge list).
+func (sw *sweeper) boolOp(a, b Region, op uint8) {
+	ai, bi := 0, 0
+	y := int64(math.MinInt64)
+	for {
+		for ai < len(a.bands) && a.bands[ai].y2 <= y {
+			ai++
+		}
+		for bi < len(b.bands) && b.bands[bi].y2 <= y {
+			bi++
+		}
+		aOK, bOK := ai < len(a.bands), bi < len(b.bands)
+		if !aOK && !bOK {
+			return
+		}
+		yLo := int64(math.MaxInt64)
+		if aOK {
+			yLo = maxInt64(y, a.bands[ai].y1)
+		}
+		if bOK {
+			if s := maxInt64(y, b.bands[bi].y1); s < yLo {
+				yLo = s
+			}
+		}
+		yHi := int64(math.MaxInt64)
+		if aOK {
+			if a.bands[ai].y1 > yLo {
+				yHi = a.bands[ai].y1
+			} else {
+				yHi = a.bands[ai].y2
+			}
+		}
+		if bOK {
+			var e int64
+			if b.bands[bi].y1 > yLo {
+				e = b.bands[bi].y1
+			} else {
+				e = b.bands[bi].y2
+			}
+			if e < yHi {
+				yHi = e
+			}
+		}
+		var sa, sb []Span
+		if aOK && a.bands[ai].y1 <= yLo {
+			sa = a.bands[ai].spans
+		}
+		if bOK && b.bands[bi].y1 <= yLo {
+			sb = b.bands[bi].spans
+		}
+		lo := int32(len(sw.arena))
+		sw.arena = combineSpansInto(sw.arena, sa, sb, op)
+		sw.emitBand(yLo, yHi, lo)
+		y = yHi
+	}
+}
+
+// combineSpansInto appends op(sa, sb) to dst, walking the elementary
+// x-intervals of the two canonical span lists with two cursors. Output
+// spans are merged on the fly, so the appended run is canonical.
+func combineSpansInto(dst []Span, sa, sb []Span, op uint8) []Span {
+	ia, ib := 0, 0
+	x := int64(math.MinInt64)
+	n0 := len(dst)
+	for {
+		for ia < len(sa) && sa[ia].X2 <= x {
+			ia++
+		}
+		for ib < len(sb) && sb[ib].X2 <= x {
+			ib++
+		}
+		aOK, bOK := ia < len(sa), ib < len(sb)
+		if !aOK && !bOK {
+			return dst
+		}
+		xLo := int64(math.MaxInt64)
+		if aOK {
+			xLo = maxInt64(x, sa[ia].X1)
+		}
+		if bOK {
+			if s := maxInt64(x, sb[ib].X1); s < xLo {
+				xLo = s
+			}
+		}
+		xHi := int64(math.MaxInt64)
+		if aOK {
+			if sa[ia].X1 > xLo {
+				xHi = sa[ia].X1
+			} else {
+				xHi = sa[ia].X2
+			}
+		}
+		if bOK {
+			var e int64
+			if sb[ib].X1 > xLo {
+				e = sb[ib].X1
+			} else {
+				e = sb[ib].X2
+			}
+			if e < xHi {
+				xHi = e
+			}
+		}
+		var bit uint8
+		if aOK && sa[ia].X1 <= xLo {
+			bit = 2
+		}
+		if bOK && sb[ib].X1 <= xLo {
+			bit |= 1
+		}
+		if op>>bit&1 == 1 {
+			if n := len(dst); n > n0 && dst[n-1].X2 == xLo {
+				dst[n-1].X2 = xHi
+			} else {
+				dst = append(dst, Span{xLo, xHi})
+			}
+		}
+		x = xHi
+	}
+}
+
+// boolOpInto computes op(a, b) into dst through the pooled scratch. dst
+// may alias a or b: the sweep reads its inputs completely before the
+// result is materialized.
+func boolOpInto(dst *Region, a, b Region, op uint8) {
+	sw := getSweeper()
+	sw.boolOp(a, b, op)
+	sw.materialize(dst)
+	putSweeper(sw)
+}
+
+// boolOpAny reports whether op(a, b) is non-empty, sweeping with early
+// exit and no materialization.
+func boolOpAny(a, b Region, op uint8) bool {
+	ai, bi := 0, 0
+	y := int64(math.MinInt64)
+	for {
+		for ai < len(a.bands) && a.bands[ai].y2 <= y {
+			ai++
+		}
+		for bi < len(b.bands) && b.bands[bi].y2 <= y {
+			bi++
+		}
+		aOK, bOK := ai < len(a.bands), bi < len(b.bands)
+		if !aOK && !bOK {
+			return false
+		}
+		yLo := int64(math.MaxInt64)
+		if aOK {
+			yLo = maxInt64(y, a.bands[ai].y1)
+		}
+		if bOK {
+			if s := maxInt64(y, b.bands[bi].y1); s < yLo {
+				yLo = s
+			}
+		}
+		yHi := int64(math.MaxInt64)
+		if aOK {
+			if a.bands[ai].y1 > yLo {
+				yHi = a.bands[ai].y1
+			} else {
+				yHi = a.bands[ai].y2
+			}
+		}
+		if bOK {
+			var e int64
+			if b.bands[bi].y1 > yLo {
+				e = b.bands[bi].y1
+			} else {
+				e = b.bands[bi].y2
+			}
+			if e < yHi {
+				yHi = e
+			}
+		}
+		var sa, sb []Span
+		if aOK && a.bands[ai].y1 <= yLo {
+			sa = a.bands[ai].spans
+		}
+		if bOK && b.bands[bi].y1 <= yLo {
+			sb = b.bands[bi].spans
+		}
+		if combineSpansAny(sa, sb, op) {
+			return true
+		}
+		y = yHi
+	}
+}
+
+// combineSpansAny reports whether op(sa, sb) is non-empty, returning at
+// the first covered elementary interval. It deliberately repeats
+// combineSpansInto's cursor walk (as boolOpAny repeats boolOp's band
+// walk): the duplication keeps each loop closure-free and inlineable,
+// which the zero-allocation discipline depends on — a change to the
+// interval-boundary logic must be mirrored across all four walkers.
+func combineSpansAny(sa, sb []Span, op uint8) bool {
+	ia, ib := 0, 0
+	x := int64(math.MinInt64)
+	for {
+		for ia < len(sa) && sa[ia].X2 <= x {
+			ia++
+		}
+		for ib < len(sb) && sb[ib].X2 <= x {
+			ib++
+		}
+		aOK, bOK := ia < len(sa), ib < len(sb)
+		if !aOK && !bOK {
+			return false
+		}
+		xLo := int64(math.MaxInt64)
+		if aOK {
+			xLo = maxInt64(x, sa[ia].X1)
+		}
+		if bOK {
+			if s := maxInt64(x, sb[ib].X1); s < xLo {
+				xLo = s
+			}
+		}
+		xHi := int64(math.MaxInt64)
+		if aOK {
+			if sa[ia].X1 > xLo {
+				xHi = sa[ia].X1
+			} else {
+				xHi = sa[ia].X2
+			}
+		}
+		if bOK {
+			var e int64
+			if sb[ib].X1 > xLo {
+				e = sb[ib].X1
+			} else {
+				e = sb[ib].X2
+			}
+			if e < xHi {
+				xHi = e
+			}
+		}
+		var bit uint8
+		if aOK && sa[ia].X1 <= xLo {
+			bit = 2
+		}
+		if bOK && sb[ib].X1 <= xLo {
+			bit |= 1
+		}
+		if op>>bit&1 == 1 {
+			return true
+		}
+		x = xHi
+	}
+}
+
+// ---- Queries ----------------------------------------------------------
 
 func spansEqual(a, b []Span) bool {
 	if len(a) != len(b) {
@@ -195,7 +758,11 @@ func (r Region) Bounds() Rect {
 // Rects returns the band decomposition of the region as non-overlapping
 // rects (one per band×span). The list is in canonical order.
 func (r Region) Rects() []Rect {
-	var out []Rect
+	n := r.NumRects()
+	if n == 0 {
+		return nil
+	}
+	out := make([]Rect, 0, n)
 	for _, b := range r.bands {
 		for _, s := range b.spans {
 			out = append(out, Rect{s.X1, b.y1, s.X2, b.y2})
@@ -215,112 +782,89 @@ func (r Region) NumRects() int {
 
 // ContainsPoint reports whether p lies in the half-open covered set.
 func (r Region) ContainsPoint(p Point) bool {
-	i := sort.Search(len(r.bands), func(i int) bool { return r.bands[i].y2 > p.Y })
-	if i >= len(r.bands) || r.bands[i].y1 > p.Y {
+	lo, hi := 0, len(r.bands)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if r.bands[m].y2 > p.Y {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	if lo >= len(r.bands) || r.bands[lo].y1 > p.Y {
 		return false
 	}
-	b := r.bands[i]
-	j := sort.Search(len(b.spans), func(j int) bool { return b.spans[j].X2 > p.X })
-	return j < len(b.spans) && b.spans[j].X1 <= p.X
-}
-
-// binaryOp computes the pointwise boolean combination of a and b.
-func binaryOp(a, b Region, op func(inA, inB bool) bool) Region {
-	if a.Empty() && b.Empty() {
-		return Region{}
-	}
-	ys := make([]int64, 0, 2*(len(a.bands)+len(b.bands)))
-	for _, bd := range a.bands {
-		ys = append(ys, bd.y1, bd.y2)
-	}
-	for _, bd := range b.bands {
-		ys = append(ys, bd.y1, bd.y2)
-	}
-	ys = dedupSortedInt64(ys)
-
-	var out Region
-	ai, bi := 0, 0
-	for i := 0; i+1 < len(ys); i++ {
-		yLo, yHi := ys[i], ys[i+1]
-		for ai < len(a.bands) && a.bands[ai].y2 <= yLo {
-			ai++
-		}
-		for bi < len(b.bands) && b.bands[bi].y2 <= yLo {
-			bi++
-		}
-		var sa, sb []Span
-		if ai < len(a.bands) && a.bands[ai].y1 <= yLo && yHi <= a.bands[ai].y2 {
-			sa = a.bands[ai].spans
-		}
-		if bi < len(b.bands) && b.bands[bi].y1 <= yLo && yHi <= b.bands[bi].y2 {
-			sb = b.bands[bi].spans
-		}
-		spans := combineSpans(sa, sb, op)
-		out.appendBand(yLo, yHi, spans)
-	}
-	return out
-}
-
-// combineSpans evaluates op over the elementary x-intervals induced by the
-// two canonical span lists and merges the resulting intervals.
-func combineSpans(sa, sb []Span, op func(bool, bool) bool) []Span {
-	if len(sa) == 0 && len(sb) == 0 {
-		if op(false, false) {
-			panic("geom: unbounded span combination")
-		}
-		return nil
-	}
-	xs := make([]int64, 0, 2*(len(sa)+len(sb)))
-	for _, s := range sa {
-		xs = append(xs, s.X1, s.X2)
-	}
-	for _, s := range sb {
-		xs = append(xs, s.X1, s.X2)
-	}
-	xs = dedupSortedInt64(xs)
-	var out []Span
-	ia, ib := 0, 0
-	for i := 0; i+1 < len(xs); i++ {
-		xLo, xHi := xs[i], xs[i+1]
-		for ia < len(sa) && sa[ia].X2 <= xLo {
-			ia++
-		}
-		for ib < len(sb) && sb[ib].X2 <= xLo {
-			ib++
-		}
-		inA := ia < len(sa) && sa[ia].X1 <= xLo
-		inB := ib < len(sb) && sb[ib].X1 <= xLo
-		if !op(inA, inB) {
-			continue
-		}
-		if n := len(out); n > 0 && out[n-1].X2 == xLo {
-			out[n-1].X2 = xHi
+	spans := r.bands[lo].spans
+	lo, hi = 0, len(spans)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if spans[m].X2 > p.X {
+			hi = m
 		} else {
-			out = append(out, Span{xLo, xHi})
+			lo = m + 1
 		}
 	}
-	return out
+	return lo < len(spans) && spans[lo].X1 <= p.X
 }
 
 // Union returns r ∪ s.
 func (r Region) Union(s Region) Region {
-	return binaryOp(r, s, func(a, b bool) bool { return a || b })
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	var out Region
+	boolOpInto(&out, r, s, opUnion)
+	return out
 }
 
 // Intersect returns r ∩ s.
 func (r Region) Intersect(s Region) Region {
-	return binaryOp(r, s, func(a, b bool) bool { return a && b })
+	if r.Empty() || s.Empty() || !r.Bounds().Overlaps(s.Bounds()) {
+		return Region{}
+	}
+	var out Region
+	boolOpInto(&out, r, s, opIntersect)
+	return out
 }
 
 // Subtract returns r \ s.
 func (r Region) Subtract(s Region) Region {
-	return binaryOp(r, s, func(a, b bool) bool { return a && !b })
+	if r.Empty() {
+		return Region{}
+	}
+	if s.Empty() {
+		return r
+	}
+	var out Region
+	boolOpInto(&out, r, s, opSubtract)
+	return out
 }
 
 // Xor returns the symmetric difference of r and s.
 func (r Region) Xor(s Region) Region {
-	return binaryOp(r, s, func(a, b bool) bool { return a != b })
+	var out Region
+	boolOpInto(&out, r, s, opXor)
+	return out
 }
+
+// UnionInto computes a ∪ b into dst, recycling dst's storage. dst may
+// alias a or b, but — as with every *Into variant — dst's storage must be
+// exclusively owned by the caller: value operations may return regions
+// that share their input's backing arrays (e.g. Union with an empty
+// operand), and recycling such a region in place would corrupt the other
+// alias. When unsure, use the value form.
+func UnionInto(dst *Region, a, b Region) { boolOpInto(dst, a, b, opUnion) }
+
+// IntersectInto computes a ∩ b into dst, recycling dst's storage; see
+// UnionInto for the dst ownership contract.
+func IntersectInto(dst *Region, a, b Region) { boolOpInto(dst, a, b, opIntersect) }
+
+// SubtractInto computes a \ b into dst, recycling dst's storage; see
+// UnionInto for the dst ownership contract.
+func SubtractInto(dst *Region, a, b Region) { boolOpInto(dst, a, b, opSubtract) }
 
 // Equal reports whether r and s cover exactly the same set.
 func (r Region) Equal(s Region) bool {
@@ -381,6 +925,62 @@ func spansOverlap(sa, sb []Span) bool {
 	return false
 }
 
+// IntersectBounds returns the bounding box of r ∩ s and whether the
+// intersection is non-empty, without materializing the intersection
+// region. It equals r.Intersect(s).Bounds() exactly.
+func IntersectBounds(r, s Region) (Rect, bool) {
+	var out Rect
+	found := false
+	ri, si := 0, 0
+	for ri < len(r.bands) && si < len(s.bands) {
+		rb, sb := &r.bands[ri], &s.bands[si]
+		if rb.y2 <= sb.y1 {
+			ri++
+			continue
+		}
+		if sb.y2 <= rb.y1 {
+			si++
+			continue
+		}
+		yLo := maxInt64(rb.y1, sb.y1)
+		yHi := minInt64(rb.y2, sb.y2)
+		ia, ib := 0, 0
+		for ia < len(rb.spans) && ib < len(sb.spans) {
+			a, b := rb.spans[ia], sb.spans[ib]
+			if a.X2 <= b.X1 {
+				ia++
+				continue
+			}
+			if b.X2 <= a.X1 {
+				ib++
+				continue
+			}
+			xLo := maxInt64(a.X1, b.X1)
+			xHi := minInt64(a.X2, b.X2)
+			if !found {
+				out = Rect{xLo, yLo, xHi, yHi}
+				found = true
+			} else {
+				out.X1 = minInt64(out.X1, xLo)
+				out.X2 = maxInt64(out.X2, xHi)
+				out.Y1 = minInt64(out.Y1, yLo)
+				out.Y2 = maxInt64(out.Y2, yHi)
+			}
+			if a.X2 <= b.X2 {
+				ia++
+			} else {
+				ib++
+			}
+		}
+		if rb.y2 <= sb.y2 {
+			ri++
+		} else {
+			si++
+		}
+	}
+	return out, found
+}
+
 // OverlapsRect reports whether r shares interior area with rect q.
 func (r Region) OverlapsRect(q Rect) bool {
 	if q.Empty() {
@@ -391,23 +991,24 @@ func (r Region) OverlapsRect(q Rect) bool {
 
 // ContainsRegion reports whether s ⊆ r.
 func (r Region) ContainsRegion(s Region) bool {
-	return s.Subtract(r).Empty()
+	return !boolOpAny(s, r, opSubtract)
 }
 
 // Clip returns r ∩ rect.
 func (r Region) Clip(q Rect) Region { return r.Intersect(FromRectR(q)) }
 
+// ---- Transforms -------------------------------------------------------
+
 // Translate returns the region moved by d.
 func (r Region) Translate(d Point) Region {
-	out := Region{bands: make([]band, len(r.bands))}
-	for i, b := range r.bands {
-		nb := band{b.y1 + d.Y, b.y2 + d.Y, make([]Span, len(b.spans))}
-		for j, s := range b.spans {
-			nb.spans[j] = Span{s.X1 + d.X, s.X2 + d.X}
-		}
-		out.bands[i] = nb
+	if r.Empty() {
+		return r
 	}
-	return out
+	bands := make([]band, len(r.bands))
+	arena := make([]Span, r.NumRects())
+	copyAxisTransformed(bands, arena, r, false, false, d)
+	keepArenaRecoverable(bands, arena)
+	return Region{bands: bands}
 }
 
 // Scale returns the region with all coordinates multiplied by k (k > 0).
@@ -415,47 +1016,182 @@ func (r Region) Scale(k int64) Region {
 	if k <= 0 {
 		panic("geom: Region.Scale requires k > 0")
 	}
-	out := Region{bands: make([]band, len(r.bands))}
-	for i, b := range r.bands {
-		nb := band{b.y1 * k, b.y2 * k, make([]Span, len(b.spans))}
-		for j, s := range b.spans {
-			nb.spans[j] = Span{s.X1 * k, s.X2 * k}
-		}
-		out.bands[i] = nb
+	if r.Empty() {
+		return r
 	}
-	return out
+	bands, arena := r.cloneStorage()
+	for i := range arena {
+		arena[i].X1 *= k
+		arena[i].X2 *= k
+	}
+	for i := range bands {
+		bands[i].y1 *= k
+		bands[i].y2 *= k
+	}
+	return Region{bands: bands}
+}
+
+// cloneStorage copies the band structure into a fresh band list backed by
+// a single span arena (two allocations, independent of band count).
+func (r Region) cloneStorage() ([]band, []Span) {
+	arena := make([]Span, 0, r.NumRects())
+	bands := make([]band, len(r.bands))
+	for i, b := range r.bands {
+		lo := len(arena)
+		arena = append(arena, b.spans...)
+		bands[i] = band{b.y1, b.y2, arena[lo:len(arena):len(arena)]}
+	}
+	keepArenaRecoverable(bands, arena)
+	return bands, arena
 }
 
 // TransformBy returns the region mapped through a Manhattan transform.
+// Axis-preserving orientations (R0, R180 and the two mirrors) keep the
+// band structure and rewrite coordinates in place; the four 90°-rotating
+// orientations re-sweep the transformed rects.
 func (r Region) TransformBy(t Transform) Region {
-	if t == Identity {
+	if t == Identity || r.Empty() {
 		return r
 	}
-	if t.Orient == R0 {
-		return r.Translate(t.Trans)
+	if negX, negY, ok := axisPreserving(t.Orient); ok {
+		return r.flip(negX, negY, t.Trans)
 	}
-	rects := r.Rects()
-	for i := range rects {
-		rects[i] = t.ApplyRect(rects[i])
+	sw := getSweeper()
+	rects := sw.rects[:0]
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			rects = append(rects, t.ApplyRect(Rect{s.X1, b.y1, s.X2, b.y2}))
+		}
 	}
-	return FromRects(rects)
+	var out Region
+	fromRectsSub(&out, rects)
+	sw.rects = rects
+	putSweeper(sw)
+	return out
 }
+
+// fromRectsSub runs a FromRects sweep for a caller whose own pooled
+// sweeper holds the input rect scratch; the sweep borrows a second one.
+func fromRectsSub(dst *Region, rects []Rect) {
+	inner := getSweeper()
+	inner.fromRects(rects)
+	inner.materialize(dst)
+	putSweeper(inner)
+}
+
+// flip mirrors the region about the y axis (negX) and/or the x axis
+// (negY), then translates by d. Both mirrors preserve the slab structure:
+// negY reverses the band order, negX reverses each span list.
+func (r Region) flip(negX, negY bool, d Point) Region {
+	bands := make([]band, len(r.bands))
+	arena := make([]Span, r.NumRects())
+	copyAxisTransformed(bands, arena, r, negX, negY, d)
+	keepArenaRecoverable(bands, arena)
+	return Region{bands: bands}
+}
+
+// copyAxisTransformed writes r mapped through an axis-preserving
+// transform (optional x/y negations, then a translation) into the given
+// storage. bands must have length len(r.bands) and arena length
+// r.NumRects(); each band's span list is carved from arena in output
+// order.
+func copyAxisTransformed(bands []band, arena []Span, r Region, negX, negY bool, d Point) {
+	k := 0
+	for i := range r.bands {
+		src := &r.bands[i]
+		di, y1, y2 := i, src.y1+d.Y, src.y2+d.Y
+		if negY {
+			di = len(bands) - 1 - i
+			y1, y2 = -src.y2+d.Y, -src.y1+d.Y
+		}
+		n := len(src.spans)
+		dst := arena[k : k+n : k+n]
+		if negX {
+			for j, s := range src.spans {
+				dst[n-1-j] = Span{-s.X2 + d.X, -s.X1 + d.X}
+			}
+		} else {
+			for j, s := range src.spans {
+				dst[j] = Span{s.X1 + d.X, s.X2 + d.X}
+			}
+		}
+		bands[di] = band{y1, y2, dst}
+		k += n
+	}
+}
+
+// axisPreserving reports whether the orientation maps bands to bands
+// (no 90° rotation), and returns the corresponding coordinate negations.
+func axisPreserving(o Orient) (negX, negY, ok bool) {
+	switch o {
+	case R0:
+		return false, false, true
+	case MX: // (x,y) -> (x,-y)
+		return false, true, true
+	case MX180: // (x,y) -> (-x,y)
+		return true, false, true
+	case R180: // (x,y) -> (-x,-y)
+		return true, true, true
+	}
+	return false, false, false
+}
+
+// regionStoreChunk is the slab granularity of RegionStore.
+const regionStoreChunk = 4096
+
+// RegionStore packs the storage of many transformed regions into shared
+// slab allocations: a cache that holds thousands of small regions (the
+// incremental extractor's span embeddings) pays two allocations per slab
+// instead of two per region. Regions built through a store are immutable
+// like any other region; their span capacity is clipped so they can never
+// grow into a neighbour's storage.
+type RegionStore struct {
+	bands []band
+	spans []Span
+}
+
+func (st *RegionStore) takeBands(n int) []band {
+	if cap(st.bands)-len(st.bands) < n {
+		st.bands = make([]band, 0, max(n, regionStoreChunk))
+	}
+	out := st.bands[len(st.bands) : len(st.bands)+n : len(st.bands)+n]
+	st.bands = st.bands[:len(st.bands)+n]
+	return out
+}
+
+func (st *RegionStore) takeSpans(n int) []Span {
+	if cap(st.spans)-len(st.spans) < n {
+		st.spans = make([]Span, 0, max(n, regionStoreChunk))
+	}
+	out := st.spans[len(st.spans) : len(st.spans)+n : len(st.spans)+n]
+	st.spans = st.spans[:len(st.spans)+n]
+	return out
+}
+
+// TransformBy returns r mapped through t with the result's storage drawn
+// from the store when the orientation preserves the band structure;
+// rotating orientations fall back to a standalone sweep.
+func (st *RegionStore) TransformBy(r Region, t Transform) Region {
+	if t == Identity || r.Empty() {
+		return r
+	}
+	negX, negY, ok := axisPreserving(t.Orient)
+	if !ok {
+		return r.TransformBy(t)
+	}
+	bands := st.takeBands(len(r.bands))
+	arena := st.takeSpans(r.NumRects())
+	copyAxisTransformed(bands, arena, r, negX, negY, t.Trans)
+	return Region{bands: bands}
+}
+
+// ---- Morphology -------------------------------------------------------
 
 // Dilate returns the Minkowski sum of r with the square [-d,d]² (the
 // paper's orthogonal expand). Dilation distributes over union, so the
-// result is the union of the dilated canonical rects. d must be >= 0.
+// result is the sweep of the dilated canonical rects. d must be >= 0.
 func (r Region) Dilate(d int64) Region {
-	if d < 0 {
-		panic("geom: Dilate requires d >= 0; use Erode")
-	}
-	if d == 0 || r.Empty() {
-		return r
-	}
-	rects := r.Rects()
-	for i := range rects {
-		rects[i] = rects[i].Expand(d)
-	}
-	return FromRects(rects)
+	return r.DilateXY(d, d)
 }
 
 // DilateXY dilates by dx horizontally and dy vertically.
@@ -466,26 +1202,25 @@ func (r Region) DilateXY(dx, dy int64) Region {
 	if (dx == 0 && dy == 0) || r.Empty() {
 		return r
 	}
-	rects := r.Rects()
-	for i := range rects {
-		rects[i] = rects[i].ExpandXY(dx, dy)
+	sw := getSweeper()
+	rects := sw.rects[:0]
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			rects = append(rects, Rect{s.X1 - dx, b.y1 - dy, s.X2 + dx, b.y2 + dy})
+		}
 	}
-	return FromRects(rects)
+	var out Region
+	fromRectsSub(&out, rects)
+	sw.rects = rects
+	putSweeper(sw)
+	return out
 }
 
 // Erode returns the orthogonal shrink of r by d: the set of points whose
 // surrounding [-d,d]² square lies entirely inside r. Implemented by the
 // complement-dilate-complement duality within an enlarged frame.
 func (r Region) Erode(d int64) Region {
-	if d < 0 {
-		panic("geom: Erode requires d >= 0; use Dilate")
-	}
-	if d == 0 || r.Empty() {
-		return r
-	}
-	frame := r.Bounds().Expand(2*d + 2)
-	comp := FromRectR(frame).Subtract(r)
-	return r.Subtract(comp.Dilate(d))
+	return r.ErodeXY(d, d)
 }
 
 // ErodeXY erodes by dx horizontally and dy vertically.
@@ -497,51 +1232,99 @@ func (r Region) ErodeXY(dx, dy int64) Region {
 		return r
 	}
 	frame := r.Bounds().ExpandXY(2*dx+2, 2*dy+2)
-	comp := FromRectR(frame).Subtract(r)
-	return r.Subtract(comp.DilateXY(dx, dy))
+	var comp Region
+	SubtractInto(&comp, FromRectR(frame), r)
+	comp = comp.DilateXY(dx, dy)
+	var out Region
+	SubtractInto(&out, r, comp)
+	return out
 }
+
+// ---- Components -------------------------------------------------------
 
 // Components splits the region into edge-connected components (corner
 // adjacency does not connect, matching physical continuity of fabricated
 // geometry). Components are returned in deterministic order (by their
 // first canonical rect).
 func (r Region) Components() []Region {
-	rects := r.Rects()
-	if len(rects) == 0 {
+	n := r.NumRects()
+	if n == 0 {
 		return nil
 	}
-	uf := newUnionFind(len(rects))
+	uf := newUnionFind(n)
 	// Within the canonical form, rects in the same band never touch, so it
 	// suffices to link rects of vertically adjacent bands whose x intervals
-	// overlap with positive length.
-	type idxRect struct {
-		idx int
-		r   Rect
-	}
-	byBand := make(map[int64][]idxRect) // key: y1 of band
-	for i, q := range rects {
-		byBand[q.Y1] = append(byBand[q.Y1], idxRect{i, q})
-	}
-	for i, q := range rects {
-		for _, other := range byBand[q.Y2] {
-			o := other.r
-			if q.X1 < o.X2 && o.X1 < q.X2 {
-				uf.union(i, other.idx)
+	// overlap with positive length — a two-pointer walk per band seam.
+	base := 0
+	for bi := 0; bi+1 < len(r.bands); bi++ {
+		b, nb := &r.bands[bi], &r.bands[bi+1]
+		nextBase := base + len(b.spans)
+		if b.y2 == nb.y1 {
+			i, j := 0, 0
+			for i < len(b.spans) && j < len(nb.spans) {
+				sa, sb := b.spans[i], nb.spans[j]
+				if sa.X2 <= sb.X1 {
+					i++
+					continue
+				}
+				if sb.X2 <= sa.X1 {
+					j++
+					continue
+				}
+				uf.union(base+i, nextBase+j)
+				if sa.X2 <= sb.X2 {
+					i++
+				} else {
+					j++
+				}
 			}
 		}
+		base = nextBase
 	}
-	groups := make(map[int][]Rect)
-	order := make([]int, 0)
-	for i, q := range rects {
-		root := uf.find(i)
-		if _, seen := groups[root]; !seen {
-			order = append(order, root)
+	// Label components in first-rect order, then bucket the rects with a
+	// counting sort — no maps.
+	comp := make([]int, n)
+	rootComp := make([]int32, n)
+	for i := range rootComp {
+		rootComp[i] = -1
+	}
+	numComp := 0
+	idx := 0
+	for _, b := range r.bands {
+		for range b.spans {
+			root := uf.find(idx)
+			if rootComp[root] < 0 {
+				rootComp[root] = int32(numComp)
+				numComp++
+			}
+			comp[idx] = int(rootComp[root])
+			idx++
 		}
-		groups[root] = append(groups[root], q)
 	}
-	out := make([]Region, 0, len(order))
-	for _, root := range order {
-		out = append(out, FromRects(groups[root]))
+	if numComp == 1 {
+		return []Region{r}
+	}
+	counts := make([]int, numComp+1)
+	for _, c := range comp {
+		counts[c+1]++
+	}
+	for c := 1; c <= numComp; c++ {
+		counts[c] += counts[c-1]
+	}
+	rects := make([]Rect, n)
+	fill := make([]int, numComp)
+	idx = 0
+	for _, b := range r.bands {
+		for _, s := range b.spans {
+			c := comp[idx]
+			rects[counts[c]+fill[c]] = Rect{s.X1, b.y1, s.X2, b.y2}
+			fill[c]++
+			idx++
+		}
+	}
+	out := make([]Region, numComp)
+	for c := 0; c < numComp; c++ {
+		FromRectsInto(&out[c], rects[counts[c]:counts[c+1]])
 	}
 	return out
 }

@@ -94,8 +94,6 @@ func (d *Design) FlatLayerRegions(numLayers int) ([]geom.Region, error) {
 	}
 	rects := make([][]geom.Rect, numLayers)
 	regions := make([]geom.Region, numLayers)
-	var polys []geom.Region
-	polyLayer := make([]int, 0)
 	for _, fe := range flat {
 		if int(fe.Elem.Layer) >= numLayers {
 			return nil, fmt.Errorf("layout: element layer %d out of range", fe.Elem.Layer)
@@ -104,19 +102,17 @@ func (d *Design) FlatLayerRegions(numLayers int) ([]geom.Region, error) {
 		case KindBox:
 			rects[fe.Elem.Layer] = append(rects[fe.Elem.Layer], fe.T.ApplyRect(fe.Elem.Box))
 		default:
+			// Polygons decompose into canonical rects and join the same
+			// per-layer batch: one sweep per layer unions everything.
 			r, err := fe.Region()
 			if err != nil {
 				return nil, fmt.Errorf("layout: element %d of %q: %w", fe.Elem.Index, fe.Symbol.Name, err)
 			}
-			polys = append(polys, r)
-			polyLayer = append(polyLayer, int(fe.Elem.Layer))
+			rects[fe.Elem.Layer] = append(rects[fe.Elem.Layer], r.Rects()...)
 		}
 	}
 	for l := range regions {
 		regions[l] = geom.FromRects(rects[l])
-	}
-	for i, r := range polys {
-		regions[polyLayer[i]] = regions[polyLayer[i]].Union(r)
 	}
 	return regions, nil
 }

@@ -261,7 +261,7 @@ func (s *Symbol) Bounds() geom.Rect {
 // (calls excluded). Elements that fail to materialize are skipped; the
 // checker reports them separately.
 func (s *Symbol) LayerRegion(layer tech.LayerID) geom.Region {
-	out := geom.EmptyRegion()
+	var regs []geom.Region
 	for _, e := range s.Elements {
 		if e.Layer != layer {
 			continue
@@ -270,9 +270,9 @@ func (s *Symbol) LayerRegion(layer tech.LayerID) geom.Region {
 		if err != nil {
 			continue
 		}
-		out = out.Union(reg)
+		regs = append(regs, reg)
 	}
-	return out
+	return geom.BulkUnion(regs)
 }
 
 // Design is a named set of symbols with a designated top.

@@ -84,9 +84,14 @@ func ExtractFull(d *layout.Design, tc *tech.Technology) (*Extraction, []Issue, e
 		if e, ok := extraCache[s]; ok {
 			return e
 		}
-		termCover := make(map[tech.LayerID]geom.Region)
+		// One k-way sweep per layer instead of a fold of pairwise unions.
+		termRegs := make(map[tech.LayerID][]geom.Region)
 		for _, term := range info.Terminals {
-			termCover[term.Layer] = termCover[term.Layer].Union(term.Reg)
+			termRegs[term.Layer] = append(termRegs[term.Layer], term.Reg)
+		}
+		termCover := make(map[tech.LayerID]geom.Region, len(termRegs))
+		for layer, regs := range termRegs {
+			termCover[layer] = geom.BulkUnion(regs)
 		}
 		var extras []layerReg
 		for _, l := range tc.Layers() {

@@ -76,6 +76,9 @@ type SymbolArtifacts struct {
 
 	// Flattened subtree in walk order: own elements (or device terminals
 	// and support geometry for a primitive), then each call's subtree.
+	// ItemFoot is always full subtree length, even on Virtual artifacts
+	// (it is the one flat array cheap enough to keep everywhere, and it
+	// makes item→foot resolution a direct index).
 	Items    []ConnItem  // Net holds the LOCAL class id (or NoNet)
 	Foots    []LocalFoot // connectable subset, parallel order
 	ItemFoot []int       // item index -> foot index, -1 for support geometry
@@ -103,14 +106,15 @@ type SymbolArtifacts struct {
 	// conservative: a set bit means "maybe present").
 	LayerMask uint64
 
-	// Virtual marks a root built without materializing the embedded
-	// Items/Foots/ItemFoot arrays — the chip is never fully instantiated.
-	// Items, Foots, and ItemFoot then hold only the symbol's own entries;
-	// embedded entries resolve through the accessors below (NumItems,
-	// ItemView, ResolveItem, FootView, ItemFootAt, FootItemAt), which are
-	// valid on materialized artifacts too. Counts and index offsets
-	// (Children spans, ClassOf, ClassFoot) are always for the full
-	// flattened subtree.
+	// Virtual marks an artifact built without materializing the embedded
+	// Items array — the subtree is never fully instantiated. Items then
+	// holds only the symbol's own entries; embedded entries resolve
+	// through the accessors below (NumItems, ItemView, ResolveItem,
+	// FootView, ItemFootAt, FootItemAt), which are valid on materialized
+	// artifacts too. Foots holds only own entries on every composite
+	// (embedded footprints live solely in span storage), and counts,
+	// index offsets (Children spans, ClassOf, ClassFoot) and ItemFoot are
+	// always for the full flattened subtree.
 	Virtual  bool
 	numItems int
 	numFoots int
@@ -121,20 +125,10 @@ type SymbolArtifacts struct {
 }
 
 // NumItems returns the flattened subtree item count.
-func (a *SymbolArtifacts) NumItems() int {
-	if a.Virtual {
-		return a.numItems
-	}
-	return len(a.Items)
-}
+func (a *SymbolArtifacts) NumItems() int { return a.numItems }
 
 // NumFoots returns the flattened subtree footprint count.
-func (a *SymbolArtifacts) NumFoots() int {
-	if a.Virtual {
-		return a.numFoots
-	}
-	return len(a.Foots)
-}
+func (a *SymbolArtifacts) NumFoots() int { return a.numFoots }
 
 // itemSpan locates the child span containing item index i (-1 for own).
 func (a *SymbolArtifacts) itemSpan(i int) int {
@@ -205,9 +199,11 @@ func (a *SymbolArtifacts) ResolveItem(i int) ConnItem {
 
 // FootView returns a pointer to the stored footprint for index i; all
 // fields, including the Declared name, are frame-correct (span
-// construction qualified them on embedding).
+// construction qualified them on embedding). Embedded footprints always
+// resolve through the span storage: unlike Items, the flattened Foots
+// array is never materialized on composites, whatever the Virtual flag.
 func (a *SymbolArtifacts) FootView(i int) *LocalFoot {
-	if !a.Virtual || i < a.ownFootEnd() {
+	if i < a.ownFootEnd() {
 		return &a.Foots[i]
 	}
 	sp := &a.Children[a.footSpan(i)]
@@ -215,40 +211,23 @@ func (a *SymbolArtifacts) FootView(i int) *LocalFoot {
 }
 
 // ItemFootAt returns the footprint index of item i, -1 for support
-// geometry.
+// geometry. ItemFoot is full subtree length on every artifact, so this is
+// a direct index.
 func (a *SymbolArtifacts) ItemFootAt(i int) int {
-	if !a.Virtual || i < a.OwnItemEnd() {
-		return a.ItemFoot[i]
-	}
-	sp := &a.Children[a.itemSpan(i)]
-	if cf := sp.Art.ItemFootAt(i - sp.ItemStart); cf >= 0 {
-		return sp.FootStart + cf
-	}
-	return -1
+	return a.ItemFoot[i]
 }
 
 // FootItemAt returns the item index of footprint f.
 func (a *SymbolArtifacts) FootItemAt(f int) int {
-	if !a.Virtual || f < a.ownFootEnd() {
-		if a.footItem == nil {
-			a.footItem = make([]int, a.ownFootEndOrAll())
-			for i, ff := range a.ItemFoot {
-				if ff >= 0 {
-					a.footItem[ff] = i
-				}
+	if a.footItem == nil {
+		a.footItem = make([]int, a.NumFoots())
+		for i, ff := range a.ItemFoot {
+			if ff >= 0 {
+				a.footItem[ff] = i
 			}
 		}
-		return a.footItem[f]
 	}
-	sp := &a.Children[a.footSpan(f)]
-	return sp.ItemStart + sp.Art.FootItemAt(f-sp.FootStart)
-}
-
-func (a *SymbolArtifacts) ownFootEndOrAll() int {
-	if a.Virtual {
-		return a.ownFootEnd()
-	}
-	return len(a.Foots)
+	return a.footItem[f]
 }
 
 // MayHaveLayer reports whether the subtree may contain items on layer l
@@ -323,6 +302,14 @@ type spanData struct {
 	bounds   geom.Rect
 
 	skels map[int]geom.Region // lazily transformed child skeletons
+
+	// Dense bounds tables for the cross-pair refinement scans: reading a
+	// 32-byte rect stream instead of striding the full 100+-byte struct
+	// array keeps the hot collect() loops in cache. Built eagerly with the
+	// span (they are also read concurrently by the engine's parallel
+	// definition builds, so they must never be materialized lazily).
+	itemBoxes []geom.Rect
+	footBoxes []geom.Rect
 }
 
 func (sd *spanData) footSkel(i int) geom.Region {
@@ -374,6 +361,11 @@ type Cache struct {
 	// Devices and their TerminalNets maps escape into the public Netlist
 	// and are never recycled.
 	lastRoot *SymbolArtifacts
+
+	// regStore slab-allocates the storage of every transformed region the
+	// span embeddings hold: two allocations per slab instead of two per
+	// item region.
+	regStore geom.RegionStore
 }
 
 type analysisEntry struct {
@@ -493,7 +485,7 @@ func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes 
 	ownEnd := root.ownFootEnd()
 	cursor := 0
 	foot := func(i int) (geom.Rect, string, int) {
-		if !root.Virtual || i < ownEnd {
+		if i < ownEnd {
 			f := &root.Foots[i]
 			return f.Bounds, f.Declared, f.Elements
 		}
@@ -601,7 +593,11 @@ func (c *Cache) buildRoot(s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolH
 	return art
 }
 
-// build computes (or returns cached) artifacts for one symbol.
+// build computes (or returns cached) artifacts for one symbol. Non-root
+// definitions are materialized: the engine's per-definition interaction
+// replay indexes their flattened item arrays on its hottest path, where
+// accessor indirection measurably outweighs the storage saved (the root —
+// the one artifact that turns over on every edit — stays virtual).
 func (c *Cache) build(s *layout.Symbol, hs map[*layout.Symbol]layout.SymbolHashes, tc *tech.Technology) *SymbolArtifacts {
 	h := hs[s].Subtree
 	if a, ok := c.arts[h]; ok {
@@ -723,9 +719,14 @@ func (c *Cache) populate(art *SymbolArtifacts, s *layout.Symbol, hs map[*layout.
 			}
 		}
 		// Support geometry not covered by terminals: checkable but netless.
-		termCover := make(map[tech.LayerID]geom.Region)
+		// One k-way sweep per layer instead of a fold of pairwise unions.
+		termRegs := make(map[tech.LayerID][]geom.Region)
 		for _, term := range info.Terminals {
-			termCover[term.Layer] = termCover[term.Layer].Union(term.Reg)
+			termRegs[term.Layer] = append(termRegs[term.Layer], term.Reg)
+		}
+		termCover := make(map[tech.LayerID]geom.Region, len(termRegs))
+		for layer, regs := range termRegs {
+			termCover[layer] = geom.BulkUnion(regs)
 		}
 		for _, l := range tc.Layers() {
 			reg := s.LayerRegion(l.ID)
@@ -791,8 +792,8 @@ func (c *Cache) populate(art *SymbolArtifacts, s *layout.Symbol, hs map[*layout.
 		ownCap = len(s.Elements)
 	}
 	art.Items = make([]ConnItem, 0, ownCap)
-	art.Foots = make([]LocalFoot, 0, ownCap)
-	art.ItemFoot = make([]int, 0, ownCap)
+	art.Foots = make([]LocalFoot, 0, len(s.Elements))
+	art.ItemFoot = make([]int, 0, nItems)
 	art.Children = make([]ChildSpan, 0, len(s.Calls))
 	if nGates > 0 {
 		art.Gates = make([]Keepout, 0, nGates)
@@ -850,13 +851,13 @@ func (c *Cache) populate(art *SymbolArtifacts, s *layout.Symbol, hs map[*layout.
 					}
 				}
 			}
-			art.Foots = append(art.Foots, sd.foots...)
-			for _, cf := range childArt.ItemFoot {
-				if cf >= 0 {
-					art.ItemFoot = append(art.ItemFoot, sp.FootStart+cf)
-				} else {
-					art.ItemFoot = append(art.ItemFoot, -1)
-				}
+		}
+		// ItemFoot is maintained at full subtree length in both modes.
+		for _, cf := range childArt.ItemFoot {
+			if cf >= 0 {
+				art.ItemFoot = append(art.ItemFoot, sp.FootStart+cf)
+			} else {
+				art.ItemFoot = append(art.ItemFoot, -1)
 			}
 		}
 		itemCount += childArt.NumItems()
@@ -899,22 +900,70 @@ func (c *Cache) span(childArt *SymbolArtifacts, t geom.Transform, name string, t
 		return sd
 	}
 	sd := &spanData{childArt: childArt, t: t}
-	sd.items = make([]ConnItem, len(childArt.Items))
-	for i, it := range childArt.Items {
-		it.Bounds = t.ApplyRect(it.Bounds)
-		it.Reg = it.Reg.TransformBy(t)
-		it.Path = prefixPath(name, it.Path)
-		sd.items[i] = it
-		sd.bounds = sd.bounds.Union(it.Bounds)
-	}
-	sd.foots = make([]LocalFoot, len(childArt.Foots))
-	for i, f := range childArt.Foots {
+	// The child may be virtual (its flattened arrays live in its own span
+	// embeddings), so iteration goes through the accessors.
+	nFoots, nItems := childArt.NumFoots(), childArt.NumItems()
+	sd.foots = make([]LocalFoot, 0, nFoots)
+	addFoot := func(f LocalFoot) {
 		f.Bounds = t.ApplyRect(f.Bounds)
-		f.Reg = f.Reg.TransformBy(t)
+		f.Reg = c.regStore.TransformBy(f.Reg, t)
 		if f.Declared != "" && !tc.IsRail(f.Declared) {
 			f.Declared = name + "." + f.Declared
 		}
-		sd.foots[i] = f
+		sd.foots = append(sd.foots, f)
+	}
+	for i := range childArt.Foots { // own footprints only, on any artifact
+		addFoot(childArt.Foots[i])
+	}
+	for si := range childArt.Children {
+		for _, f := range childArt.Children[si].sd.foots {
+			addFoot(f)
+		}
+	}
+	sd.items = make([]ConnItem, 0, nItems)
+	// Consecutive items overwhelmingly share the same relative path (all
+	// the geometry of one embedded instance comes in one run), so one
+	// cached join replaces a per-item string concatenation; footprint-
+	// backed items share the footprint's transformed geometry instead of
+	// re-deriving it. The walk is sequential: own items first, then each
+	// child embedding straight out of the shared span storage — a virtual
+	// child's Dev offsets and net classes are mapped into the child frame
+	// inline, with no per-item index resolution.
+	lastRel, lastJoined := "\x00", ""
+	addItem := func(it ConnItem) {
+		if fi := childArt.ItemFoot[len(sd.items)]; fi >= 0 {
+			it.Bounds = sd.foots[fi].Bounds
+			it.Reg = sd.foots[fi].Reg
+			it.Net = NetID(childArt.ClassOf[fi])
+		} else {
+			it.Bounds = t.ApplyRect(it.Bounds)
+			it.Reg = c.regStore.TransformBy(it.Reg, t)
+			it.Net = NoNet
+		}
+		if it.Path != lastRel {
+			lastRel, lastJoined = it.Path, prefixPath(name, it.Path)
+		}
+		it.Path = lastJoined
+		sd.items = append(sd.items, it)
+		sd.bounds = sd.bounds.Union(it.Bounds)
+	}
+	for i := 0; i < childArt.OwnItemEnd(); i++ {
+		addItem(childArt.Items[i])
+	}
+	if childArt.Virtual {
+		for si := range childArt.Children {
+			csp := &childArt.Children[si]
+			for _, it := range csp.sd.items {
+				if it.Dev >= 0 {
+					it.Dev += csp.DevStart
+				}
+				addItem(it)
+			}
+		}
+	} else {
+		for i := childArt.OwnItemEnd(); i < len(childArt.Items); i++ {
+			addItem(childArt.Items[i])
+		}
 	}
 	sd.devs = make([]DeviceUse, len(childArt.Devices))
 	for i, d := range childArt.Devices {
@@ -922,6 +971,14 @@ func (c *Cache) span(childArt *SymbolArtifacts, t geom.Transform, name string, t
 		d.T = d.T.Compose(t)
 		d.TerminalNets = nil // parent remaps classes
 		sd.devs[i] = d
+	}
+	sd.footBoxes = make([]geom.Rect, len(sd.foots))
+	for i := range sd.foots {
+		sd.footBoxes[i] = sd.foots[i].Bounds
+	}
+	sd.itemBoxes = make([]geom.Rect, len(sd.items))
+	for i := range sd.items {
+		sd.itemBoxes[i] = sd.items[i].Bounds
 	}
 	sd.gates = transformKeepouts(childArt.Gates, t)
 	sd.keeps = transformKeepouts(childArt.BaseKeepouts, t)
@@ -1015,7 +1072,7 @@ func (a *SymbolArtifacts) CrossItemPairs(gap int64, emit func(i, j int)) {
 	forEachCrossPair(a.NumItems(), a.OwnItemEnd(), a.Children,
 		func(si int) (int, int) { return a.Children[si].ItemStart, a.Children[si].ItemEnd },
 		func(i int) geom.Rect { return a.ItemView(i).Bounds },
-		func(si, local int) geom.Rect { return a.Children[si].sd.items[local].Bounds },
+		func(si int) []geom.Rect { return a.Children[si].sd.itemBoxes },
 		gap, emit)
 }
 
@@ -1055,7 +1112,7 @@ func (c *Cache) connectSweep(art *SymbolArtifacts, u *uf) [][2]int {
 	forEachCrossPair(art.NumFoots(), ownEnd, art.Children,
 		func(si int) (int, int) { return art.Children[si].FootStart, art.Children[si].FootEnd },
 		func(i int) geom.Rect { return art.FootView(i).Bounds },
-		func(si, local int) geom.Rect { return art.Children[si].sd.foots[local].Bounds },
+		func(si int) []geom.Rect { return art.Children[si].sd.footBoxes },
 		0, test)
 	return illegal
 }
@@ -1067,7 +1124,7 @@ func (c *Cache) connectSweep(art *SymbolArtifacts, u *uf) [][2]int {
 // identical inputs, which the engine's replayable caches rely on.
 func forEachCrossPair(n, ownEnd int, children []ChildSpan,
 	childRange func(si int) (int, int), boundsAt func(i int) geom.Rect,
-	spanBounds func(si, local int) geom.Rect,
+	spanBoxes func(si int) []geom.Rect,
 	gap int64, emit func(i, j int)) {
 
 	var pf geom.PairFinder
@@ -1092,9 +1149,8 @@ func forEachCrossPair(n, ownEnd int, children []ChildSpan,
 	collect := func(si int, probe geom.Rect, buf []entry) []entry {
 		buf = buf[:0]
 		probe = probe.Expand(gap)
-		lo, hi := childRange(si)
-		for local := 0; local < hi-lo; local++ {
-			b := spanBounds(si, local)
+		lo, _ := childRange(si)
+		for local, b := range spanBoxes(si) {
 			if probe.Touches(b) {
 				buf = append(buf, entry{lo + local, b})
 			}

@@ -1,0 +1,251 @@
+// Package perfbench defines the named kernel benchmarks behind the repo's
+// performance trajectory artifact (BENCH_<date>.json, written by
+// `drcbench -json`). The suite mirrors the hot paths the README's
+// Performance section tracks: region algebra, netlist extraction, the
+// cold engine check, and the warm recheck loop.
+//
+// The functions use testing.Benchmark, so any main package can produce a
+// machine-readable perf snapshot without a throwaway test harness.
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flat"
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark's snapshot entry.
+type Result struct {
+	Name     string  `json:"name"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	N        int     `json:"iterations"`
+}
+
+// Snapshot is the BENCH_<date>.json document.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Workers   int      `json:"workers"` // engine worker setting (0 = all cores)
+	Results   []Result `json:"results"`
+}
+
+// engineWorkers is the Options.Workers value the engine benchmarks run
+// with; Run sets it from the caller's -workers so snapshots record the
+// configuration they actually measured.
+var engineWorkers int
+
+// NamedBench is one entry of the suite.
+type NamedBench struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// Suite returns the named benchmarks in canonical order. The names match
+// the bench_test.go benchmarks they mirror, so `go test -bench` output and
+// the JSON snapshots line up.
+func Suite() []NamedBench {
+	return []NamedBench{
+		{"RegionUnion", benchRegionUnion},
+		{"RegionBulkUnion", benchRegionBulkUnion},
+		{"RegionErodeDilate", benchRegionErodeDilate},
+		{"NetlistExtraction", benchNetlistExtraction},
+		{"CheckCold", benchCheckCold},
+		{"CheckColdLarge", benchCheckColdLarge},
+		{"RecheckOneSymbol", benchRecheckOneSymbol},
+		{"FlatCheck", benchFlatCheck},
+	}
+}
+
+// Run executes the whole suite and assembles a snapshot. workers is the
+// engine interaction/prebuild worker count (0 = all cores, 1 = serial
+// oracle), recorded in the snapshot.
+func Run(now time.Time, workers int) Snapshot {
+	engineWorkers = workers
+	snap := Snapshot{
+		Date:      now.Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workers:   workers,
+	}
+	for _, nb := range Suite() {
+		r := testing.Benchmark(nb.F)
+		snap.Results = append(snap.Results, Result{
+			Name:     nb.Name,
+			NsPerOp:  float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp: r.AllocsPerOp(),
+			BytesOp:  r.AllocedBytesPerOp(),
+			N:        r.N,
+		})
+	}
+	return snap
+}
+
+// JSON renders the snapshot.
+func (s Snapshot) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Filename returns the canonical snapshot name for its date.
+func (s Snapshot) Filename() string { return fmt.Sprintf("BENCH_%s.json", s.Date) }
+
+func benchRects(n int, span, size int64) []geom.Rect {
+	rng := rand.New(rand.NewSource(3))
+	rs := make([]geom.Rect, n)
+	for i := range rs {
+		x, y := int64(rng.Intn(int(span))), int64(rng.Intn(int(span)))
+		rs[i] = geom.R(x, y, x+int64(100+rng.Intn(int(size))), y+int64(100+rng.Intn(int(size))))
+	}
+	return rs
+}
+
+func benchRegionUnion(b *testing.B) {
+	rects := benchRects(1000, 50000, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = geom.FromRects(rects)
+	}
+}
+
+// benchRegionBulkUnion matches bench_test.go's BenchmarkRegionBulkUnion
+// workload exactly (one seed-6 stream, 16 distinct regions) so the JSON
+// snapshot and `go test -bench` numbers track the same kernel.
+func benchRegionBulkUnion(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	regs := make([]geom.Region, 16)
+	for k := range regs {
+		rects := make([]geom.Rect, 100)
+		for i := range rects {
+			x, y := int64(rng.Intn(20000)), int64(rng.Intn(20000))
+			rects[i] = geom.R(x, y, x+int64(100+rng.Intn(1500)), y+int64(100+rng.Intn(1500)))
+		}
+		regs[k] = geom.FromRects(rects).Translate(geom.Point{X: int64(k) * 977, Y: int64(k) * 1493})
+	}
+	var dst geom.Region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		geom.BulkUnionInto(&dst, regs)
+	}
+}
+
+func benchRegionErodeDilate(b *testing.B) {
+	reg := geom.FromRects(benchRects(200, 20000, 2000))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = reg.Erode(250).Dilate(250)
+	}
+}
+
+func benchNetlistExtraction(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 8, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := netlist.Extract(chip.Design, tc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func coldChip(rows, cols int) (*tech.Technology, *workload.Chip) {
+	tc := tech.NMOS()
+	chip := workload.NewChipUnique(tc, "perf", rows, cols)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	for r := 0; ; r++ {
+		s, ok := chip.Design.Symbol(fmt.Sprintf("row%d", r))
+		if !ok {
+			break
+		}
+		s.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+	}
+	return tc, chip
+}
+
+func benchCheckColdSize(b *testing.B, rows, cols int) {
+	tc, chip := coldChip(rows, cols)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.NewEngine(tc, core.Options{Workers: engineWorkers}).Check(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+func benchCheckCold(b *testing.B)      { benchCheckColdSize(b, 32, 32) }
+func benchCheckColdLarge(b *testing.B) { benchCheckColdSize(b, 64, 64) }
+
+func benchRecheckOneSymbol(b *testing.B) {
+	tc, chip := coldChip(32, 32)
+	var rows []*layout.Symbol
+	for r := 0; ; r++ {
+		s, ok := chip.Design.Symbol(fmt.Sprintf("row%d", r))
+		if !ok {
+			break
+		}
+		rows = append(rows, s)
+	}
+	eng := core.NewEngine(tc, core.Options{Workers: engineWorkers})
+	if _, err := eng.Check(chip.Design); err != nil {
+		b.Fatal(err)
+	}
+	step := int64(250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 1 {
+			step = -step
+		}
+		s := rows[i%len(rows)]
+		e := s.Elements[len(s.Elements)-1]
+		e.Box.Y1 += step
+		e.Box.Y2 += step
+		s.Touch()
+		rep, err := eng.Recheck(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+func benchFlatCheck(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "bench", 8, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flat.Check(chip.Design, tc, flat.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
