@@ -5,139 +5,21 @@ import (
 	"os"
 
 	"repro/internal/core"
-	"repro/internal/geom"
+	"repro/internal/server"
 )
 
-// The -json schema: a stable machine-readable projection of core.Report
-// so the checker can sit behind scripts and services. Field names are
-// part of the output contract; extend, don't rename.
-
-type jsonReport struct {
-	Design     string          `json:"design"`
-	Clean      bool            `json:"clean"`
-	Errors     int             `json:"errors"`
-	Warnings   int             `json:"warnings"`
-	Violations []jsonViolation `json:"violations"`
-	Stages     []jsonStage     `json:"stages"`
-	Stats      jsonStats       `json:"stats"`
-	Netlist    *jsonNetlist    `json:"netlist,omitempty"`
-	Engine     *jsonEngine     `json:"engine,omitempty"`
-}
-
-type jsonViolation struct {
-	Rule     string   `json:"rule"`
-	Severity string   `json:"severity"`
-	Detail   string   `json:"detail"`
-	Where    jsonRect `json:"where"`
-	Symbol   string   `json:"symbol,omitempty"`
-	Path     string   `json:"path,omitempty"`
-	Layer    int      `json:"layer"`
-	Nets     []string `json:"nets,omitempty"`
-}
-
-type jsonRect struct {
-	X1 int64 `json:"x1"`
-	Y1 int64 `json:"y1"`
-	X2 int64 `json:"x2"`
-	Y2 int64 `json:"y2"`
-}
-
-type jsonStage struct {
-	Name       string `json:"name"`
-	DurationNS int64  `json:"duration_ns"`
-	Checks     int    `json:"checks"`
-	Violations int    `json:"violations"`
-}
-
-type jsonStats struct {
-	ElementsChecked        int `json:"elements_checked"`
-	SymbolDefsChecked      int `json:"symbol_defs_checked"`
-	DeviceInstances        int `json:"device_instances"`
-	InteractionCandidates  int `json:"interaction_candidates"`
-	InteractionChecked     int `json:"interaction_checked"`
-	SkippedNoRule          int `json:"skipped_no_rule"`
-	SkippedSameNetExempt   int `json:"skipped_same_net_exempt"`
-	SkippedRelated         int `json:"skipped_related"`
-	SkippedConnectionPairs int `json:"skipped_connection_pairs"`
-	ProcessDowngrades      int `json:"process_downgrades"`
-}
-
-type jsonNetlist struct {
-	Nets    int `json:"nets"`
-	Devices int `json:"devices"`
-}
-
-type jsonEngine struct {
-	Runs         int `json:"runs"`
-	Symbols      int `json:"symbols"`
-	DirtySymbols int `json:"dirty_symbols"`
-	ArtifactDefs int `json:"artifact_defs"`
-	InterBuilt   int `json:"inter_built"`
-	InterReused  int `json:"inter_reused"`
-	SigMisses    int `json:"sig_misses"`
-	SigHits      int `json:"sig_hits"`
-}
-
-func rectJSON(r geom.Rect) jsonRect { return jsonRect{r.X1, r.Y1, r.X2, r.Y2} }
-
-func reportJSON(rep *core.Report, eng *core.Engine) *jsonReport {
-	errs := rep.Errors()
-	out := &jsonReport{
-		Design:     rep.Design.Name,
-		Clean:      rep.Clean(),
-		Errors:     len(errs),
-		Warnings:   len(rep.Violations) - len(errs),
-		Violations: make([]jsonViolation, 0, len(rep.Violations)),
-	}
-	for _, v := range rep.Violations {
-		out.Violations = append(out.Violations, jsonViolation{
-			Rule:     v.Rule,
-			Severity: v.Severity.String(),
-			Detail:   v.Detail,
-			Where:    rectJSON(v.Where),
-			Symbol:   v.Symbol,
-			Path:     v.Path,
-			Layer:    int(v.Layer),
-			Nets:     v.Nets,
-		})
-	}
-	for _, s := range rep.Stats.Stages {
-		out.Stages = append(out.Stages, jsonStage{
-			Name:       s.Name,
-			DurationNS: s.Duration.Nanoseconds(),
-			Checks:     s.Checks,
-			Violations: s.Violations,
-		})
-	}
-	st := rep.Stats
-	out.Stats = jsonStats{
-		ElementsChecked:        st.ElementsChecked,
-		SymbolDefsChecked:      st.SymbolDefsChecked,
-		DeviceInstances:        st.DeviceInstances,
-		InteractionCandidates:  st.InteractionCandidates,
-		InteractionChecked:     st.InteractionChecked,
-		SkippedNoRule:          st.SkippedNoRule,
-		SkippedSameNetExempt:   st.SkippedSameNetExempt,
-		SkippedRelated:         st.SkippedRelated,
-		SkippedConnectionPairs: st.SkippedConnectionPairs,
-		ProcessDowngrades:      st.ProcessDowngrades,
-	}
-	if rep.Netlist != nil {
-		out.Netlist = &jsonNetlist{Nets: rep.Netlist.NumNets(), Devices: len(rep.Netlist.Devices)}
-	}
-	if eng != nil {
-		es := eng.Stats()
-		out.Engine = &jsonEngine{
-			Runs: es.Runs, Symbols: es.Symbols, DirtySymbols: es.DirtySymbols,
-			ArtifactDefs: es.ArtifactDefs, InterBuilt: es.InterBuilt,
-			InterReused: es.InterReused, SigMisses: es.SigMisses, SigHits: es.SigHits,
-		}
-	}
-	return out
-}
+// The -json schema is the check service's wire report (internal/server):
+// one stable machine-readable projection of core.Report shared by the CLI
+// and the daemon, so fingerprints and fields line up between an offline
+// run and a served session. Field names are part of the output contract;
+// extend, don't rename.
 
 func printJSON(rep *core.Report, eng *core.Engine) error {
+	return printWireJSON(server.BuildReport(rep, eng))
+}
+
+func printWireJSON(rep *server.Report) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(reportJSON(rep, eng))
+	return enc.Encode(rep)
 }

@@ -8,6 +8,7 @@
 //
 //	dicheck [flags] layout.cif
 //	dicheck -validate rules.deck...
+//	dicheck -serve URL [-session NAME] [-edits FILE] [layout.cif]
 //
 //	-tech NAME           registered technology (default nmos; see -tech help)
 //	-deck FILE           load the technology from a rule deck instead
@@ -23,10 +24,24 @@
 //	-netlist             print the extracted hierarchical net list
 //	-stats               print per-stage statistics
 //	-json                emit the report as machine-readable JSON
+//	-edits FILE          apply the JSON edit script to the design before
+//	                     checking (offline), or to the served session
 //	-repeat n            run the incremental engine n times (cold + warm
 //	                     replays), printing per-run timings and cache stats
+//	-serve URL           check through a running dicheckd instead of
+//	                     in-process: one-shot (create, report, delete)
+//	                     unless -session names a persistent session
+//	-session NAME        with -serve: reuse (or create) the named session
+//	                     and keep it alive after the run
 //	-cpuprofile FILE     write a pprof CPU profile of the run
 //	-memprofile FILE     write a pprof heap profile at exit
+//
+// Exit codes (so CI and scripts can branch without parsing output):
+//
+//	0  the checked design is clean (no error-severity violations)
+//	1  the checker ran and found violations
+//	2  usage, parse, or I/O error (bad flags, unreadable CIF, invalid
+//	   deck, unreachable server)
 package main
 
 import (
@@ -71,8 +86,18 @@ func run() int {
 	workers := flag.Int("workers", 0, "interaction-stage goroutines (0 = all cores, 1 = serial reference)")
 	jsonOut := flag.Bool("json", false, "emit the report as machine-readable JSON")
 	repeat := flag.Int("repeat", 0, "run the incremental engine this many times (0 = one-shot pipeline)")
+	editsFile := flag.String("edits", "", "apply this JSON edit script before checking (or to the served session)")
+	serve := flag.String("serve", "", "check through the dicheckd at this URL instead of in-process")
+	session := flag.String("session", "", "with -serve: reuse (or create) this named persistent session")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: dicheck [flags] layout.cif")
+		fmt.Fprintln(os.Stderr, "       dicheck -validate rules.deck...")
+		fmt.Fprintln(os.Stderr, "       dicheck -serve URL [-session NAME] [-edits FILE] [layout.cif]")
+		fmt.Fprintln(os.Stderr, "exit codes: 0 = clean, 1 = violations found, 2 = usage/parse error")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	// Profiling hooks: hot-path investigation shouldn't require writing a
@@ -113,10 +138,22 @@ func run() int {
 		return validateDecks(files)
 	}
 
+	if *serve != "" {
+		return runServed(servedRun{
+			url:         *serve,
+			session:     *session,
+			editsFile:   *editsFile,
+			cifPath:     flag.Arg(0),
+			tech:        *techName,
+			deckFile:    *deckFile,
+			metric:      *metric,
+			noConstruct: *noConstruct,
+			jsonOut:     *jsonOut,
+			verbose:     *verbose,
+		})
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dicheck [flags] layout.cif")
-		fmt.Fprintln(os.Stderr, "       dicheck -validate rules.deck...")
-		flag.PrintDefaults()
+		flag.Usage()
 		return 2
 	}
 	tc, err := dic.ResolveTechnology(*techName, *deckFile)
@@ -131,6 +168,13 @@ func run() int {
 	design, err := cif.Parse(string(src), tc, flag.Arg(0))
 	if err != nil {
 		fatalf("parse: %v", err)
+	}
+	if *editsFile != "" {
+		// Offline replay of an edit script: the same mutations a served
+		// session applies, so fingerprints are comparable across the two.
+		if err := applyEditScript(design, tc, *editsFile); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	st := design.Stats()
 	if !*jsonOut {
@@ -198,7 +242,9 @@ func run() int {
 		} else {
 			printRuleCounts(countFlatRules(frep.Violations))
 		}
-		if *flatOnly && len(frep.Violations) > 0 {
+		// Exit-code contract: 1 whenever any checker that ran found
+		// violations, regardless of which combination was selected.
+		if len(frep.Violations) > 0 {
 			exitCode = 1
 		}
 	}

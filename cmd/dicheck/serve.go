@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/layout"
+	"repro/internal/server"
+	"repro/internal/tech"
+)
+
+// servedRun is one `dicheck -serve` invocation: check a layout through a
+// running dicheckd instead of in-process. Without -session it is a
+// one-shot (create session, fetch report, delete); with -session the
+// named session persists across invocations, so an edit script can be
+// applied to live state created by an earlier run.
+type servedRun struct {
+	url, session, editsFile, cifPath string
+	tech, deckFile, metric           string
+	noConstruct, jsonOut, verbose    bool
+}
+
+func runServed(r servedRun) int {
+	c := server.NewClient(r.url)
+
+	id := ""
+	if r.session != "" {
+		found, ok, err := c.FindByName(r.session)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		if ok {
+			id = found
+		}
+	}
+
+	if id == "" {
+		if r.cifPath == "" {
+			fatalf("serve: no existing session %q and no layout.cif to create one from", r.session)
+		}
+		src, err := os.ReadFile(r.cifPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		req := server.CreateRequest{
+			Name:        r.session,
+			DesignName:  r.cifPath,
+			CIF:         string(src),
+			Tech:        r.tech,
+			Metric:      r.metric,
+			NoConstruct: r.noConstruct,
+		}
+		if r.deckFile != "" {
+			deckSrc, err := os.ReadFile(r.deckFile)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			req.Deck = string(deckSrc)
+			req.Tech = ""
+		}
+		resp, err := c.Create(req)
+		if err != nil {
+			fatalf("serve: %v", err)
+		}
+		id = resp.ID
+	}
+	if r.session == "" {
+		defer func() {
+			if err := c.Delete(id); err != nil {
+				fmt.Fprintf(os.Stderr, "dicheck: serve: delete session: %v\n", err)
+			}
+		}()
+	}
+
+	if r.editsFile != "" {
+		edits, err := loadEdits(r.editsFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if _, err := c.Edit(id, edits); err != nil {
+			fatalf("serve: %v", err)
+		}
+	}
+
+	rep, err := c.Report(id)
+	if err != nil {
+		fatalf("serve: %v", err)
+	}
+	if r.jsonOut {
+		if err := printWireJSON(rep); err != nil {
+			fatalf("json: %v", err)
+		}
+	} else {
+		printServedReport(rep, r.verbose)
+	}
+	if !rep.Clean {
+		return 1
+	}
+	return 0
+}
+
+// printServedReport mirrors printDICReport over the wire form.
+func printServedReport(rep *server.Report, verbose bool) {
+	fmt.Printf("design-integrity check (served): %d errors, %d warnings\n", rep.Errors, rep.Warnings)
+	if verbose {
+		for _, v := range rep.Violations {
+			fmt.Printf("  [%s] %s %s path=%s (%d,%d)-(%d,%d)\n",
+				v.Severity, v.Rule, v.Detail, v.Path,
+				v.Where.X1, v.Where.Y1, v.Where.X2, v.Where.Y2)
+		}
+	} else {
+		printRuleCounts(server.CountRules(rep.Violations))
+	}
+	fmt.Printf("fingerprint: %s\n", rep.Fingerprint)
+}
+
+// loadEdits reads a JSON edit script: either a bare array of edits or an
+// {"edits": [...]} object (the service's request form).
+func loadEdits(path string) ([]layout.Edit, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var edits []layout.Edit
+	if err := json.Unmarshal(src, &edits); err == nil {
+		return edits, nil
+	}
+	var req server.EditRequest
+	if err := json.Unmarshal(src, &req); err != nil || len(req.Edits) == 0 {
+		return nil, fmt.Errorf("edits %s: want a JSON array of edits or {\"edits\": [...]}", path)
+	}
+	return req.Edits, nil
+}
+
+// applyEditScript applies a JSON edit script to a parsed design (the
+// offline side of fingerprint parity with a served session).
+func applyEditScript(d *layout.Design, tc *tech.Technology, path string) error {
+	edits, err := loadEdits(path)
+	if err != nil {
+		return err
+	}
+	if _, err := layout.ApplyEdits(d, tc, edits); err != nil {
+		return fmt.Errorf("edits %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command dicheckd is the concurrent DRC check service: a long-running
+// HTTP/JSON daemon over the incremental check engine. Each named session
+// owns one design and one engine; edits stream in over HTTP, rapid bursts
+// are debounced into single rechecks, and reports come back
+// fingerprint-identical to an offline Recheck replaying the same edits.
+//
+// Usage:
+//
+//	dicheckd [flags]
+//
+//	-addr HOST:PORT    listen address (default 127.0.0.1:8347; port 0
+//	                   picks a free port)
+//	-addr-file FILE    write the bound address to FILE once listening
+//	                   (how scripts find a port-0 daemon)
+//	-max-sessions N    LRU cap on live sessions (default 64)
+//	-idle D            evict sessions idle longer than D (default 30m)
+//	-debounce D        edit-coalescing window before a background recheck
+//	                   (default 25ms)
+//	-workers N         engine interaction-stage goroutines (0 = all cores)
+//
+// Endpoints (all JSON):
+//
+//	POST   /sessions               create a session {name, cif, tech|deck, ...}
+//	GET    /sessions               list sessions
+//	POST   /sessions/{id}/edits    apply an edit batch {edits: [...]}
+//	GET    /sessions/{id}/report   current report (flushes pending edits)
+//	GET    /sessions/{id}/stats    service + engine counters
+//	DELETE /sessions/{id}          drop a session
+//	GET    /healthz                liveness probe
+//
+// See the README's "Check service" section for the session lifecycle and
+// an example curl transcript.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address (port 0 picks a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	maxSessions := flag.Int("max-sessions", 64, "LRU cap on live sessions")
+	idle := flag.Duration("idle", 30*time.Minute, "evict sessions idle longer than this")
+	debounce := flag.Duration("debounce", 25*time.Millisecond, "edit-coalescing window before a background recheck")
+	workers := flag.Int("workers", 0, "engine interaction-stage goroutines (0 = all cores)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dicheckd: listen: %v\n", err)
+		return 1
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dicheckd: addr-file: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Printf("dicheckd listening on http://%s\n", bound)
+
+	srv := server.New(server.Config{
+		MaxSessions: *maxSessions,
+		IdleTTL:     *idle,
+		Debounce:    *debounce,
+		Workers:     *workers,
+	})
+	hs := &http.Server{Handler: srv}
+
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("dicheckd: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+		return 0
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "dicheckd: serve: %v\n", err)
+			srv.Close()
+			return 1
+		}
+	}
+	srv.Close()
+	return 0
+}

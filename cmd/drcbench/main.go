@@ -5,7 +5,8 @@
 // Usage:
 //
 //	drcbench [-quick] [-run E01,E09] [-workers n]
-//	drcbench -json [-o DIR]
+//	drcbench -json [-o DIR] [-compare BENCH_old.json]
+//	drcbench -compare BENCH_old.json
 //
 //	-quick    smaller chip sizes (fast smoke run)
 //	-run      comma-separated experiment ids (default: all)
@@ -14,6 +15,10 @@
 //	-json     run the perfbench kernel suite instead of the experiments and
 //	          write a BENCH_<date>.json snapshot (ns/op + allocs/op per
 //	          named benchmark) — the repo's perf trajectory artifact
+//	-compare  run the kernel suite and print per-benchmark deltas against
+//	          this prior snapshot (informational: exit status ignores
+//	          regressions; combine with -json to also write the new
+//	          snapshot)
 //	-o        directory for the JSON snapshot (default ".")
 package main
 
@@ -34,12 +39,13 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	workers := flag.Int("workers", 0, "DIC interaction-stage goroutines (0 = all cores, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_<date>.json")
+	compare := flag.String("compare", "", "run the kernel suite and print deltas vs this prior BENCH_*.json snapshot")
 	outDir := flag.String("o", ".", "output directory for the -json snapshot")
 	flag.Parse()
 	eval.Workers = *workers
 
-	if *jsonOut {
-		os.Exit(writeBenchSnapshot(*outDir))
+	if *jsonOut || *compare != "" {
+		os.Exit(runBenchSuite(*outDir, *jsonOut, *compare))
 	}
 
 	type experiment struct {
@@ -91,25 +97,47 @@ func main() {
 	}
 }
 
-// writeBenchSnapshot runs the perfbench suite and writes the dated JSON
-// artifact, echoing a human-readable table to stdout.
-func writeBenchSnapshot(dir string) int {
+// runBenchSuite runs the perfbench suite, optionally writing the dated
+// JSON artifact (writeJSON) and/or printing deltas against a prior
+// snapshot (comparePath). Regressions in the comparison never affect the
+// exit status — wall-clock on shared CI runners is advice, not a gate.
+func runBenchSuite(dir string, writeJSON bool, comparePath string) int {
+	var old perfbench.Snapshot
+	if comparePath != "" {
+		// Read the baseline before the minute-long run so a bad path
+		// fails fast.
+		data, err := os.ReadFile(comparePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
+			return 1
+		}
+		if old, err = perfbench.ParseSnapshot(data); err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: %s: %v\n", comparePath, err)
+			return 1
+		}
+	}
 	fmt.Println("running kernel benchmark suite (this takes a minute)...")
 	snap := perfbench.Run(time.Now(), eval.Workers)
 	for _, r := range snap.Results {
 		fmt.Printf("  %-22s %14.0f ns/op %10d B/op %8d allocs/op\n",
 			r.Name, r.NsPerOp, r.BytesOp, r.AllocsOp)
 	}
-	out, err := snap.JSON()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
-		return 1
+	if comparePath != "" {
+		fmt.Println()
+		fmt.Print(perfbench.RenderDeltas(old, snap))
 	}
-	path := filepath.Join(dir, snap.Filename())
-	if err := os.WriteFile(path, out, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
-		return 1
+	if writeJSON {
+		out, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(dir, snap.Filename())
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
-	fmt.Printf("wrote %s\n", path)
 	return 0
 }

@@ -1,0 +1,61 @@
+package cif
+
+import (
+	"testing"
+
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// TestWriteParseFixedPointCMOS locks the Write ∘ Parse fixed point on the
+// deck-defined CMOS workload, alongside the bipolar coverage in
+// TestWriteBipolarDesign: rendering the generated chip, reparsing it, and
+// rendering again must reproduce the first text byte for byte, and the
+// reparsed design must be structurally and geometrically identical.
+func TestWriteParseFixedPointCMOS(t *testing.T) {
+	tc := tech.CMOS()
+	chip := workload.NewCMOSChip(tc, "cmos-rt", 2, 3)
+
+	text1, err := Write(chip.Design, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(text1, tc, "cmos-rt")
+	if err != nil {
+		t.Fatalf("reparse failed: %v\n%s", err, text1)
+	}
+	text2, err := Write(back, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text1 != text2 {
+		t.Fatalf("Write∘Parse is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text1, text2)
+	}
+
+	// Structural equivalence.
+	so, sb := chip.Design.Stats(), back.Stats()
+	if so != sb {
+		t.Fatalf("stats changed: %+v vs %+v", so, sb)
+	}
+	// Device declarations survive.
+	for _, name := range []string{"lib.cmos-nmos", "lib.cmos-pmos"} {
+		s, ok := back.Symbol(name)
+		if !ok || s.DeviceType == "" {
+			t.Fatalf("device symbol %q lost (%+v)", name, s)
+		}
+	}
+	// Geometric equivalence: identical flattened layer regions.
+	ro, err := chip.Design.FlatLayerRegions(tc.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := back.FlatLayerRegions(tc.NumLayers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range ro {
+		if !ro[l].Equal(rb[l]) {
+			t.Fatalf("layer %d geometry changed", l)
+		}
+	}
+}

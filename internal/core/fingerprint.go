@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 )
@@ -49,4 +51,14 @@ func Fingerprint(rep *Report) string {
 		}
 	}
 	return b.String()
+}
+
+// FingerprintDigest is the sha256 hex form of Fingerprint — small enough
+// to embed in wire reports and logs, with the same guarantee: equal
+// digests mean the duration-free report content is byte-identical. The
+// check service stamps every report with it so clients can assert parity
+// against an offline Recheck of the same edit script.
+func FingerprintDigest(rep *Report) string {
+	sum := sha256.Sum256([]byte(Fingerprint(rep)))
+	return hex.EncodeToString(sum[:])
 }

@@ -1,0 +1,89 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// ParseSnapshot reads a BENCH_<date>.json document.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("perfbench: parse snapshot: %w", err)
+	}
+	if len(s.Results) == 0 {
+		return Snapshot{}, fmt.Errorf("perfbench: snapshot has no results")
+	}
+	return s, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison. A benchmark present in
+// only one snapshot appears with the other side zeroed and InBoth false.
+type Delta struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	PctNs     float64 // (new-old)/old * 100; 0 when not in both
+	OldAllocs int64
+	NewAllocs int64
+	InBoth    bool
+	OnlyInOld bool
+	OnlyInNew bool
+}
+
+// Compare matches benchmarks by name, preserving the new snapshot's order
+// and appending benchmarks that exist only in the old one.
+func Compare(old, cur Snapshot) []Delta {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Results))
+	var out []Delta
+	for _, r := range cur.Results {
+		seen[r.Name] = true
+		d := Delta{Name: r.Name, NewNs: r.NsPerOp, NewAllocs: r.AllocsOp}
+		if o, ok := oldBy[r.Name]; ok {
+			d.InBoth = true
+			d.OldNs = o.NsPerOp
+			d.OldAllocs = o.AllocsOp
+			if o.NsPerOp > 0 {
+				d.PctNs = (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+			}
+		} else {
+			d.OnlyInNew = true
+		}
+		out = append(out, d)
+	}
+	for _, r := range old.Results {
+		if !seen[r.Name] {
+			out = append(out, Delta{Name: r.Name, OldNs: r.NsPerOp, OldAllocs: r.AllocsOp, OnlyInOld: true})
+		}
+	}
+	return out
+}
+
+// RenderDeltas formats a comparison as the informational table the CI
+// bench-compare step prints. Timings are wall-clock on shared runners, so
+// the table is advice, not a gate — allocation counts are the stable
+// signal.
+func RenderDeltas(old, cur Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark deltas vs %s snapshot (%s, %d CPU -> %s, %d CPU):\n",
+		old.Date, old.GoVersion, old.NumCPU, cur.GoVersion, cur.NumCPU)
+	for _, d := range Compare(old, cur) {
+		switch {
+		case d.OnlyInNew:
+			fmt.Fprintf(&b, "  %-22s %31s -> %10.2fms   allocs %s -> %d (new benchmark)\n",
+				d.Name, "", d.NewNs/1e6, "-", d.NewAllocs)
+		case d.OnlyInOld:
+			fmt.Fprintf(&b, "  %-22s %10.2fms -> %-18s allocs %d -> %s (benchmark removed)\n",
+				d.Name, d.OldNs/1e6, "gone", d.OldAllocs, "-")
+		default:
+			fmt.Fprintf(&b, "  %-22s %10.2fms -> %10.2fms  %+7.1f%%   allocs %d -> %d\n",
+				d.Name, d.OldNs/1e6, d.NewNs/1e6, d.PctNs, d.OldAllocs, d.NewAllocs)
+		}
+	}
+	return b.String()
+}

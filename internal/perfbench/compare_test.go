@@ -1,0 +1,79 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSnapshotAndCompare(t *testing.T) {
+	oldJSON := []byte(`{"date":"2026-07-01","go_version":"go1.24.0","goarch":"amd64","num_cpu":4,"workers":0,
+		"results":[
+			{"name":"CheckCold","ns_per_op":30000000,"allocs_per_op":50000,"bytes_per_op":1,"iterations":10},
+			{"name":"Retired","ns_per_op":1000,"allocs_per_op":1,"bytes_per_op":1,"iterations":10}]}`)
+	newJSON := []byte(`{"date":"2026-07-26","go_version":"go1.24.0","goarch":"amd64","num_cpu":4,"workers":0,
+		"results":[
+			{"name":"CheckCold","ns_per_op":27000000,"allocs_per_op":49000,"bytes_per_op":1,"iterations":10},
+			{"name":"Fresh","ns_per_op":500,"allocs_per_op":2,"bytes_per_op":1,"iterations":10}]}`)
+
+	old, err := ParseSnapshot(oldJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := ParseSnapshot(newJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Compare(old, cur)
+	if len(ds) != 3 {
+		t.Fatalf("deltas = %d: %+v", len(ds), ds)
+	}
+	if !ds[0].InBoth || ds[0].Name != "CheckCold" {
+		t.Fatalf("first delta: %+v", ds[0])
+	}
+	if ds[0].PctNs > -9.9 || ds[0].PctNs < -10.1 {
+		t.Fatalf("CheckCold pct = %v, want -10%%", ds[0].PctNs)
+	}
+	if !ds[1].OnlyInNew || ds[1].Name != "Fresh" {
+		t.Fatalf("second delta: %+v", ds[1])
+	}
+	if !ds[2].OnlyInOld || ds[2].Name != "Retired" {
+		t.Fatalf("third delta: %+v", ds[2])
+	}
+
+	table := RenderDeltas(old, cur)
+	for _, want := range []string{"CheckCold", "-10.0%", "allocs 50000 -> 49000", "new benchmark", "benchmark removed"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestParseSnapshotErrors(t *testing.T) {
+	if _, err := ParseSnapshot([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ParseSnapshot([]byte(`{"date":"x","results":[]}`)); err == nil {
+		t.Fatal("empty results accepted")
+	}
+}
+
+// TestSnapshotRoundTrip locks the artifact format: Run's JSON output must
+// parse back with ParseSnapshot (the -compare path reads files written by
+// earlier builds).
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := Snapshot{
+		Date: "2026-07-26", GoVersion: "go1.24.0", GOARCH: "amd64", NumCPU: 2,
+		Results: []Result{{Name: "X", NsPerOp: 1.5, AllocsOp: 3, BytesOp: 4, N: 5}},
+	}
+	data, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != snap.Date || len(back.Results) != 1 || back.Results[0] != snap.Results[0] {
+		t.Fatalf("round trip changed snapshot: %+v", back)
+	}
+}

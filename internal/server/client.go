@@ -1,0 +1,141 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/layout"
+)
+
+// Client drives a running dicheckd over HTTP. It is the library behind
+// `dicheck -serve` and the integration tests; methods map one-to-one onto
+// the daemon's endpoints.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// HTTPClient defaults to a client with a 5-minute timeout (cold checks
+	// of large designs are slow on small machines).
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{
+		BaseURL:    base,
+		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// Create opens a session and returns its id plus the initial cold report.
+func (c *Client) Create(req CreateRequest) (*CreateResponse, error) {
+	var resp CreateResponse
+	if err := c.do(http.MethodPost, "/sessions", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// List returns every live session.
+func (c *Client) List() ([]SessionInfo, error) {
+	var resp []SessionInfo
+	if err := c.do(http.MethodGet, "/sessions", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// FindByName returns the id of the live session with the given name
+// ("" , false when absent; the lowest id wins if names collide).
+func (c *Client) FindByName(name string) (string, bool, error) {
+	infos, err := c.List()
+	if err != nil {
+		return "", false, err
+	}
+	for _, info := range infos {
+		if info.Name == name {
+			return info.ID, true, nil
+		}
+	}
+	return "", false, nil
+}
+
+// Edit applies one edit batch to a session.
+func (c *Client) Edit(id string, edits []layout.Edit) (*EditResponse, error) {
+	var resp EditResponse
+	if err := c.do(http.MethodPost, "/sessions/"+id+"/edits", EditRequest{Edits: edits}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Report fetches the session's current report, forcing any pending edits
+// through a recheck first.
+func (c *Client) Report(id string) (*Report, error) {
+	var resp Report
+	if err := c.do(http.MethodGet, "/sessions/"+id+"/report", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the session's service and engine counters.
+func (c *Client) Stats(id string) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(http.MethodGet, "/sessions/"+id+"/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Delete removes a session.
+func (c *Client) Delete(id string) error {
+	return c.do(http.MethodDelete, "/sessions/"+id, nil, nil)
+}
+
+// do runs one JSON round trip. Non-2xx responses decode the daemon's
+// error payload into the returned error.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s)", method, path, eb.Error, resp.Status)
+		}
+		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,167 @@
+// Package server is the concurrent DRC check service: a long-running
+// HTTP/JSON daemon (cmd/dicheckd) that manages named check sessions, each
+// owning one incremental core.Engine and one design, plus the client
+// library the shipped tools and the integration tests drive it with.
+//
+// The wire report below is the same machine-readable projection of
+// core.Report that `dicheck -json` prints, extended with the fingerprint
+// digest: field names are part of the output contract; extend, don't
+// rename.
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Report is the wire form of a check report.
+type Report struct {
+	Design   string `json:"design"`
+	Clean    bool   `json:"clean"`
+	Errors   int    `json:"errors"`
+	Warnings int    `json:"warnings"`
+	// Fingerprint is core.FingerprintDigest of the report: equal digests
+	// mean the duration-free report content is byte-identical, the parity
+	// contract between a served session and an offline Recheck replaying
+	// the same edit script.
+	Fingerprint string       `json:"fingerprint"`
+	Violations  []Violation  `json:"violations"`
+	Stages      []Stage      `json:"stages"`
+	Stats       Stats        `json:"stats"`
+	Netlist     *Netlist     `json:"netlist,omitempty"`
+	Engine      *EngineStats `json:"engine,omitempty"`
+}
+
+// Violation is the wire form of one finding.
+type Violation struct {
+	Rule     string   `json:"rule"`
+	Severity string   `json:"severity"`
+	Detail   string   `json:"detail"`
+	Where    Rect     `json:"where"`
+	Symbol   string   `json:"symbol,omitempty"`
+	Path     string   `json:"path,omitempty"`
+	Layer    int      `json:"layer"`
+	Nets     []string `json:"nets,omitempty"`
+}
+
+// Rect is the wire form of a geom.Rect.
+type Rect struct {
+	X1 int64 `json:"x1"`
+	Y1 int64 `json:"y1"`
+	X2 int64 `json:"x2"`
+	Y2 int64 `json:"y2"`
+}
+
+// Stage is one pipeline stage's timing and counters.
+type Stage struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+	Checks     int    `json:"checks"`
+	Violations int    `json:"violations"`
+}
+
+// Stats is the wire form of core.Stats.
+type Stats struct {
+	ElementsChecked        int `json:"elements_checked"`
+	SymbolDefsChecked      int `json:"symbol_defs_checked"`
+	DeviceInstances        int `json:"device_instances"`
+	InteractionCandidates  int `json:"interaction_candidates"`
+	InteractionChecked     int `json:"interaction_checked"`
+	SkippedNoRule          int `json:"skipped_no_rule"`
+	SkippedSameNetExempt   int `json:"skipped_same_net_exempt"`
+	SkippedRelated         int `json:"skipped_related"`
+	SkippedConnectionPairs int `json:"skipped_connection_pairs"`
+	ProcessDowngrades      int `json:"process_downgrades"`
+}
+
+// Netlist summarizes the extracted netlist.
+type Netlist struct {
+	Nets    int `json:"nets"`
+	Devices int `json:"devices"`
+}
+
+// EngineStats is the wire form of core.EngineStats.
+type EngineStats struct {
+	Runs         int `json:"runs"`
+	Symbols      int `json:"symbols"`
+	DirtySymbols int `json:"dirty_symbols"`
+	ArtifactDefs int `json:"artifact_defs"`
+	InterBuilt   int `json:"inter_built"`
+	InterReused  int `json:"inter_reused"`
+	SigMisses    int `json:"sig_misses"`
+	SigHits      int `json:"sig_hits"`
+}
+
+func rectWire(r geom.Rect) Rect { return Rect{r.X1, r.Y1, r.X2, r.Y2} }
+
+func engineWire(es core.EngineStats) *EngineStats {
+	return &EngineStats{
+		Runs: es.Runs, Symbols: es.Symbols, DirtySymbols: es.DirtySymbols,
+		ArtifactDefs: es.ArtifactDefs, InterBuilt: es.InterBuilt,
+		InterReused: es.InterReused, SigMisses: es.SigMisses, SigHits: es.SigHits,
+	}
+}
+
+// BuildReport projects a core.Report (and, when non-nil, the engine that
+// produced it) into the wire form.
+func BuildReport(rep *core.Report, eng *core.Engine) *Report {
+	errs := rep.Errors()
+	out := &Report{
+		Design:      rep.Design.Name,
+		Clean:       rep.Clean(),
+		Errors:      len(errs),
+		Warnings:    len(rep.Violations) - len(errs),
+		Fingerprint: core.FingerprintDigest(rep),
+		Violations:  make([]Violation, 0, len(rep.Violations)),
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, Violation{
+			Rule:     v.Rule,
+			Severity: v.Severity.String(),
+			Detail:   v.Detail,
+			Where:    rectWire(v.Where),
+			Symbol:   v.Symbol,
+			Path:     v.Path,
+			Layer:    int(v.Layer),
+			Nets:     v.Nets,
+		})
+	}
+	for _, s := range rep.Stats.Stages {
+		out.Stages = append(out.Stages, Stage{
+			Name:       s.Name,
+			DurationNS: s.Duration.Nanoseconds(),
+			Checks:     s.Checks,
+			Violations: s.Violations,
+		})
+	}
+	st := rep.Stats
+	out.Stats = Stats{
+		ElementsChecked:        st.ElementsChecked,
+		SymbolDefsChecked:      st.SymbolDefsChecked,
+		DeviceInstances:        st.DeviceInstances,
+		InteractionCandidates:  st.InteractionCandidates,
+		InteractionChecked:     st.InteractionChecked,
+		SkippedNoRule:          st.SkippedNoRule,
+		SkippedSameNetExempt:   st.SkippedSameNetExempt,
+		SkippedRelated:         st.SkippedRelated,
+		SkippedConnectionPairs: st.SkippedConnectionPairs,
+		ProcessDowngrades:      st.ProcessDowngrades,
+	}
+	if rep.Netlist != nil {
+		out.Netlist = &Netlist{Nets: rep.Netlist.NumNets(), Devices: len(rep.Netlist.Devices)}
+	}
+	if eng != nil {
+		out.Engine = engineWire(eng.Stats())
+	}
+	return out
+}
+
+// CountRules tallies wire violations by rule name (the summary the CLI
+// prints when not verbose).
+func CountRules(vs []Violation) map[string]int {
+	out := map[string]int{}
+	for _, v := range vs {
+		out[v.Rule]++
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/deck"
+	"repro/internal/device"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// Config tunes the daemon. The zero value gets sensible defaults.
+type Config struct {
+	// MaxSessions caps live sessions; creating one past the cap evicts the
+	// least-recently-used session (default 64).
+	MaxSessions int
+	// IdleTTL evicts sessions untouched for this long (default 30m;
+	// negative disables idle eviction).
+	IdleTTL time.Duration
+	// Debounce is the per-session edit-coalescing window: a recheck runs
+	// this long after the last edit batch, or on the next report request,
+	// whichever comes first (default 25ms; negative disables the timer,
+	// leaving report requests as the only flush trigger).
+	Debounce time.Duration
+	// Workers is the engines' interaction-stage goroutine count
+	// (core.Options.Workers; 0 = all cores).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 30 * time.Minute
+	}
+	if c.Debounce == 0 {
+		c.Debounce = 25 * time.Millisecond
+	}
+	return c
+}
+
+// Server is the check service: a session table behind an http.Handler.
+// Handler methods are safe for concurrent use; per-session work is
+// serialized by the session's own mutex, so requests against distinct
+// sessions proceed in parallel.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	nextID   int
+
+	// now is the clock, injectable for eviction tests.
+	now func() time.Time
+
+	stopJanitor chan struct{}
+	janitorOnce sync.Once
+}
+
+// New creates a Server. Call Close when done to stop the idle-eviction
+// janitor.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		sessions:    make(map[string]*Session),
+		now:         time.Now,
+		stopJanitor: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /sessions", s.handleCreate)
+	mux.HandleFunc("GET /sessions", s.handleList)
+	mux.HandleFunc("GET /sessions/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /sessions/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+	if s.cfg.IdleTTL > 0 {
+		go s.janitor()
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the idle janitor and closes every session.
+func (s *Server) Close() {
+	s.janitorOnce.Do(func() { close(s.stopJanitor) })
+	s.mu.Lock()
+	victims := make([]*Session, 0, len(s.sessions))
+	for id, sess := range s.sessions {
+		victims = append(victims, sess)
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	for _, sess := range victims {
+		sess.close()
+	}
+}
+
+// janitor periodically evicts idle sessions.
+func (s *Server) janitor() {
+	tick := time.NewTicker(s.cfg.IdleTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopJanitor:
+			return
+		case <-tick.C:
+			s.SweepIdle(s.now())
+		}
+	}
+}
+
+// SweepIdle evicts every session idle since before now - IdleTTL and
+// returns how many it removed.
+func (s *Server) SweepIdle(now time.Time) int {
+	if s.cfg.IdleTTL <= 0 {
+		return 0
+	}
+	cutoff := now.Add(-s.cfg.IdleTTL)
+	s.mu.Lock()
+	var victims []*Session
+	for id, sess := range s.sessions {
+		if sess.lastUsed.Before(cutoff) {
+			victims = append(victims, sess)
+			delete(s.sessions, id)
+		}
+	}
+	s.mu.Unlock()
+	for _, sess := range victims {
+		sess.close()
+	}
+	return len(victims)
+}
+
+// lookup fetches a session and bumps its LRU stamp.
+func (s *Server) lookup(id string) (*Session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if ok {
+		sess.lastUsed = s.now()
+	}
+	return sess, ok
+}
+
+// register inserts a new session, evicting the least-recently-used one if
+// the table is full.
+func (s *Server) register(sess *Session) {
+	s.mu.Lock()
+	var victim *Session
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		var oldest *Session
+		for _, cand := range s.sessions {
+			if oldest == nil || cand.lastUsed.Before(oldest.lastUsed) {
+				oldest = cand
+			}
+		}
+		if oldest != nil {
+			victim = oldest
+			delete(s.sessions, oldest.ID)
+		}
+	}
+	s.sessions[sess.ID] = sess
+	s.mu.Unlock()
+	if victim != nil {
+		victim.close()
+	}
+}
+
+// CreateRequest creates a session from a CIF source and a technology. One
+// of Tech (a registered technology name) or Deck (rule-deck source text)
+// selects the process. Name labels the session (and, when DesignName is
+// empty, the design) for listings and client lookup.
+type CreateRequest struct {
+	Name       string `json:"name,omitempty"`
+	DesignName string `json:"design_name,omitempty"`
+	CIF        string `json:"cif"`
+	Tech       string `json:"tech,omitempty"`
+	Deck       string `json:"deck,omitempty"`
+	// Metric selects the spacing metric: "" or "euclid", or "ortho".
+	Metric string `json:"metric,omitempty"`
+	// NoConstruct skips the non-geometric construction rules.
+	NoConstruct bool `json:"noconstruct,omitempty"`
+}
+
+// CreateResponse returns the new session's id and the initial (cold)
+// report.
+type CreateResponse struct {
+	ID     string  `json:"id"`
+	Report *Report `json:"report"`
+}
+
+// resolveTech loads the request's technology.
+func resolveTech(req *CreateRequest) (*tech.Technology, error) {
+	if req.Deck != "" {
+		d, err := deck.Parse(req.Deck)
+		if err != nil {
+			return nil, err
+		}
+		probs := tech.ValidateDeck(d, device.Classes())
+		if errs := deck.Errors(probs); len(errs) > 0 {
+			return nil, fmt.Errorf("deck: %v (%d problems total)", errs[0], len(probs))
+		}
+		return tech.FromDeck(d)
+	}
+	name := req.Tech
+	if name == "" {
+		name = "nmos"
+	}
+	fn, ok := tech.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown technology %q", name)
+	}
+	return fn(), nil
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if req.CIF == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty cif source"))
+		return
+	}
+	tc, err := resolveTech(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	designName := req.DesignName
+	if designName == "" {
+		designName = req.Name
+	}
+	if designName == "" {
+		designName = "design"
+	}
+	d, err := cif.Parse(req.CIF, tc, designName)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse cif: %w", err))
+		return
+	}
+	opts := core.Options{Workers: s.cfg.Workers, SkipConstruction: req.NoConstruct}
+	switch req.Metric {
+	case "", "euclid":
+	case "ortho":
+		opts.Metric = core.Orthogonal
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown metric %q", req.Metric))
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	s.mu.Unlock()
+
+	sess, err := newSession(id, req.Name, d, tc, opts, s.cfg.Debounce, s.now())
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("initial check: %w", err))
+		return
+	}
+	// Build the response before publishing the session: the moment it is
+	// registered, concurrent edits may mutate rep and the engine counters
+	// under the session lock, which this handler no longer holds.
+	resp := CreateResponse{ID: id, Report: BuildReport(sess.rep, sess.eng)}
+	s.register(sess)
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	infos := make([]SessionInfo, 0, len(sessions))
+	for _, sess := range sessions {
+		infos = append(infos, sess.info())
+	}
+	// Stable order for scripts: by numeric id via the sN format.
+	for i := 1; i < len(infos); i++ {
+		for j := i; j > 0 && lessID(infos[j].ID, infos[j-1].ID); j-- {
+			infos[j], infos[j-1] = infos[j-1], infos[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// lessID orders "sN" ids numerically.
+func lessID(a, b string) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	return a < b
+}
+
+// EditRequest is one edit batch.
+type EditRequest struct {
+	Edits []layout.Edit `json:"edits"`
+}
+
+// EditResponse acknowledges an applied batch. Generation is the session's
+// total batch count; the report endpoint always reflects every batch
+// acknowledged before the request.
+type EditResponse struct {
+	Applied    int    `json:"applied"`
+	Generation int    `json:"generation"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	var req EditRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	if len(req.Edits) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty edit batch"))
+		return
+	}
+	applied, gen, err := sess.applyEdits(req.Edits)
+	resp := EditResponse{Applied: applied, Generation: gen}
+	if err != nil {
+		// The successful prefix is applied and will be rechecked; report
+		// partial application so the client can reconcile.
+		resp.Error = err.Error()
+		writeJSON(w, http.StatusBadRequest, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	rep, err := sess.report()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	st, err := sess.statsSnapshot()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	sess.close()
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/deck"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// cmosCIF renders a small CMOS inverter-array chip as CIF text (the
+// service's upload format).
+func cmosCIF(t *testing.T, rows, cols int) (string, *tech.Technology) {
+	t.Helper()
+	tc := tech.CMOS()
+	chip := workload.NewCMOSChip(tc, "chip", rows, cols)
+	text, err := cif.Write(chip.Design, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text, tc
+}
+
+// breakEdits is the BreakAccidentalTransistor(1) geometry as an edit
+// script: a poly wire straight across column 1's n-diffusion output wire
+// in row 0 (workload/cmos.go documents the coordinates).
+func breakEdits() []layout.Edit {
+	x := int64(1) * workload.CMOSPitchX
+	return []layout.Edit{{
+		Op: layout.OpAddWire, Symbol: "chip", Layer: tech.CMOSPoly,
+		Width: 200, Path: []int64{x + 400, -400, x + 400, 400},
+	}}
+}
+
+func revertEdits() []layout.Edit {
+	return []layout.Edit{{Op: layout.OpDeleteElement, Symbol: "chip", Index: -1}}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, NewClient(ts.URL)
+}
+
+// TestSessionLifecycleParity drives the scripted session of the CI smoke
+// job through the HTTP API — clean, violating, clean again — and asserts
+// fingerprint parity at every step against an offline Engine replaying
+// the identical edit script on the identical CIF.
+func TestSessionLifecycleParity(t *testing.T) {
+	text, _ := cmosCIF(t, 2, 2)
+	_, c := newTestServer(t, Config{Debounce: time.Hour})
+
+	created, err := c.Create(CreateRequest{Name: "smoke", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created.Report.Clean {
+		t.Fatalf("initial report not clean: %+v", created.Report.Violations)
+	}
+
+	// The offline oracle: same CIF, same design name, same edit script.
+	tcOff := tech.CMOS()
+	dOff, err := cif.Parse(text, tcOff, "smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.NewEngine(tcOff, core.Options{})
+	repOff, err := eng.Check(dOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := created.Report.Fingerprint, core.FingerprintDigest(repOff); got != want {
+		t.Fatalf("initial fingerprint mismatch: served %s offline %s", got, want)
+	}
+	cleanFP := created.Report.Fingerprint
+
+	// Break: the accidental transistor must appear, identically on both
+	// sides.
+	if _, err := c.Edit(created.ID, breakEdits()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Report(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean {
+		t.Fatal("report clean after accidental-transistor edit")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "DEV.ACCIDENTAL" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("DEV.ACCIDENTAL not reported: %+v", rep.Violations)
+	}
+	if _, err := layout.ApplyEdits(dOff, tcOff, breakEdits()); err != nil {
+		t.Fatal(err)
+	}
+	repOff, err = eng.Recheck(dOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Fingerprint, core.FingerprintDigest(repOff); got != want {
+		t.Fatalf("broken fingerprint mismatch: served %s offline %s", got, want)
+	}
+
+	// Revert: clean again, and byte-identical to the initial state.
+	if _, err := c.Edit(created.ID, revertEdits()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = c.Report(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("report not clean after revert: %+v", rep.Violations)
+	}
+	if rep.Fingerprint != cleanFP {
+		t.Fatalf("revert fingerprint %s != initial %s", rep.Fingerprint, cleanFP)
+	}
+	if _, err := layout.ApplyEdits(dOff, tcOff, revertEdits()); err != nil {
+		t.Fatal(err)
+	}
+	repOff, err = eng.Recheck(dOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Fingerprint, core.FingerprintDigest(repOff); got != want {
+		t.Fatalf("reverted fingerprint mismatch: served %s offline %s", got, want)
+	}
+
+	if err := c.Delete(created.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(created.ID); err == nil {
+		t.Fatal("report on deleted session succeeded")
+	}
+}
+
+// TestDebounceBatching locks the acceptance bound: a 10-edit burst costs
+// at most 2 rechecks, and the report request observes the post-batch
+// state.
+func TestDebounceBatching(t *testing.T) {
+	text, _ := cmosCIF(t, 2, 2)
+	// A huge window means the timer can never fire mid-test: the report
+	// request is the only flush trigger, so the burst costs exactly one
+	// recheck.
+	_, c := newTestServer(t, Config{Debounce: time.Hour})
+
+	created, err := c.Create(CreateRequest{Name: "burst", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten single-edit batches: a forward/back jitter on the chip's last
+	// element (the well trunk), ending where it started.
+	for i := 0; i < 10; i++ {
+		dy := int64(100)
+		if i%2 == 1 {
+			dy = -100
+		}
+		if _, err := c.Edit(created.ID, []layout.Edit{{
+			Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: dy,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Report(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("burst end state not clean: %+v", rep.Violations)
+	}
+	st, err := c.Stats(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Session.EditsApplied != 10 || st.Session.EditBatches != 10 {
+		t.Fatalf("edit counters: %+v", st.Session)
+	}
+	// 1 initial check + at most 2 for the burst; with the timer parked it
+	// is exactly 1.
+	if burst := st.Session.Rechecks - 1; burst > 2 {
+		t.Fatalf("10-edit burst cost %d rechecks (want <= 2): %+v", burst, st.Session)
+	}
+	if st.Session.ReportFlushes != 1 {
+		t.Fatalf("report flushes = %d", st.Session.ReportFlushes)
+	}
+	if st.Dirty {
+		t.Fatal("session still dirty after report")
+	}
+}
+
+// TestDebounceTimerFlush proves the background path: with a short window
+// and no report request, the timer runs the recheck on its own.
+func TestDebounceTimerFlush(t *testing.T) {
+	text, _ := cmosCIF(t, 2, 2)
+	_, c := newTestServer(t, Config{Debounce: 10 * time.Millisecond})
+
+	created, err := c.Create(CreateRequest{Name: "timer", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edit(created.ID, []layout.Edit{{
+		Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: 100,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := c.Stats(created.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Dirty && st.Session.DebounceFlushes >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("debounce timer never flushed: %+v", st.Session)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	text, _ := cmosCIF(t, 1, 1)
+	_, c := newTestServer(t, Config{MaxSessions: 2, Debounce: time.Hour})
+
+	var ids []string
+	for _, name := range []string{"a", "b", "c"} {
+		created, err := c.Create(CreateRequest{Name: name, CIF: text, Tech: "cmos"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, created.ID)
+		// Distinct lastUsed stamps even on a coarse clock.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, err := c.Report(ids[0]); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("oldest session not evicted: %v", err)
+	}
+	for _, id := range ids[1:] {
+		if _, err := c.Report(id); err != nil {
+			t.Fatalf("session %s evicted: %v", id, err)
+		}
+	}
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("listing has %d sessions", len(infos))
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	text, _ := cmosCIF(t, 1, 1)
+	srv, c := newTestServer(t, Config{IdleTTL: time.Minute, Debounce: time.Hour})
+
+	created, err := c.Create(CreateRequest{Name: "idle", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.SweepIdle(time.Now()); n != 0 {
+		t.Fatalf("fresh session swept (%d)", n)
+	}
+	if n := srv.SweepIdle(time.Now().Add(2 * time.Minute)); n != 1 {
+		t.Fatalf("idle sweep removed %d sessions", n)
+	}
+	if _, err := c.Report(created.ID); err == nil {
+		t.Fatal("idle session still reachable")
+	}
+}
+
+// TestCreateFromDeck exercises the deck-upload path: a session created
+// from rule-deck source text instead of a registered technology name must
+// check identically to one created from the registry (the CMOS process is
+// deck-defined, so rendering its deck back out is an exact round trip).
+func TestCreateFromDeck(t *testing.T) {
+	text, tc := cmosCIF(t, 1, 2)
+	deckSrc := deck.Write(tech.ToDeck(tc))
+	_, c := newTestServer(t, Config{Debounce: time.Hour})
+
+	byName, err := c.Create(CreateRequest{Name: "reg", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDeck, err := c.Create(CreateRequest{Name: "reg", DesignName: "reg", CIF: text, Deck: deckSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !byDeck.Report.Clean {
+		t.Fatalf("deck-created session not clean: %+v", byDeck.Report.Violations)
+	}
+	if byDeck.Report.Fingerprint != byName.Report.Fingerprint {
+		t.Fatalf("deck vs registry fingerprint mismatch: %s vs %s",
+			byDeck.Report.Fingerprint, byName.Report.Fingerprint)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  CreateRequest
+	}{
+		{"empty cif", CreateRequest{Tech: "cmos"}},
+		{"bad tech", CreateRequest{CIF: "E", Tech: "unobtanium"}},
+		{"bad cif", CreateRequest{CIF: "DS 1; L ZZ; DF; E", Tech: "nmos"}},
+		{"bad metric", CreateRequest{CIF: "E", Tech: "nmos", Metric: "manhattan"}},
+		{"bad deck", CreateRequest{CIF: "E", Deck: "tech garbage {"}},
+	}
+	for _, cse := range cases {
+		if _, err := c.Create(cse.req); err == nil {
+			t.Errorf("%s: create succeeded", cse.name)
+		}
+	}
+}
+
+func TestEditErrorKeepsSessionUsable(t *testing.T) {
+	text, _ := cmosCIF(t, 2, 2)
+	_, c := newTestServer(t, Config{Debounce: time.Hour})
+	created, err := c.Create(CreateRequest{Name: "err", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edit(created.ID, []layout.Edit{{Op: "explode", Symbol: "chip"}}); err == nil {
+		t.Fatal("bad edit accepted")
+	}
+	rep, err := c.Report(created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("session corrupted by rejected edit: %+v", rep.Violations)
+	}
+	if rep.Fingerprint != created.Report.Fingerprint {
+		t.Fatal("rejected edit changed the design state")
+	}
+}

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/tech"
+)
+
+// Session is one named check session: a design, the technology it is
+// checked under, and a long-lived incremental engine. All engine and
+// design access is serialized by mu; distinct sessions share nothing, so
+// the daemon checks them concurrently across goroutines.
+//
+// Edits are applied to the design immediately (mutation is cheap — it is
+// the recheck that costs), but the recheck itself is debounced: a burst of
+// N edit batches marks the session dirty N times and pays for one Recheck,
+// run either by the debounce timer after the burst goes quiet or by the
+// next /report request, whichever comes first. A client asking for the
+// report therefore always gets the post-batch result.
+type Session struct {
+	ID   string
+	Name string
+
+	mu     sync.Mutex
+	design *layout.Design
+	tc     *tech.Technology
+	eng    *core.Engine
+	rep    *core.Report // last completed run's report
+	dirty  bool         // edits applied since rep was produced
+	closed bool
+
+	debounce time.Duration
+	timer    *time.Timer
+	timerGen int // invalidates fired-but-not-yet-run timer callbacks
+
+	stats SessionStats
+
+	// lastUsed is read/written under the owning Server's mutex (not the
+	// session's), where LRU and idle eviction decisions are made.
+	lastUsed time.Time
+	created  time.Time
+}
+
+// SessionStats counts a session's service-level activity. Rechecks is the
+// total number of engine runs including the initial cold check, so
+// (Rechecks - 1) per-burst deltas make debouncing observable via /stats.
+type SessionStats struct {
+	EditsApplied    int `json:"edits_applied"`
+	EditBatches     int `json:"edit_batches"`
+	Rechecks        int `json:"rechecks"`
+	DebounceFlushes int `json:"debounce_flushes"` // rechecks run by the timer
+	ReportFlushes   int `json:"report_flushes"`   // rechecks run by a report request
+}
+
+// newSession parses nothing — the server constructs it with a validated
+// design and technology — and runs the initial cold check.
+func newSession(id, name string, d *layout.Design, tc *tech.Technology, opts core.Options, debounce time.Duration, now time.Time) (*Session, error) {
+	s := &Session{
+		ID:       id,
+		Name:     name,
+		design:   d,
+		tc:       tc,
+		eng:      core.NewEngine(tc, opts),
+		debounce: debounce,
+		lastUsed: now,
+		created:  now,
+	}
+	rep, err := s.eng.Check(d)
+	if err != nil {
+		return nil, err
+	}
+	s.rep = rep
+	s.stats.Rechecks = 1
+	return s, nil
+}
+
+// applyEdits applies one edit batch under the session lock and arms the
+// debounce timer. It returns the number applied and the total batch count
+// (the edit generation).
+func (s *Session) applyEdits(edits []layout.Edit) (applied, generation int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, 0, fmt.Errorf("session %s is closed", s.ID)
+	}
+	n, err := layout.ApplyEdits(s.design, s.tc, edits)
+	s.stats.EditsApplied += n
+	if n > 0 || err == nil {
+		s.stats.EditBatches++
+		s.dirty = true
+		s.armTimerLocked()
+	}
+	return n, s.stats.EditBatches, err
+}
+
+// armTimerLocked (re)starts the debounce timer; each new batch pushes the
+// flush out by the full window, so a rapid burst coalesces into one run.
+// The generation stamp invalidates a timer whose callback already fired
+// and is waiting on the lock — Stop can't cancel those, and without the
+// stamp such a callback would flush immediately instead of being pushed
+// out.
+func (s *Session) armTimerLocked() {
+	if s.debounce <= 0 {
+		return
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.timerGen++
+	gen := s.timerGen
+	s.timer = time.AfterFunc(s.debounce, func() { s.timerFlush(gen) })
+}
+
+// timerFlush is the debounce timer callback: recheck if still dirty and
+// not superseded. A stale timer — one that lost the race with a report
+// flush (dirty false) or with a newer edit batch (generation mismatch) —
+// does nothing.
+func (s *Session) timerFlush(gen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || !s.dirty || gen != s.timerGen {
+		return
+	}
+	if err := s.flushLocked(); err == nil {
+		s.stats.DebounceFlushes++
+	}
+}
+
+// flushLocked runs the incremental Recheck over the accumulated edits.
+// On failure the session stays dirty and keeps the previous report; the
+// error surfaces on the report request that forced the flush.
+func (s *Session) flushLocked() error {
+	rep, err := s.eng.Recheck(s.design)
+	if err != nil {
+		return err
+	}
+	s.rep = rep
+	s.dirty = false
+	s.stats.Rechecks++
+	return nil
+}
+
+// report returns the wire report for the current design state, flushing
+// pending edits first so the caller always observes the post-batch result.
+func (s *Session) report() (*Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %s is closed", s.ID)
+	}
+	if s.dirty {
+		if err := s.flushLocked(); err != nil {
+			return nil, err
+		}
+		s.stats.ReportFlushes++
+	}
+	return BuildReport(s.rep, s.eng), nil
+}
+
+// StatsResponse is the /stats payload: service counters plus the engine's
+// cache-effectiveness counters for the session's most recent run.
+type StatsResponse struct {
+	ID         string       `json:"id"`
+	Name       string       `json:"name"`
+	Design     string       `json:"design"`
+	Tech       string       `json:"tech"`
+	Dirty      bool         `json:"dirty"` // edits pending a recheck
+	DebounceNS int64        `json:"debounce_ns"`
+	Session    SessionStats `json:"session"`
+	Engine     EngineStats  `json:"engine"`
+}
+
+// statsSnapshot assembles the /stats payload.
+func (s *Session) statsSnapshot() (*StatsResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("session %s is closed", s.ID)
+	}
+	return &StatsResponse{
+		ID:         s.ID,
+		Name:       s.Name,
+		Design:     s.design.Name,
+		Tech:       s.tc.Name,
+		Dirty:      s.dirty,
+		DebounceNS: s.debounce.Nanoseconds(),
+		Session:    s.stats,
+		Engine:     *engineWire(s.eng.Stats()),
+	}, nil
+}
+
+// close marks the session dead and stops its timer. Called with the
+// session lock NOT held.
+func (s *Session) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
+// info summarizes the session for listings.
+func (s *Session) info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionInfo{
+		ID:       s.ID,
+		Name:     s.Name,
+		Design:   s.design.Name,
+		Tech:     s.tc.Name,
+		Clean:    s.rep != nil && s.rep.Clean() && !s.dirty,
+		Dirty:    s.dirty,
+		Edits:    s.stats.EditsApplied,
+		Rechecks: s.stats.Rechecks,
+	}
+}
+
+// SessionInfo is one row of the session listing.
+type SessionInfo struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Design   string `json:"design"`
+	Tech     string `json:"tech"`
+	Clean    bool   `json:"clean"` // last report clean and no pending edits
+	Dirty    bool   `json:"dirty"`
+	Edits    int    `json:"edits"`
+	Rechecks int    `json:"rechecks"`
+}

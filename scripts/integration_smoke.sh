@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Integration smoke for the check service: build the real binaries, start
+# dicheckd on a random port, and drive a scripted session through the HTTP
+# API — upload the generated CMOS chip (clean), apply an accidental-
+# transistor edit (violation appears), revert it (clean again) — asserting
+# fingerprint parity with offline runs replaying the same edit script at
+# every step, plus the debounce bound (an edit burst costs at most 2
+# rechecks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+bin="$work/bin"
+cleanup() {
+  [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# jq-free JSON field extraction (top-level scalar fields of pretty-printed
+# output). Usage: field FILE NAME
+field() { sed -n "s/^  \"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1" | head -1; }
+
+echo "== build"
+mkdir -p "$bin"
+go build -o "$bin/" ./cmd/dicheckd ./cmd/dicheck ./cmd/cifgen
+
+echo "== generate workload"
+"$bin/cifgen" -tech cmos -rows 4 -cols 4 -o "$work/chip.cif"
+
+cat > "$work/break.json" <<'EOF'
+[{"op":"add_wire","symbol":"chip","layer":"poly","width":200,"path":[3200,-400,3200,400]}]
+EOF
+cat > "$work/revert.json" <<'EOF'
+[{"op":"delete_element","symbol":"chip","index":-1}]
+EOF
+
+echo "== start daemon"
+"$bin/dicheckd" -addr 127.0.0.1:0 -addr-file "$work/addr" -debounce 200ms &
+daemon_pid=$!
+for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+[ -s "$work/addr" ] || fail "daemon never wrote its address"
+base="http://$(cat "$work/addr")"
+echo "   daemon at $base"
+curl -sf "$base/healthz" > /dev/null || fail "healthz"
+
+# Step 1: offline baseline — clean chip, exit 0, fingerprint A.
+echo "== offline baseline"
+"$bin/dicheck" -tech cmos -json "$work/chip.cif" > "$work/offline-clean.json" \
+  || fail "offline check of the clean chip exited $?"
+fp_offline_clean=$(field "$work/offline-clean.json" fingerprint)
+[ -n "$fp_offline_clean" ] || fail "no offline fingerprint"
+
+# Step 2: served one-shot — same design, same fingerprint, exit 0.
+echo "== served one-shot (clean)"
+"$bin/dicheck" -tech cmos -serve "$base" -json "$work/chip.cif" > "$work/served-clean.json" \
+  || fail "served check of the clean chip exited $?"
+[ "$(field "$work/served-clean.json" clean)" = "true" ] || fail "served report not clean"
+fp_served_clean=$(field "$work/served-clean.json" fingerprint)
+[ "$fp_served_clean" = "$fp_offline_clean" ] \
+  || fail "clean fingerprint mismatch: served $fp_served_clean offline $fp_offline_clean"
+
+# Step 3: persistent session, then the violating edit. The served report
+# must flag the accidental transistor and match the offline replay of the
+# same edit script, and dicheck must exit 1 on it.
+echo "== persistent session + violating edit"
+"$bin/dicheck" -tech cmos -serve "$base" -session smoke -json "$work/chip.cif" > /dev/null \
+  || fail "session create exited $?"
+set +e
+"$bin/dicheck" -serve "$base" -session smoke -edits "$work/break.json" -json > "$work/served-broken.json"
+rc=$?
+set -e
+[ "$rc" = 1 ] || fail "served broken check exited $rc, want 1"
+grep -q '"rule": "DEV.ACCIDENTAL"' "$work/served-broken.json" \
+  || fail "DEV.ACCIDENTAL not reported by the service"
+set +e
+"$bin/dicheck" -tech cmos -edits "$work/break.json" -json "$work/chip.cif" > "$work/offline-broken.json"
+rc=$?
+set -e
+[ "$rc" = 1 ] || fail "offline broken check exited $rc, want 1"
+fp_served_broken=$(field "$work/served-broken.json" fingerprint)
+fp_offline_broken=$(field "$work/offline-broken.json" fingerprint)
+[ -n "$fp_served_broken" ] && [ "$fp_served_broken" = "$fp_offline_broken" ] \
+  || fail "broken fingerprint mismatch: served $fp_served_broken offline $fp_offline_broken"
+
+# Step 4: revert — clean again, byte-identical to the initial state.
+echo "== revert"
+"$bin/dicheck" -serve "$base" -session smoke -edits "$work/revert.json" -json > "$work/served-reverted.json" \
+  || fail "served reverted check exited $?"
+fp_reverted=$(field "$work/served-reverted.json" fingerprint)
+[ "$fp_reverted" = "$fp_offline_clean" ] \
+  || fail "revert fingerprint mismatch: $fp_reverted vs $fp_offline_clean"
+
+# Step 5: debounce — a 10-edit no-net-motion burst straight at the API
+# must cost at most 2 rechecks (observable via /stats).
+echo "== debounce burst"
+sid=$(curl -sf "$base/sessions" | sed -n 's/^    "id": "\(s[0-9]*\)",$/\1/p' | head -1)
+[ -n "$sid" ] || fail "no session id in listing"
+before=$(curl -sf "$base/sessions/$sid/stats" | sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p')
+for i in $(seq 5); do
+  curl -sf -X POST "$base/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":100}]}' > /dev/null
+  curl -sf -X POST "$base/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":-100}]}' > /dev/null
+done
+curl -sf "$base/sessions/$sid/report" > "$work/burst-report.json"
+after=$(curl -sf "$base/sessions/$sid/stats" | sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p')
+burst=$((after - before))
+[ "$burst" -le 2 ] || fail "10-edit burst cost $burst rechecks (want <= 2)"
+grep -q '"clean": true' "$work/burst-report.json" || fail "burst end state not clean"
+
+# Step 6: lifecycle cleanup through the API.
+echo "== delete session"
+curl -sf -X DELETE "$base/sessions/$sid" > /dev/null || fail "delete"
+curl -s "$base/sessions/$sid/report" | grep -q '"error"' || fail "deleted session still serves reports"
+
+echo "PASS: integration smoke (clean -> violating -> clean, fingerprint parity, burst cost $burst rechecks)"
