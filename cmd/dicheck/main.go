@@ -1,6 +1,6 @@
 // Command dicheck runs layout verification on an extended-CIF file.
 //
-// By default it runs the design-integrity checker (the paper's five-stage
+// By default it runs the design-integrity checker (the paper's
 // hierarchical pipeline); -flat runs the traditional mask-level baseline
 // instead, and -both runs the two side by side for comparison.
 //
@@ -255,6 +255,9 @@ func printDICReport(rep *core.Report, verbose, stats, nets bool) {
 	errs := rep.Errors()
 	warns := len(rep.Violations) - len(errs)
 	fmt.Printf("design-integrity check: %d errors, %d warnings\n", len(errs), warns)
+	if len(rep.Violations) > 0 {
+		printClassCounts(core.CountByClass(rep.Violations))
+	}
 	if verbose {
 		for _, v := range rep.Violations {
 			fmt.Printf("  %v\n", v)
@@ -283,6 +286,21 @@ func printDICReport(rep *core.Report, verbose, stats, nets bool) {
 				n.Name, n.Elements, len(n.Terminals), rep.Netlist.Signature(n.ID))
 		}
 	}
+}
+
+// printClassCounts prints the one-line per-class summary, the same tally
+// the wire report carries in its "classes" field.
+func printClassCounts(classes map[string]int) {
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, c := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, classes[c]))
+	}
+	fmt.Printf("classes: %s\n", strings.Join(parts, " "))
 }
 
 func printRuleCounts(counts map[string]int) {

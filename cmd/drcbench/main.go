@@ -23,6 +23,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -104,16 +105,23 @@ func main() {
 func runBenchSuite(dir string, writeJSON bool, comparePath string) int {
 	var old perfbench.Snapshot
 	if comparePath != "" {
-		// Read the baseline before the minute-long run so a bad path
-		// fails fast.
+		// Read the baseline before the minute-long run so a bad file
+		// fails fast. A missing baseline is not an error: fresh clones
+		// and rotated snapshot names should degrade to a plain run, not
+		// break CI.
 		data, err := os.ReadFile(comparePath)
-		if err != nil {
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			fmt.Printf("no baseline snapshot at %s; running without comparison (generate one with drcbench -json)\n", comparePath)
+			comparePath = ""
+		case err != nil:
 			fmt.Fprintf(os.Stderr, "drcbench: %v\n", err)
 			return 1
-		}
-		if old, err = perfbench.ParseSnapshot(data); err != nil {
-			fmt.Fprintf(os.Stderr, "drcbench: %s: %v\n", comparePath, err)
-			return 1
+		default:
+			if old, err = perfbench.ParseSnapshot(data); err != nil {
+				fmt.Fprintf(os.Stderr, "drcbench: %s: %v\n", comparePath, err)
+				return 1
+			}
 		}
 	}
 	fmt.Println("running kernel benchmark suite (this takes a minute)...")

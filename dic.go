@@ -7,7 +7,7 @@
 //
 //	Technologies:  NMOS, Bipolar, CMOS — plus LoadDeck for user processes
 //	Input/output:  ParseCIF, WriteCIF (extended CIF with 9N/9D/9I)
-//	The checker:   Check (the paper's five-stage hierarchical pipeline)
+//	The checker:   Check (the paper's hierarchical pipeline, six stages)
 //	The baseline:  CheckFlat (traditional mask-level DRC)
 //	Extraction:    ExtractNetlist (hierarchical net list, dot notation)
 //	Process model: ProcessModel (Gaussian exposure, Eq. 1)
@@ -195,7 +195,7 @@ func WriteCIF(d *Design, tc *Technology) (string, error) {
 // NewDesign creates an empty design for programmatic construction.
 func NewDesign(name string) *Design { return layout.NewDesign(name) }
 
-// Check runs the paper's five-stage design-integrity pipeline.
+// Check runs the six-stage design-integrity pipeline.
 func Check(d *Design, tc *Technology, opts Options) (*Report, error) {
 	return core.Check(d, tc, opts)
 }

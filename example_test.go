@@ -7,7 +7,7 @@ import (
 )
 
 // ExampleCheck mirrors the package quickstart: build (or parse) a design,
-// run the five-stage design-integrity pipeline, and inspect the result.
+// run the six-stage design-integrity pipeline, and inspect the result.
 // The generated inverter-array chip is rule-clean by construction.
 func ExampleCheck() {
 	tc := dic.NMOS()
@@ -48,7 +48,7 @@ func ExampleEngine() {
 	// probe declared on GND (a warning-free, error-free edit).
 	row, _ := chip.Design.Symbol("row2")
 	metal, _ := tc.LayerByName("metal")
-	row.AddBox(metal, dic.R(-15000, 0, -14250, 750), "GND")
+	row.AddBox(metal, dic.R(-15000, 0, -14250, 1000), "GND")
 
 	report, err = eng.Recheck(chip.Design) // warm: only row2 + chip re-derive
 	if err != nil {

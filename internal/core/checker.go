@@ -136,7 +136,8 @@ func Check(d *layout.Design, tc *tech.Technology, opts Options) (*Report, error)
 
 	c.stage("check elements", c.checkElements)
 	c.stage("check primitive symbols", c.checkPrimitiveSymbols)
-	// Stages 3-5 share the extraction artifacts.
+	c.stage("check layer rules", c.checkLayerRules)
+	// Stages 4-6 share the extraction artifacts.
 	var ex *netlist.Extraction
 	c.stage("generate hierarchical net list", func() {
 		var issues []netlist.Issue

@@ -9,7 +9,7 @@ import (
 	"repro/internal/tech"
 )
 
-// Engine is the incremental check session: the five-stage pipeline of
+// Engine is the incremental check session: the six-stage pipeline of
 // Check rebuilt around content-addressed caches at the symbol-definition
 // level. A long-lived Engine turns the iterate-edit-recheck loop into
 // paying only for what changed:
@@ -50,9 +50,11 @@ type Engine struct {
 
 	cache *netlist.Cache
 	elems map[layout.Hash]*elemEntry
+	rules map[layout.Hash]*ruleEntry
 	inter map[layout.Hash]*defInter
 
 	elemGen  map[layout.Hash]int
+	ruleGen  map[layout.Hash]int
 	interGen map[layout.Hash]int
 
 	prev map[string]layout.Hash // previous run's subtree hashes, by symbol name
@@ -65,6 +67,14 @@ type elemEntry struct {
 	vs       []Violation
 	checks   int
 	elements int
+}
+
+// ruleEntry caches one definition's layer-rule stage result. Keyed by the
+// definition's own content hash: layer rules read only the definition's
+// own merged geometry, never its children.
+type ruleEntry struct {
+	vs     []Violation
+	checks int
 }
 
 // EngineStats reports cache effectiveness for the most recent run.
@@ -89,8 +99,10 @@ func NewEngine(tc *tech.Technology, opts Options) *Engine {
 		opts:     opts,
 		cache:    netlist.NewCache(),
 		elems:    make(map[layout.Hash]*elemEntry),
+		rules:    make(map[layout.Hash]*ruleEntry),
 		inter:    make(map[layout.Hash]*defInter),
 		elemGen:  make(map[layout.Hash]int),
+		ruleGen:  make(map[layout.Hash]int),
 		interGen: make(map[layout.Hash]int),
 	}
 }
@@ -134,6 +146,7 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 
 	c.stage("check elements", func() { e.checkElements(c, d, hashes) })
 	c.stage("check primitive symbols", func() { e.checkPrimitiveSymbols(c, d, hashes) })
+	c.stage("check layer rules", func() { e.checkLayerRules(c, d, hashes) })
 
 	var inc *netlist.IncExtraction
 	c.stage("generate hierarchical net list", func() {
@@ -215,6 +228,29 @@ func (e *Engine) checkPrimitiveSymbols(c *checker, d *layout.Design, hashes map[
 	}
 }
 
+// checkLayerRules is the layer-rule stage with per-definition caching by
+// own hash: the rule kernels see only a definition's own merged geometry,
+// so an entry stays valid however the subtree beneath changes.
+func (e *Engine) checkLayerRules(c *checker, d *layout.Design, hashes map[*layout.Symbol]layout.SymbolHashes) {
+	for _, s := range d.SortedSymbols() {
+		if s.IsPrimitive() {
+			continue
+		}
+		key := hashes[s].Own
+		ent, ok := e.rules[key]
+		if !ok {
+			vs, checks := layerRuleChecks(s, e.tc, e.ct)
+			ent = &ruleEntry{vs: vs, checks: checks}
+			e.rules[key] = ent
+		}
+		e.ruleGen[key] = e.runs
+		if c.curStage != nil {
+			c.curStage.Checks += ent.checks
+		}
+		c.rep.Violations = append(c.rep.Violations, ent.vs...)
+	}
+}
+
 // checkConnections is stage 4 over a virtual extraction: the illegal
 // pairs were gathered from per-definition candidates; the items resolve
 // through the artifact accessors (Extraction.Items is not materialized).
@@ -246,6 +282,12 @@ func (e *Engine) evict() {
 		if e.runs-g >= keep {
 			delete(e.elemGen, h)
 			delete(e.elems, h)
+		}
+	}
+	for h, g := range e.ruleGen {
+		if e.runs-g >= keep {
+			delete(e.ruleGen, h)
+			delete(e.rules, h)
 		}
 	}
 	for h, g := range e.interGen {

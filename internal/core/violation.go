@@ -1,10 +1,10 @@
 // Package core implements the Design Integrity Checker (DIC) — the paper's
-// primary contribution: the five-stage hierarchical verification pipeline
-// of Figure 10.
+// primary contribution: the hierarchical verification pipeline of
+// Figure 10, extended with a per-definition layer-rule stage.
 //
 //	PARSE CIF → CHECK ELEMENTS → CHECK PRIMITIVE SYMBOLS
-//	          → CHECK LEGAL CONNECTIONS → GENERATE HIERARCHICAL NET LIST
-//	          → CHECK INTERACTIONS
+//	          → CHECK LAYER RULES → GENERATE HIERARCHICAL NET LIST
+//	          → CHECK LEGAL CONNECTIONS → CHECK INTERACTIONS
 //
 // The decisive difference from a traditional mask-level checker: the chip
 // is never fully instantiated. Element width checks and device-internal
@@ -46,6 +46,11 @@ func (s Severity) String() string {
 //
 //	STRUCT.*  structural problems (bad geometry, undeclared devices)
 //	W.*       element width (W.<layer CIF name>)
+//	WIDTH.*   merged-region width (WIDTH.<layer CIF name>)
+//	AREA.*    minimum island area (AREA.<layer CIF name>)
+//	ENC.*     enclosure margin (ENC.<outer CIF>.<inner CIF>)
+//	OVL.*     overlap width (OVL.<layerA CIF>.<layerB CIF>)
+//	EXT.*     extension past a crossing (EXT.<layerA CIF>.<layerB CIF>)
 //	DEV.*     device-internal and device-dependent rules
 //	CONN.*    illegal connections (Figures 11 and 15)
 //	NET.*     netlist consistency and construction rules
@@ -125,6 +130,44 @@ func CountByRule(vs []Violation) map[string]int {
 	out := make(map[string]int)
 	for _, v := range vs {
 		out[v.Rule]++
+	}
+	return out
+}
+
+// RuleClass maps a rule id to its coarse rule class — the vocabulary of
+// the per-class summary in reports ("spacing", "width", ...).
+func RuleClass(rule string) string {
+	switch {
+	case strings.HasPrefix(rule, "S."):
+		return "spacing"
+	case strings.HasPrefix(rule, "W."), strings.HasPrefix(rule, "WIDTH."):
+		return "width"
+	case strings.HasPrefix(rule, "AREA."):
+		return "area"
+	case strings.HasPrefix(rule, "ENC."):
+		return "enclosure"
+	case strings.HasPrefix(rule, "OVL."):
+		return "overlap"
+	case strings.HasPrefix(rule, "EXT."):
+		return "extension"
+	case strings.HasPrefix(rule, "DEV."):
+		return "device"
+	case strings.HasPrefix(rule, "CONN."):
+		return "connection"
+	case strings.HasPrefix(rule, "NET."):
+		return "net"
+	case strings.HasPrefix(rule, "STRUCT."):
+		return "structural"
+	default:
+		return "other"
+	}
+}
+
+// CountByClass tallies violations by rule class (see RuleClass).
+func CountByClass(vs []Violation) map[string]int {
+	out := make(map[string]int)
+	for _, v := range vs {
+		out[RuleClass(v.Rule)]++
 	}
 	return out
 }

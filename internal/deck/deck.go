@@ -22,6 +22,11 @@
 //	tech <name> [lambda=<int>]
 //	layer <name> cif=<code> [role=<role>] [width=<dim>] [space=<dim>]
 //	space <layerA> <layerB> [diff=<dim>] [same=<dim>] [exempt-related] [note="..."]
+//	width <layer> <dim> [note="..."]
+//	area <layer> <areadim> [note="..."]
+//	enclose <outer> <inner> <dim> [note="..."]
+//	overlap <layerA> <layerB> <dim> [note="..."]
+//	extend <layerA> <layerB> <dim> [note="..."]
 //	device <type> class=<class> [depletion] [describe="..."]
 //	  param <key>=<dim>
 //	  use <role>=<layer>
@@ -32,6 +37,14 @@
 // Every "space" cell names an unordered layer pair; cells with no spacing
 // in either subcase document *why* no check is required via note="..." —
 // the audit trail behind the paper's claim that most cells are empty.
+//
+// The five rule-class statements generalize the matrix beyond spacing.
+// "width" and "area" are single-layer rules on a definition's merged
+// geometry (a region-width minimum and a per-island area minimum; "area"
+// takes an area dimension, where a λ-expression like "10L" means 10·λ²).
+// "enclose", "overlap", and "extend" are directed cross-layer margins:
+// the first layer must enclose the second by, overlap it by, or extend
+// past it by the given margin. Layer order is significant, unlike "space".
 package deck
 
 import "fmt"
@@ -46,6 +59,9 @@ type Deck struct {
 
 	Layers  []Layer
 	Spaces  []Space
+	Widths  []WidthRule
+	Areas   []AreaRule
+	Crosses []CrossRule
 	Devices []Device
 
 	PowerNets  []string
@@ -70,6 +86,50 @@ type Space struct {
 	ExemptRelated bool   // skip when the elements are related through a device
 	Note          string // audit note: why the cell is or is not checked
 	Line          int
+}
+
+// WidthRule is one "width" statement: a minimum region width applied to a
+// definition's merged geometry on one layer. Unlike a layer's width=
+// attribute (a per-element check in the flat baseline), this rule judges
+// the union, catching interior narrowings no single element exhibits.
+type WidthRule struct {
+	Layer string // layer name
+	Min   int64  // minimum region width in centimicrons
+	Note  string // audit note
+	Line  int
+}
+
+// AreaRule is one "area" statement: a minimum area for each connected
+// island of a definition's merged geometry on one layer. The dimension is
+// an area — a λ-expression like "10L" means 10·λ² square centimicrons.
+type AreaRule struct {
+	Layer   string // layer name
+	MinArea int64  // minimum island area in square centimicrons
+	Note    string // audit note
+	Line    int
+}
+
+// Cross-rule kinds — the Kind field of CrossRule.
+const (
+	// KindEnclose: layer A must enclose layer B by Margin on all sides.
+	KindEnclose = "enclose"
+	// KindOverlap: wherever A and B overlap, the overlap must be at least
+	// Margin wide.
+	KindOverlap = "overlap"
+	// KindExtend: A must extend at least Margin past B around their
+	// crossing (the Figure 8 gate-extension rule, generalized).
+	KindExtend = "extend"
+)
+
+// CrossRule is one "enclose", "overlap", or "extend" statement: a directed
+// cross-layer margin. The (A, B) pair is ordered — enclose metal contact
+// and enclose contact metal are different rules.
+type CrossRule struct {
+	Kind   string // KindEnclose, KindOverlap, or KindExtend
+	A, B   string // layer names, ordered
+	Margin int64  // margin in centimicrons
+	Note   string // audit note
+	Line   int
 }
 
 // Device is one "device" statement with its bound param/use lines.

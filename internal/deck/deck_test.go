@@ -20,7 +20,7 @@ func TestParseGolden(t *testing.T) {
 	if d.Name != "golden-min" || d.Lambda != 200 {
 		t.Fatalf("tech = %q λ=%d", d.Name, d.Lambda)
 	}
-	if len(d.Layers) != 2 || d.Layers[0].Name != "alpha" || d.Layers[0].Role != "metal" {
+	if len(d.Layers) != 3 || d.Layers[0].Name != "alpha" || d.Layers[0].Role != "metal" {
 		t.Fatalf("layers = %+v", d.Layers)
 	}
 	if d.Layers[0].Width != 400 || d.Layers[0].Space != 600 {
@@ -35,6 +35,28 @@ func TestParseGolden(t *testing.T) {
 	ab := d.Spaces[1]
 	if ab.DiffNet != 300 || ab.SameNet != 200 || !ab.ExemptRelated || ab.Note != "alpha to beta" {
 		t.Fatalf("a-b cell = %+v", ab)
+	}
+	if len(d.Widths) != 1 || d.Widths[0].Layer != "alpha" || d.Widths[0].Min != 400 ||
+		d.Widths[0].Note != "region width over merged alpha" {
+		t.Fatalf("widths = %+v", d.Widths)
+	}
+	// Area dims are λ²: 10L at λ=200 is 10·200² square centimicrons.
+	if len(d.Areas) != 1 || d.Areas[0].Layer != "alpha" || d.Areas[0].MinArea != 400000 {
+		t.Fatalf("areas = %+v", d.Areas)
+	}
+	if len(d.Crosses) != 3 {
+		t.Fatalf("crosses = %+v", d.Crosses)
+	}
+	for i, want := range []CrossRule{
+		{Kind: KindEnclose, A: "alpha", B: "gamma", Margin: 200, Note: "alpha pad over gamma cut"},
+		{Kind: KindOverlap, A: "alpha", B: "gamma", Margin: 200},
+		{Kind: KindExtend, A: "alpha", B: "gamma", Margin: 100},
+	} {
+		got := d.Crosses[i]
+		got.Line = 0
+		if got != want {
+			t.Fatalf("cross[%d] = %+v, want %+v", i, d.Crosses[i], want)
+		}
 	}
 	if len(d.Devices) != 1 {
 		t.Fatalf("devices = %+v", d.Devices)
@@ -98,6 +120,15 @@ func stripLines(d *Deck) {
 	for i := range d.Spaces {
 		d.Spaces[i].Line = 0
 	}
+	for i := range d.Widths {
+		d.Widths[i].Line = 0
+	}
+	for i := range d.Areas {
+		d.Areas[i].Line = 0
+	}
+	for i := range d.Crosses {
+		d.Crosses[i].Line = 0
+	}
 	for i := range d.Devices {
 		d.Devices[i].Line = 0
 	}
@@ -126,6 +157,13 @@ func TestParseErrors(t *testing.T) {
 		{"param binds to device only", "tech a\ndevice d class=c\nlayer l cif=XL\nparam k=1\n", "outside a device"},
 		{"device no class", "tech a\ndevice d\n", "needs class"},
 		{"rail kind", "tech a\nrail sideways X\n", "power or ground"},
+		{"width arity", "tech a\nlayer l cif=XL\nwidth l\n", "needs a layer name and a dimension"},
+		{"width bad attr", "tech a\nwidth l 3 bogus=1\n", "unknown width attribute"},
+		{"area λ²-less lambda", "tech a\narea l 10L\n", "no lambda"},
+		{"area λ² fraction", "tech a lambda=100\narea l 1.5L\n", "bad λ²-expression"},
+		{"area λ² overflow", "tech a lambda=1048576\narea l 2L\n", "exceeds"},
+		{"cross arity", "tech a\nenclose x y\n", "needs two layer names and a margin"},
+		{"extend bad attr", "tech a\nextend x y 3 same=1\n", "unknown extend attribute"},
 		{"unterminated quote", "tech a\nlayer l cif=XL role=\"oops\n", "unterminated quote"},
 		{"spliced key space", "tech a\ndevice d class=c\n  use a\" \"b=x\n", "must not contain spaces"},
 		{"spliced key hash", "tech a\ndevice d class=c\n  param a\"#\"=1\n", "must not contain spaces"},
@@ -213,6 +251,57 @@ func TestValidateRepeats(t *testing.T) {
 	}
 }
 
+func TestValidateRuleStatements(t *testing.T) {
+	src := "tech t lambda=100\n" +
+		"layer m cif=XM role=metal width=2L\n" +
+		"layer q cif=XQ\n" +
+		"layer z cif=XZ role=contact\n" +
+		"width ghost 2L\n" +
+		"width q 2L\n" +
+		"width m 2L\n" +
+		"width m 3L\n" +
+		"enclose m m 1L\n" +
+		"enclose m z 1L\n" +
+		"enclose m z 2L\n"
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := Validate(d, Options{})
+	for _, want := range []string{
+		`width rule references unknown layer "ghost"`,
+		`width rule on layer "q", which has no geometry-bearing role`,
+		`duplicate width rule for layer "m"`,
+		`enclose rule names layer "m" twice`,
+		`duplicate enclose rule m-z`,
+	} {
+		found := false
+		for _, p := range Errors(probs) {
+			if strings.Contains(p.Detail, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing error containing %q in %v", want, probs)
+		}
+	}
+	// q has a (rejected) width statement naming it, so the zero-rule
+	// warning belongs to a layer no statement touches at all.
+	d2, err := Parse("tech t\nlayer live cif=XL width=300\nlayer dead cif=XD\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range Validate(d2, Options{}) {
+		if p.Severity == Warning && strings.Contains(p.Detail, `layer "dead" has zero rules of any class`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing zero-rules warning for dead layer")
+	}
+}
+
 func TestDimCanonicalization(t *testing.T) {
 	d := &Deck{Lambda: 250}
 	for v, want := range map[int64]string{
@@ -225,5 +314,15 @@ func TestDimCanonicalization(t *testing.T) {
 	noLam := &Deck{}
 	if got := noLam.dim(750); got != "750" {
 		t.Errorf("λ-less dim = %q", got)
+	}
+	for v, want := range map[int64]string{
+		625000: "10L", 62500: "1L", 625001: "625001", 0: "0",
+	} {
+		if got := d.dimArea(v); got != want {
+			t.Errorf("dimArea(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got := noLam.dimArea(625000); got != "625000" {
+		t.Errorf("λ-less dimArea = %q", got)
 	}
 }

@@ -12,6 +12,9 @@ func FuzzParseDeck(f *testing.F) {
 	f.Add("# comment only\n")
 	f.Add("tech \"quoted name\" lambda=2\nspace a b exempt-related\n")
 	f.Add("tech t lambda=9223372036854775807\nlayer a cif=XA width=3L\n")
+	f.Add("tech t lambda=200\nlayer a cif=XA role=metal\nwidth a 2L note=\"w\"\narea a 10L\n")
+	f.Add("tech t lambda=100\nlayer a cif=XA role=metal\nlayer c cif=XC role=contact\nenclose a c 1L\noverlap a c 2L\nextend a c 0.5L note=\"gate\"\n")
+	f.Add("tech t\nwidth a 350\narea a 122500\nenclose a a 0\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		d, err := Parse(src)
 		if err != nil {

@@ -118,6 +118,45 @@ func Parse(src string) (*Deck, error) {
 				}
 			}
 			d.Spaces = append(d.Spaces, s)
+		case "width":
+			if len(args) < 2 || isAttr(args[0]) || isAttr(args[1]) {
+				return nil, fmt.Errorf("deck: line %d: width needs a layer name and a dimension", line)
+			}
+			w := WidthRule{Layer: args[0].text, Line: line}
+			var err error
+			if w.Min, err = d.parseDim(args[1].text); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			if w.Note, err = ruleNote(kw, args[2:]); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			d.Widths = append(d.Widths, w)
+		case "area":
+			if len(args) < 2 || isAttr(args[0]) || isAttr(args[1]) {
+				return nil, fmt.Errorf("deck: line %d: area needs a layer name and an area dimension", line)
+			}
+			ar := AreaRule{Layer: args[0].text, Line: line}
+			var err error
+			if ar.MinArea, err = d.parseAreaDim(args[1].text); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			if ar.Note, err = ruleNote(kw, args[2:]); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			d.Areas = append(d.Areas, ar)
+		case KindEnclose, KindOverlap, KindExtend:
+			if len(args) < 3 || isAttr(args[0]) || isAttr(args[1]) || isAttr(args[2]) {
+				return nil, fmt.Errorf("deck: line %d: %s needs two layer names and a margin", line, kw)
+			}
+			cr := CrossRule{Kind: kw, A: args[0].text, B: args[1].text, Line: line}
+			var err error
+			if cr.Margin, err = d.parseDim(args[2].text); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			if cr.Note, err = ruleNote(kw, args[3:]); err != nil {
+				return nil, fmt.Errorf("deck: line %d: %v", line, err)
+			}
+			d.Crosses = append(d.Crosses, cr)
 		case "device":
 			if len(args) == 0 || isAttr(args[0]) {
 				return nil, fmt.Errorf("deck: line %d: device needs a type name", line)
@@ -241,6 +280,57 @@ func (d *Deck) parseDim(tok string) (int64, error) {
 		return 0, fmt.Errorf("dimension %q exceeds the %d centimicron limit", tok, MaxDim)
 	}
 	return n, nil
+}
+
+// parseAreaDim evaluates one area dimension token: a plain
+// square-centimicron integer or a λ²-expression like "10L", meaning 10·λ²
+// square centimicrons. Only whole λ² multiples are allowed — half
+// fractions have no use at area granularity.
+func (d *Deck) parseAreaDim(tok string) (int64, error) {
+	if tok == "" {
+		return 0, fmt.Errorf("empty area dimension")
+	}
+	if strings.HasSuffix(tok, "L") {
+		if d.Lambda <= 0 {
+			return 0, fmt.Errorf("λ²-expression %q in a deck with no lambda", tok)
+		}
+		n, err := strconv.ParseInt(tok[:len(tok)-1], 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("bad λ²-expression %q", tok)
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if d.Lambda > MaxDim/d.Lambda || n > MaxDim/(d.Lambda*d.Lambda) {
+			return 0, fmt.Errorf("λ²-expression %q exceeds the %d square centimicron limit", tok, MaxDim)
+		}
+		return n * d.Lambda * d.Lambda, nil
+	}
+	n, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad area dimension %q", tok)
+	}
+	if n > MaxDim {
+		return 0, fmt.Errorf("area dimension %q exceeds the %d square centimicron limit", tok, MaxDim)
+	}
+	return n, nil
+}
+
+// ruleNote parses the trailing attributes of a rule statement, which admit
+// only note="...".
+func ruleNote(kw string, args []token) (string, error) {
+	note := ""
+	for _, a := range args {
+		k, v, err := splitAttr(a)
+		if err != nil {
+			return "", err
+		}
+		if k != "note" {
+			return "", fmt.Errorf("unknown %s attribute %q", kw, k)
+		}
+		note = v
+	}
+	return note, nil
 }
 
 // token is one lexed word. A token that began with a double quote is never

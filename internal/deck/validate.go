@@ -103,6 +103,56 @@ func Validate(d *Deck, opts Options) []Problem {
 		}
 	}
 
+	// Geometric rule statements: referenced layers must exist and carry a
+	// role. A role-less layer bears no geometry semantics the compiler
+	// understands, so a width/area/enclose/overlap/extend rule on one is
+	// almost certainly a typo'd layer name — reject it outright.
+	ruleLayer := func(line int, stmt, name string) {
+		l, ok := d.LayerByName(name)
+		if !ok {
+			errf(line, "%s rule references unknown layer %q", stmt, name)
+			return
+		}
+		if l.Role == "" {
+			errf(line, "%s rule on layer %q, which has no geometry-bearing role", stmt, name)
+		}
+	}
+	widthSeen := map[string]int{}
+	for i := range d.Widths {
+		w := &d.Widths[i]
+		ruleLayer(w.Line, "width", w.Layer)
+		if prev, dup := widthSeen[w.Layer]; dup {
+			errf(w.Line, "duplicate width rule for layer %q (first declared on line %d)", w.Layer, prev)
+		} else {
+			widthSeen[w.Layer] = w.Line
+		}
+	}
+	areaSeen := map[string]int{}
+	for i := range d.Areas {
+		a := &d.Areas[i]
+		ruleLayer(a.Line, "area", a.Layer)
+		if prev, dup := areaSeen[a.Layer]; dup {
+			errf(a.Line, "duplicate area rule for layer %q (first declared on line %d)", a.Layer, prev)
+		} else {
+			areaSeen[a.Layer] = a.Line
+		}
+	}
+	crossSeen := map[[3]string]int{}
+	for i := range d.Crosses {
+		cr := &d.Crosses[i]
+		ruleLayer(cr.Line, cr.Kind, cr.A)
+		ruleLayer(cr.Line, cr.Kind, cr.B)
+		if cr.A == cr.B {
+			errf(cr.Line, "%s rule names layer %q twice; cross-layer rules relate two distinct layers", cr.Kind, cr.A)
+		}
+		key := [3]string{cr.Kind, cr.A, cr.B}
+		if prev, dup := crossSeen[key]; dup {
+			errf(cr.Line, "duplicate %s rule %s-%s (first declared on line %d)", cr.Kind, cr.A, cr.B, prev)
+		} else {
+			crossSeen[key] = cr.Line
+		}
+	}
+
 	useRoles := roles
 	if len(opts.KnownUseRoles) > 0 {
 		useRoles = map[string]bool{}
@@ -144,6 +194,41 @@ func Validate(d *Deck, opts Options) []Problem {
 			if len(useRoles) > 0 && !useRoles[u.Role] {
 				warnf(dev.Line, "device %q uses unknown role %q", dev.Type, u.Role)
 			}
+		}
+	}
+
+	// Audit-note discipline, extended to whole layers: a layer that ends up
+	// with zero rules of any class — no per-element width/space attribute,
+	// no interaction cell that checks anything, no geometric rule, and no
+	// device binding — is dead weight in the deck and deserves a look.
+	ruled := map[string]bool{}
+	for i := range d.Layers {
+		if l := &d.Layers[i]; l.Width > 0 || l.Space > 0 {
+			ruled[l.Name] = true
+		}
+	}
+	for i := range d.Spaces {
+		if s := &d.Spaces[i]; s.DiffNet > 0 || s.SameNet > 0 {
+			ruled[s.A], ruled[s.B] = true, true
+		}
+	}
+	for i := range d.Widths {
+		ruled[d.Widths[i].Layer] = true
+	}
+	for i := range d.Areas {
+		ruled[d.Areas[i].Layer] = true
+	}
+	for i := range d.Crosses {
+		ruled[d.Crosses[i].A], ruled[d.Crosses[i].B] = true, true
+	}
+	for i := range d.Devices {
+		for _, u := range d.Devices[i].Uses {
+			ruled[u.Layer] = true
+		}
+	}
+	for i := range d.Layers {
+		if l := &d.Layers[i]; !ruled[l.Name] {
+			warnf(l.Line, "layer %q has zero rules of any class; give it a rule or document why it is unchecked", l.Name)
 		}
 	}
 

@@ -6,7 +6,8 @@ import (
 )
 
 // Write renders a deck in canonical text form: statements in section order
-// (tech, layers, spaces, devices, rails), dimensions as λ-expressions
+// (tech, layers, spaces, widths, areas, cross rules, devices, rails),
+// dimensions as λ-expressions
 // whenever they are whole or half multiples of lambda, and notes quoted.
 // Write∘Parse is idempotent: parsing the output reproduces the same Deck,
 // and writing it again reproduces the same text — the round-trip property
@@ -58,6 +59,42 @@ func Write(d *Deck) string {
 		b.WriteByte('\n')
 	}
 
+	if len(d.Widths) > 0 {
+		b.WriteByte('\n')
+	}
+	for i := range d.Widths {
+		w := &d.Widths[i]
+		fmt.Fprintf(&b, "width %s %s", name(w.Layer), d.dim(w.Min))
+		if w.Note != "" {
+			fmt.Fprintf(&b, " note=%s", quote(w.Note))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(d.Areas) > 0 {
+		b.WriteByte('\n')
+	}
+	for i := range d.Areas {
+		ar := &d.Areas[i]
+		fmt.Fprintf(&b, "area %s %s", name(ar.Layer), d.dimArea(ar.MinArea))
+		if ar.Note != "" {
+			fmt.Fprintf(&b, " note=%s", quote(ar.Note))
+		}
+		b.WriteByte('\n')
+	}
+
+	if len(d.Crosses) > 0 {
+		b.WriteByte('\n')
+	}
+	for i := range d.Crosses {
+		cr := &d.Crosses[i]
+		fmt.Fprintf(&b, "%s %s %s %s", cr.Kind, name(cr.A), name(cr.B), d.dim(cr.Margin))
+		if cr.Note != "" {
+			fmt.Fprintf(&b, " note=%s", quote(cr.Note))
+		}
+		b.WriteByte('\n')
+	}
+
 	for i := range d.Devices {
 		dev := &d.Devices[i]
 		b.WriteByte('\n')
@@ -98,6 +135,18 @@ func (d *Deck) dim(v int64) string {
 		}
 		if d.Lambda%2 == 0 && v%(d.Lambda/2) == 0 {
 			return fmt.Sprintf("%d.5L", v/d.Lambda)
+		}
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// dimArea renders an area dimension canonically: "<n>L" when it is a
+// whole multiple of λ² (and λ² itself is representable), the raw
+// square-centimicron integer otherwise.
+func (d *Deck) dimArea(v int64) string {
+	if d.Lambda > 0 && v > 0 && d.Lambda <= MaxDim/d.Lambda {
+		if sq := d.Lambda * d.Lambda; v%sq == 0 {
+			return fmt.Sprintf("%dL", v/sq)
 		}
 	}
 	return fmt.Sprintf("%d", v)

@@ -650,7 +650,7 @@ func E19(quick bool) (*Table, error) {
 		if !ok {
 			return nil, fmt.Errorf("E19: row symbol missing")
 		}
-		row.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+		row.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "GND")
 
 		warm, err := eng.Recheck(chip.Design)
 		if err != nil {

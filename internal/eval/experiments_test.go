@@ -218,9 +218,9 @@ func TestE19IncrementalRecheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 7 pipeline-stage rows (6 stages + TOTAL) for the quick size.
-	if len(tab.Rows) != 7 {
-		t.Fatalf("rows = %d, want 7: %v", len(tab.Rows), tab.Rows)
+	// 8 pipeline-stage rows (7 stages + TOTAL) for the quick size.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8: %v", len(tab.Rows), tab.Rows)
 	}
 	if tab.Rows[len(tab.Rows)-1][1] != "TOTAL" {
 		t.Fatalf("last row not TOTAL: %v", tab.Rows[len(tab.Rows)-1])

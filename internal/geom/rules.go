@@ -1,0 +1,102 @@
+package geom
+
+// Rule kernels for the deck's single-layer and cross-layer rule classes
+// (width, area, enclosure, overlap, extension), built on the zero-alloc
+// region engine. Each kernel returns violation geometry — one bounding
+// rect per violating connected sliver — not just a boolean, so the
+// checker can report where a rule failed, in the same shape
+// WidthViolations does.
+//
+// All kernels are exact for Manhattan geometry on the integer grid. The
+// margin forms (enclosure, extension) need no coordinate doubling: with
+// half-open rects, "outer extends at least m beyond inner" is exactly
+// "inner ⊆ Erode(outer, m)" for integer m.
+
+// EncloseViolations returns the parts of inner that outer fails to
+// enclose by margin m on all sides: the components of
+// inner − Erode(outer, m). With m ≤ 0 the rule degenerates to plain
+// containment (inner − outer). A layout passes iff the result is empty.
+func EncloseViolations(inner, outer Region, m int64) []Rect {
+	if inner.Empty() {
+		return nil
+	}
+	var def Region
+	if m <= 0 {
+		SubtractInto(&def, inner, outer)
+	} else {
+		SubtractInto(&def, inner, outer.Erode(m))
+	}
+	return componentBounds(def)
+}
+
+// ComponentAreaViolations returns the connected components of the region
+// whose area is below minArea, one bounding rect per offending
+// component. Area rules apply per island: a wide plate and a tiny
+// isolated stub are judged separately even on the same layer.
+func ComponentAreaViolations(r Region, minArea int64) []Rect {
+	if minArea <= 0 || r.Empty() {
+		return nil
+	}
+	var out []Rect
+	for _, c := range r.Components() {
+		if c.Area() < minArea {
+			out = append(out, c.Bounds())
+		}
+	}
+	return out
+}
+
+// OverlapViolations returns the places where regions a and b overlap by
+// less than m in the orthogonal sense: the width violations of a ∩ b at
+// width m. Disjoint regions trivially pass — the rule constrains the
+// shape of an overlap, not its existence.
+func OverlapViolations(a, b Region, m int64) []Rect {
+	if m <= 0 || a.Empty() || b.Empty() {
+		return nil
+	}
+	var c Region
+	IntersectInto(&c, a, b)
+	if c.Empty() {
+		return nil
+	}
+	return WidthViolations(c, m)
+}
+
+// ExtendViolations returns the places where a fails to extend at least d
+// past b around their crossing, in either axis direction — the
+// gate-extension check of Figure 8, generalized. With C = a ∩ b, the
+// required extension is the directed dilation of C by d along each axis,
+// minus b itself (where b continues there is nothing to extend past);
+// any part of that requirement not covered by a is a violation.
+func ExtendViolations(a, b Region, d int64) []Rect {
+	if d <= 0 || a.Empty() || b.Empty() {
+		return nil
+	}
+	var c Region
+	IntersectInto(&c, a, b)
+	if c.Empty() {
+		return nil
+	}
+	var need Region
+	UnionInto(&need, c.DilateXY(d, 0), c.DilateXY(0, d))
+	SubtractInto(&need, need, b)
+	if need.Empty() {
+		return nil
+	}
+	SubtractInto(&need, need, a)
+	return componentBounds(need)
+}
+
+// componentBounds returns one bounding rect per connected component of
+// the region, or nil for an empty region.
+func componentBounds(r Region) []Rect {
+	if r.Empty() {
+		return nil
+	}
+	comps := r.Components()
+	out := make([]Rect, 0, len(comps))
+	for _, c := range comps {
+		out = append(out, c.Bounds())
+	}
+	return out
+}

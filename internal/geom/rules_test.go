@@ -1,0 +1,309 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// ---- Naive cell-set reference for the rule kernels --------------------
+//
+// The reference works on explicit unit-cell sets with definitional
+// morphology: erosion is an all-cells-present window test, directed
+// dilation a row/column sweep, opening a brute-force fully-inscribed
+// window scan. Each optimized kernel is checked against it over seeded
+// fuzz inputs with coverage + witness assertions (the kernels return
+// component bounding rects, not exact violation geometry, so the checks
+// are: every reference violating cell lies in some returned rect, and
+// every returned rect contains at least one reference violating cell).
+
+type cellSet map[Point]bool
+
+func rasterize(rs []Rect) cellSet {
+	cs := make(cellSet)
+	for _, r := range rs {
+		for x := r.X1; x < r.X2; x++ {
+			for y := r.Y1; y < r.Y2; y++ {
+				cs[Point{x, y}] = true
+			}
+		}
+	}
+	return cs
+}
+
+func (cs cellSet) erode(m int64) cellSet {
+	out := make(cellSet)
+	for p := range cs {
+		ok := true
+		for dx := -m; ok && dx <= m; dx++ {
+			for dy := -m; dy <= m; dy++ {
+				if !cs[Point{p.X + dx, p.Y + dy}] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func (cs cellSet) dilateAxis(dx, dy int64) cellSet {
+	out := make(cellSet)
+	for p := range cs {
+		for v := -dx; v <= dx; v++ {
+			out[Point{p.X + v, p.Y}] = true
+		}
+		for v := -dy; v <= dy; v++ {
+			out[Point{p.X, p.Y + v}] = true
+		}
+	}
+	return out
+}
+
+func (cs cellSet) minus(o cellSet) cellSet {
+	out := make(cellSet)
+	for p := range cs {
+		if !o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+func (cs cellSet) intersect(o cellSet) cellSet {
+	out := make(cellSet)
+	for p := range cs {
+		if o[p] {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// openCovered returns the cells covered by some fully-present w×w window
+// — the opening of the set by a w-square, evaluated definitionally.
+func (cs cellSet) openCovered(w int64) cellSet {
+	out := make(cellSet)
+	if len(cs) == 0 || w <= 0 {
+		return out
+	}
+	var minX, minY, maxX, maxY int64
+	first := true
+	for p := range cs {
+		if first {
+			minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+			first = false
+			continue
+		}
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	for x0 := minX; x0 <= maxX-w+1; x0++ {
+	window:
+		for y0 := minY; y0 <= maxY-w+1; y0++ {
+			for dx := int64(0); dx < w; dx++ {
+				for dy := int64(0); dy < w; dy++ {
+					if !cs[Point{x0 + dx, y0 + dy}] {
+						continue window
+					}
+				}
+			}
+			for dx := int64(0); dx < w; dx++ {
+				for dy := int64(0); dy < w; dy++ {
+					out[Point{x0 + dx, y0 + dy}] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// components splits the set into 4-connected (shared-edge) components.
+func (cs cellSet) components() []cellSet {
+	seen := make(cellSet)
+	var out []cellSet
+	for p := range cs {
+		if seen[p] {
+			continue
+		}
+		comp := make(cellSet)
+		stack := []Point{p}
+		seen[p] = true
+		for len(stack) > 0 {
+			q := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp[q] = true
+			for _, n := range []Point{{q.X + 1, q.Y}, {q.X - 1, q.Y}, {q.X, q.Y + 1}, {q.X, q.Y - 1}} {
+				if cs[n] && !seen[n] {
+					seen[n] = true
+					stack = append(stack, n)
+				}
+			}
+		}
+		out = append(out, comp)
+	}
+	return out
+}
+
+// checkCoverageWitness asserts the coverage + witness relation between a
+// kernel's component rects and the reference violating cell set.
+func checkCoverageWitness(t *testing.T, trial int, name string, got []Rect, want cellSet) {
+	t.Helper()
+	if (len(got) == 0) != (len(want) == 0) {
+		t.Fatalf("trial %d: %s: kernel returned %d rects, reference has %d violating cells",
+			trial, name, len(got), len(want))
+	}
+	for p := range want {
+		covered := false
+		for _, r := range got {
+			if p.X >= r.X1 && p.X < r.X2 && p.Y >= r.Y1 && p.Y < r.Y2 {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("trial %d: %s: reference violating cell %v not covered by any returned rect %v",
+				trial, name, p, got)
+		}
+	}
+	for _, r := range got {
+		witness := false
+		for p := range want {
+			if p.X >= r.X1 && p.X < r.X2 && p.Y >= r.Y1 && p.Y < r.Y2 {
+				witness = true
+				break
+			}
+		}
+		if !witness {
+			t.Fatalf("trial %d: %s: returned rect %v contains no reference violating cell", trial, name, r)
+		}
+	}
+}
+
+func TestEncloseViolationsMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 120; trial++ {
+		ro := randRects(rng, 1+rng.Intn(8), 40, 12)
+		ri := randRects(rng, 1+rng.Intn(6), 40, 10)
+		m := int64(rng.Intn(5))
+		got := EncloseViolations(FromRects(ri), FromRects(ro), m)
+		inner, outer := rasterize(ri), rasterize(ro)
+		var keep cellSet
+		if m <= 0 {
+			keep = outer
+		} else {
+			keep = outer.erode(m)
+		}
+		checkCoverageWitness(t, trial, "enclose", got, inner.minus(keep))
+	}
+}
+
+func TestEncloseViolationsExactMargin(t *testing.T) {
+	inner := FromRectR(R(0, 0, 500, 500))
+	outer := FromRectR(R(-250, -250, 750, 750))
+	if vs := EncloseViolations(inner, outer, 250); len(vs) != 0 {
+		t.Fatalf("exact 250 margin must pass, got %v", vs)
+	}
+	// Shave the east margin to 125: exactly one deficiency sliver.
+	outer = FromRectR(R(-250, -250, 625, 750))
+	vs := EncloseViolations(inner, outer, 250)
+	if len(vs) != 1 || vs[0] != R(375, 0, 500, 500) {
+		t.Fatalf("one-sided deficiency: got %v, want [(375,0)-(500,500)]", vs)
+	}
+}
+
+func TestComponentAreaViolationsMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 120; trial++ {
+		rs := randRects(rng, 1+rng.Intn(10), 60, 10)
+		minArea := int64(1 + rng.Intn(80))
+		got := ComponentAreaViolations(FromRects(rs), minArea)
+		want := make(cellSet)
+		for _, comp := range rasterize(rs).components() {
+			if int64(len(comp)) < minArea {
+				for p := range comp {
+					want[p] = true
+				}
+			}
+		}
+		checkCoverageWitness(t, trial, "area", got, want)
+	}
+}
+
+func TestOverlapViolationsMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		ra := randRects(rng, 1+rng.Intn(8), 40, 12)
+		rb := randRects(rng, 1+rng.Intn(8), 40, 12)
+		m := int64(1 + rng.Intn(6))
+		got := OverlapViolations(FromRects(ra), FromRects(rb), m)
+		ovl := rasterize(ra).intersect(rasterize(rb))
+		checkCoverageWitness(t, trial, "overlap", got, ovl.minus(ovl.openCovered(m)))
+	}
+}
+
+func TestExtendViolationsMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 120; trial++ {
+		ra := randRects(rng, 1+rng.Intn(8), 40, 12)
+		rb := randRects(rng, 1+rng.Intn(8), 40, 12)
+		d := int64(1 + rng.Intn(5))
+		got := ExtendViolations(FromRects(ra), FromRects(rb), d)
+		a, b := rasterize(ra), rasterize(rb)
+		c := a.intersect(b)
+		want := c.dilateAxis(d, d).minus(b).minus(a)
+		checkCoverageWitness(t, trial, "extend", got, want)
+	}
+}
+
+// TestExtendViolationsGate locks the Figure 8 gate scenario: a poly wire
+// fully crossing a diffusion wire passes, a flush-ended gate fires.
+func TestExtendViolationsGate(t *testing.T) {
+	diff := FromRectR(R(-750, -250, 750, 250))
+	poly := FromRectR(R(-250, -750, 250, 750)) // extends 500 past both edges
+	if vs := ExtendViolations(poly, diff, 500); len(vs) != 0 {
+		t.Fatalf("full crossing must pass, got %v", vs)
+	}
+	flush := FromRectR(R(-250, -750, 250, 250)) // stops flush with the north edge
+	vs := ExtendViolations(flush, diff, 500)
+	if len(vs) != 1 || vs[0] != R(-250, 250, 250, 750) {
+		t.Fatalf("flush gate: got %v, want [(-250,250)-(250,750)]", vs)
+	}
+}
+
+// ---- Allocation regression guards -------------------------------------
+//
+// The rule kernels sit on the definition-level hot path of both
+// pipelines; like the boolean-op guards above, these fail the build if a
+// change reintroduces per-band allocation. The budgets are small
+// constants (scratch regions + the result slice), independent of input
+// size.
+
+func TestRuleKernelAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; guards run in the non-race CI step")
+	}
+	a := FromRects(noisyRects(200))
+	outer := a.Dilate(50)
+	blob := a.Dilate(500) // fused into one component
+	eroded := a.Erode(20)
+
+	cases := []struct {
+		name   string
+		budget float64
+		run    func()
+	}{
+		{"EncloseViolations(pass)", 12, func() { _ = EncloseViolations(a, outer, 50) }},
+		{"ComponentAreaViolations(pass)", 12, func() { _ = ComponentAreaViolations(blob, 1) }},
+		{"OverlapViolations(pass)", 16, func() { _ = OverlapViolations(a, a, 10) }},
+		{"ExtendViolations(pass)", 16, func() { _ = ExtendViolations(a, eroded, 10) }},
+	}
+	for _, c := range cases {
+		c.run() // warm the sweeper pool
+		if avg := testing.AllocsPerRun(50, c.run); avg > c.budget {
+			t.Fatalf("%s allocates %.1f/op, want <= %.0f", c.name, avg, c.budget)
+		}
+	}
+}

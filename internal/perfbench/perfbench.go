@@ -179,7 +179,7 @@ func coldChip(rows, cols int) (*tech.Technology, *workload.Chip) {
 		if !ok {
 			break
 		}
-		s.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+		s.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "GND")
 	}
 	return tc, chip
 }

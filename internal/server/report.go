@@ -24,12 +24,15 @@ type Report struct {
 	// mean the duration-free report content is byte-identical, the parity
 	// contract between a served session and an offline Recheck replaying
 	// the same edit script.
-	Fingerprint string       `json:"fingerprint"`
-	Violations  []Violation  `json:"violations"`
-	Stages      []Stage      `json:"stages"`
-	Stats       Stats        `json:"stats"`
-	Netlist     *Netlist     `json:"netlist,omitempty"`
-	Engine      *EngineStats `json:"engine,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	// Classes tallies violations by coarse rule class (core.RuleClass):
+	// {"spacing": 3, "width": 1, ...}. Only non-zero classes appear.
+	Classes    map[string]int `json:"classes,omitempty"`
+	Violations []Violation    `json:"violations"`
+	Stages     []Stage        `json:"stages"`
+	Stats      Stats          `json:"stats"`
+	Netlist    *Netlist       `json:"netlist,omitempty"`
+	Engine     *EngineStats   `json:"engine,omitempty"`
 }
 
 // Violation is the wire form of one finding.
@@ -113,6 +116,9 @@ func BuildReport(rep *core.Report, eng *core.Engine) *Report {
 		Warnings:    len(rep.Violations) - len(errs),
 		Fingerprint: core.FingerprintDigest(rep),
 		Violations:  make([]Violation, 0, len(rep.Violations)),
+	}
+	if len(rep.Violations) > 0 {
+		out.Classes = core.CountByClass(rep.Violations)
 	}
 	for _, v := range rep.Violations {
 		out.Violations = append(out.Violations, Violation{

@@ -351,3 +351,54 @@ func TestEditErrorKeepsSessionUsable(t *testing.T) {
 		t.Fatal("rejected edit changed the design state")
 	}
 }
+
+// TestWidthClassRoundTrip drives a width violation through the daemon: an
+// nMOS chip carrying the ground-truth too-narrow wire is uploaded, the
+// wire report must carry the per-class summary with the width class, and
+// the served fingerprint must equal an offline check of the same CIF.
+func TestWidthClassRoundTrip(t *testing.T) {
+	tcUp := tech.NMOS()
+	chip := workload.NewChip(tcUp, "narrow", 2, 2)
+	chip.BreakRuleWidth(0)
+	text, err := cif.Write(chip.Design, tcUp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c := newTestServer(t, Config{Debounce: time.Hour})
+	created, err := c.Create(CreateRequest{Name: "narrow", CIF: text, Tech: "nmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := created.Report
+	if rep.Clean {
+		t.Fatal("narrow-wire chip reported clean")
+	}
+	// W.ND (per-element) and WIDTH.ND (merged-region kernel) both land in
+	// the width class; the floating wire adds one net-class complaint.
+	if rep.Classes["width"] != 2 {
+		t.Fatalf("classes = %v, want width=2", rep.Classes)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "WIDTH.ND" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("WIDTH.ND missing from wire report: %+v", rep.Violations)
+	}
+
+	tcOff := tech.NMOS()
+	dOff, err := cif.Parse(text, tcOff, "narrow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repOff, err := core.Check(dOff, tcOff, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Fingerprint, core.FingerprintDigest(repOff); got != want {
+		t.Fatalf("served fingerprint %s != offline %s", got, want)
+	}
+}

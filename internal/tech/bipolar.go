@@ -68,6 +68,10 @@ func bipolarFromCode() *Technology {
 	t.SetSpacing(base, m, SpacingRule{Note: "no rule"})
 	t.SetSpacing(iso, m, SpacingRule{Note: "no rule"})
 
+	// Geometric rule classes beyond pairwise spacing, in raw centimicrons.
+	t.SetWidthRule(iso, LayerRule{Min: 4 * u, Note: "isolation web region width"})
+	t.SetCrossRule(CrossEnclose, base, em, CrossRule{Margin: 1 * u, Note: "base past emitter, judged over merged geometry"})
+
 	t.AddDevice(DevNPN, DeviceSpec{
 		Class:    "npn-transistor",
 		Describe: "npn transistor: emitter within base; base must not touch isolation",

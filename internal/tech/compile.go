@@ -29,6 +29,25 @@ type Compiled struct {
 	hasIso  bool
 	cutID   LayerID
 	hasCut  bool
+
+	// Single-layer rule slots beside the dense pairwise table, and the
+	// directed cross-layer margins folded into the same packed-pair
+	// (a*n+b) index. Cross rules are adjudicated per definition over
+	// merged own geometry, not through the pair sweep, so they
+	// deliberately leave the interacts bitsets untouched.
+	widthMin      []int64                // per layer; 0 = no rule
+	areaMin       []int64                // per layer; 0 = no rule
+	cross         [numCrossKinds][]int64 // n*n dense, a*n+b, directed; 0 = no rule
+	crossList     []CompiledCross        // deterministic (kind, a, b) walk order
+	hasLayerRules bool
+}
+
+// CompiledCross is one directed cross-layer rule in the frozen form, in
+// the deterministic order the definition-level rule stage walks.
+type CompiledCross struct {
+	Kind   CrossKind
+	A, B   LayerID
+	Margin int64
 }
 
 // Compile returns the frozen form, building it on first use after any
@@ -80,6 +99,41 @@ func (t *Technology) Compile() *Compiled {
 			c.isoID, c.hasIso = id, true
 		case RoleContact:
 			c.cutID, c.hasCut = id, true
+		}
+	}
+	c.widthMin = make([]int64, n)
+	c.areaMin = make([]int64, n)
+	for l, r := range t.widths {
+		if int(l) < n && r.Min > 0 {
+			c.widthMin[l] = r.Min
+			c.hasLayerRules = true
+		}
+	}
+	for l, r := range t.areas {
+		if int(l) < n && r.Min > 0 {
+			c.areaMin[l] = r.Min
+			c.hasLayerRules = true
+		}
+	}
+	for k := CrossKind(0); k < numCrossKinds; k++ {
+		c.cross[k] = make([]int64, n*n)
+	}
+	for key, r := range t.crosses {
+		if int(key.a) >= n || int(key.b) >= n || r.Margin <= 0 {
+			continue
+		}
+		c.cross[key.kind][int(key.a)*n+int(key.b)] = r.Margin
+		c.hasLayerRules = true
+	}
+	for k := CrossKind(0); k < numCrossKinds; k++ {
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if m := c.cross[k][a*n+b]; m > 0 {
+					c.crossList = append(c.crossList, CompiledCross{
+						Kind: k, A: LayerID(a), B: LayerID(b), Margin: m,
+					})
+				}
+			}
 		}
 	}
 	// The accidental-transistor rule (Figure 8) adjudicates poly over any
@@ -136,3 +190,24 @@ func (c *Compiled) Isolation() (LayerID, bool) { return c.isoID, c.hasIso }
 
 // Cut returns the contact-role layer (gate-keepout probe), if any.
 func (c *Compiled) Cut() (LayerID, bool) { return c.cutID, c.hasCut }
+
+// WidthMin returns the minimum region width for a layer (0 = no rule).
+func (c *Compiled) WidthMin(l LayerID) int64 { return c.widthMin[l] }
+
+// AreaMin returns the minimum island area for a layer (0 = no rule).
+func (c *Compiled) AreaMin(l LayerID) int64 { return c.areaMin[l] }
+
+// CrossMargin returns the directed cross-layer margin for (kind, a, b)
+// (0 = no rule), via the same packed-pair index the spacing table uses.
+func (c *Compiled) CrossMargin(kind CrossKind, a, b LayerID) int64 {
+	return c.cross[kind][int(a)*c.n+int(b)]
+}
+
+// CrossRules returns every directed cross-layer rule in deterministic
+// (kind, a, b) order. The returned slice aliases the compiled form;
+// callers must not mutate it.
+func (c *Compiled) CrossRules() []CompiledCross { return c.crossList }
+
+// HasLayerRules reports whether any width/area/cross rule is present, so
+// rule-free technologies skip the definition-level rule stage scan.
+func (c *Compiled) HasLayerRules() bool { return c.hasLayerRules }

@@ -34,6 +34,19 @@ func FromDeck(d *deck.Deck) (*Technology, error) {
 			ExemptRelated: s.ExemptRelated, Note: s.Note,
 		})
 	}
+	for i := range d.Widths {
+		w := &d.Widths[i]
+		t.SetWidthRule(ids[w.Layer], LayerRule{Min: w.Min, Note: w.Note})
+	}
+	for i := range d.Areas {
+		a := &d.Areas[i]
+		t.SetAreaRule(ids[a.Layer], LayerRule{Min: a.MinArea, Note: a.Note})
+	}
+	for i := range d.Crosses {
+		cr := &d.Crosses[i]
+		t.SetCrossRule(crossKindOf(cr.Kind), ids[cr.A], ids[cr.B],
+			CrossRule{Margin: cr.Margin, Note: cr.Note})
+	}
 	for i := range d.Devices {
 		dev := &d.Devices[i]
 		spec := DeviceSpec{
@@ -61,8 +74,9 @@ func FromDeck(d *deck.Deck) (*Technology, error) {
 }
 
 // ToDeck renders a Technology back into its deck form, in canonical order:
-// layers by id, interaction cells upper-triangular, devices and their
-// params sorted by name. FromDeck(ToDeck(t)) reproduces t.
+// layers by id, interaction cells upper-triangular, width/area rules by
+// layer id, cross rules by (kind, A, B), devices and their params sorted
+// by name. FromDeck(ToDeck(t)) reproduces t.
 func ToDeck(t *Technology) *deck.Deck {
 	d := &deck.Deck{Name: t.Name, Lambda: t.Lambda}
 	for _, l := range t.layers {
@@ -87,6 +101,37 @@ func ToDeck(t *Technology) *deck.Deck {
 			A: t.layers[p.A].Name, B: t.layers[p.B].Name,
 			DiffNet: r.DiffNet, SameNet: r.SameNet,
 			ExemptRelated: r.ExemptRelated, Note: r.Note,
+		})
+	}
+	for _, l := range t.layers {
+		if r, ok := t.widths[l.ID]; ok {
+			d.Widths = append(d.Widths, deck.WidthRule{Layer: l.Name, Min: r.Min, Note: r.Note})
+		}
+	}
+	for _, l := range t.layers {
+		if r, ok := t.areas[l.ID]; ok {
+			d.Areas = append(d.Areas, deck.AreaRule{Layer: l.Name, MinArea: r.Min, Note: r.Note})
+		}
+	}
+	crossKeys := make([]crossKey, 0, len(t.crosses))
+	for k := range t.crosses {
+		crossKeys = append(crossKeys, k)
+	}
+	sort.Slice(crossKeys, func(i, j int) bool {
+		a, b := crossKeys[i], crossKeys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.a != b.a {
+			return a.a < b.a
+		}
+		return a.b < b.b
+	})
+	for _, k := range crossKeys {
+		r := t.crosses[k]
+		d.Crosses = append(d.Crosses, deck.CrossRule{
+			Kind: k.kind.String(), A: t.layers[k.a].Name, B: t.layers[k.b].Name,
+			Margin: r.Margin, Note: r.Note,
 		})
 	}
 	for _, name := range t.DeviceTypes() {
@@ -116,6 +161,18 @@ func ToDeck(t *Technology) *deck.Deck {
 	d.PowerNets = append([]string(nil), t.PowerNets...)
 	d.GroundNets = append([]string(nil), t.GroundNets...)
 	return d
+}
+
+// crossKindOf maps a deck cross-rule keyword to its CrossKind; the parser
+// only produces the three known keywords.
+func crossKindOf(kw string) CrossKind {
+	switch kw {
+	case deck.KindOverlap:
+		return CrossOverlap
+	case deck.KindExtend:
+		return CrossExtend
+	}
+	return CrossEnclose
 }
 
 // ValidateDeck runs the deck validator with this package's role

@@ -26,6 +26,15 @@ func techEqual(t *testing.T, label string, a, b *Technology) {
 		}
 		t.Fatalf("%s: spacing maps differ in size: %d vs %d", label, len(a.spacing), len(b.spacing))
 	}
+	if !reflect.DeepEqual(a.widths, b.widths) {
+		t.Fatalf("%s: width rules\n%+v\nvs\n%+v", label, a.widths, b.widths)
+	}
+	if !reflect.DeepEqual(a.areas, b.areas) {
+		t.Fatalf("%s: area rules\n%+v\nvs\n%+v", label, a.areas, b.areas)
+	}
+	if !reflect.DeepEqual(a.crosses, b.crosses) {
+		t.Fatalf("%s: cross rules\n%+v\nvs\n%+v", label, a.crosses, b.crosses)
+	}
 	if !reflect.DeepEqual(a.devices, b.devices) {
 		for n, s := range a.devices {
 			if other, ok := b.devices[n]; !ok || !reflect.DeepEqual(s, other) {
@@ -126,9 +135,51 @@ func TestCompiledMatchesMaps(t *testing.T) {
 				}
 			}
 		}
+		// The new rule slots must mirror the authoring maps, and the cross
+		// list must be deterministic (kind, a, b) order with the margins
+		// reachable through the packed-pair index.
+		for i := 0; i < n; i++ {
+			wr, _ := tc.WidthRuleFor(LayerID(i))
+			if c.WidthMin(LayerID(i)) != wr.Min {
+				t.Fatalf("%s: WidthMin(%d) = %d, map has %d", tc.Name, i, c.WidthMin(LayerID(i)), wr.Min)
+			}
+			ar, _ := tc.AreaRuleFor(LayerID(i))
+			if c.AreaMin(LayerID(i)) != ar.Min {
+				t.Fatalf("%s: AreaMin(%d) = %d, map has %d", tc.Name, i, c.AreaMin(LayerID(i)), ar.Min)
+			}
+		}
+		list := c.CrossRules()
+		for i, cr := range list {
+			if mapped, ok := tc.CrossRuleFor(cr.Kind, cr.A, cr.B); !ok || mapped.Margin != cr.Margin {
+				t.Fatalf("%s: cross list entry %+v not in map (%+v, %v)", tc.Name, cr, mapped, ok)
+			}
+			if c.CrossMargin(cr.Kind, cr.A, cr.B) != cr.Margin {
+				t.Fatalf("%s: CrossMargin(%v,%d,%d) = %d, want %d",
+					tc.Name, cr.Kind, cr.A, cr.B, c.CrossMargin(cr.Kind, cr.A, cr.B), cr.Margin)
+			}
+			if i > 0 {
+				p := list[i-1]
+				if p.Kind > cr.Kind || (p.Kind == cr.Kind && (p.A > cr.A || (p.A == cr.A && p.B >= cr.B))) {
+					t.Fatalf("%s: cross list not in (kind, a, b) order: %+v before %+v", tc.Name, p, cr)
+				}
+			}
+			// Cross rules are definition-level; they must not widen the
+			// pair-sweep interaction filter on their own.
+		}
+		for key := range tc.crosses {
+			if _, ok := tc.spacing[Pair(key.a, key.b)]; !ok && c.Interacts(key.a, key.b) &&
+				!(c.hasPoly && key.a == c.polyID && c.isDiff[key.b]) {
+				t.Fatalf("%s: cross rule %v marked the interacts bitset", tc.Name, key)
+			}
+		}
+
 		tc.SetSpacing(0, 0, SpacingRule{DiffNet: 9 * wantMax})
 		if tc.MaxSpacing() != 9*wantMax {
 			t.Fatalf("%s: compiled form not invalidated on mutation", tc.Name)
+		}
+		tc.SetWidthRule(0, LayerRule{Min: 123})
+		if tc.Compile().WidthMin(0) != 123 {
+			t.Fatalf("%s: compiled form not invalidated on width-rule mutation", tc.Name)
 		}
 	}
 }

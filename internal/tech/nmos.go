@@ -89,6 +89,17 @@ func nmosFromCode() *Technology {
 	t.SetSpacing(p, b, SpacingRule{Note: "buried rules live in primitive symbols", ExemptRelated: true})
 	t.SetSpacing(b, b, SpacingRule{DiffNet: 2 * lam, Note: "buried window spacing"})
 
+	// Geometric rule classes beyond pairwise spacing (Mead–Conway λ rules):
+	// region width over a definition's merged geometry, minimum metal
+	// island area, and the directed contact/gate margins.
+	t.SetWidthRule(d, LayerRule{Min: 2 * lam, Note: "region width over merged diffusion"})
+	t.SetWidthRule(p, LayerRule{Min: 2 * lam, Note: "region width over merged poly"})
+	t.SetWidthRule(m, LayerRule{Min: 3 * lam, Note: "region width over merged metal"})
+	t.SetAreaRule(m, LayerRule{Min: 10 * lam * lam, Note: "minimum metal island area"})
+	t.SetCrossRule(CrossEnclose, m, c, CrossRule{Margin: 1 * lam, Note: "metal pad over contact cut"})
+	t.SetCrossRule(CrossOverlap, p, d, CrossRule{Margin: 2 * lam, Note: "gate channel overlap"})
+	t.SetCrossRule(CrossExtend, p, d, CrossRule{Margin: 2 * lam, Note: "gate poly past channel (Fig 8)"})
+
 	// Device types. Params are the margins the class checkers consume.
 	t.AddDevice(DevNMOSEnh, DeviceSpec{
 		Class:    "mos-transistor",

@@ -81,6 +81,59 @@ type SpacingRule struct {
 	Note          string // why the cell is or is not checked (audit output)
 }
 
+// LayerRule is one single-layer geometric rule value: a minimum region
+// width in centimicrons (width class) or a minimum island area in square
+// centimicrons (area class), with its audit note. Unlike Layer.MinWidth —
+// a per-element check in the flat baseline — these rules judge a
+// definition's merged geometry.
+type LayerRule struct {
+	Min  int64
+	Note string
+}
+
+// CrossKind enumerates the directed cross-layer rule classes.
+type CrossKind uint8
+
+// Cross-layer rule kinds, in deck statement order.
+const (
+	// CrossEnclose: A must enclose B by the margin on all sides.
+	CrossEnclose CrossKind = iota
+	// CrossOverlap: wherever A and B overlap, the overlap must be at
+	// least the margin wide.
+	CrossOverlap
+	// CrossExtend: A must extend at least the margin past B around their
+	// crossing (the Figure 8 gate-extension rule, generalized).
+	CrossExtend
+
+	numCrossKinds
+)
+
+func (k CrossKind) String() string {
+	switch k {
+	case CrossEnclose:
+		return "enclose"
+	case CrossOverlap:
+		return "overlap"
+	case CrossExtend:
+		return "extend"
+	}
+	return fmt.Sprintf("cross(%d)", uint8(k))
+}
+
+// CrossRule is one directed cross-layer rule: the (kind, A, B) key lives
+// beside it in the technology's rule table.
+type CrossRule struct {
+	Margin int64
+	Note   string
+}
+
+// crossKey identifies a directed cross-layer rule; unlike LayerPair the
+// (a, b) order is significant.
+type crossKey struct {
+	kind CrossKind
+	a, b LayerID
+}
+
 // LayerPair is a normalized (A <= B) unordered pair of layers.
 type LayerPair struct {
 	A, B LayerID
@@ -143,6 +196,9 @@ type Technology struct {
 	byName  map[string]LayerID
 	byCIF   map[string]LayerID
 	spacing map[LayerPair]SpacingRule
+	widths  map[LayerID]LayerRule
+	areas   map[LayerID]LayerRule
+	crosses map[crossKey]CrossRule
 	devices map[string]DeviceSpec
 
 	// Rails are the net names treated as power and ground by the
@@ -165,6 +221,9 @@ func New(name string, lambda int64) *Technology {
 		byName:  make(map[string]LayerID),
 		byCIF:   make(map[string]LayerID),
 		spacing: make(map[LayerPair]SpacingRule),
+		widths:  make(map[LayerID]LayerRule),
+		areas:   make(map[LayerID]LayerRule),
+		crosses: make(map[crossKey]CrossRule),
 		devices: make(map[string]DeviceSpec),
 	}
 }
@@ -213,6 +272,42 @@ func (t *Technology) SetSpacing(a, b LayerID, rule SpacingRule) {
 // rule (no checks) is returned for unset cells.
 func (t *Technology) Spacing(a, b LayerID) SpacingRule {
 	return t.spacing[Pair(a, b)]
+}
+
+// SetWidthRule sets the minimum-region-width rule for a layer.
+func (t *Technology) SetWidthRule(l LayerID, r LayerRule) {
+	t.widths[l] = r
+	t.compiled.Store(nil)
+}
+
+// WidthRuleFor returns the region-width rule for a layer, if set.
+func (t *Technology) WidthRuleFor(l LayerID) (LayerRule, bool) {
+	r, ok := t.widths[l]
+	return r, ok
+}
+
+// SetAreaRule sets the minimum-island-area rule for a layer.
+func (t *Technology) SetAreaRule(l LayerID, r LayerRule) {
+	t.areas[l] = r
+	t.compiled.Store(nil)
+}
+
+// AreaRuleFor returns the island-area rule for a layer, if set.
+func (t *Technology) AreaRuleFor(l LayerID) (LayerRule, bool) {
+	r, ok := t.areas[l]
+	return r, ok
+}
+
+// SetCrossRule sets a directed cross-layer rule; (a, b) order matters.
+func (t *Technology) SetCrossRule(kind CrossKind, a, b LayerID, r CrossRule) {
+	t.crosses[crossKey{kind, a, b}] = r
+	t.compiled.Store(nil)
+}
+
+// CrossRuleFor returns a directed cross-layer rule, if set.
+func (t *Technology) CrossRuleFor(kind CrossKind, a, b LayerID) (CrossRule, bool) {
+	r, ok := t.crosses[crossKey{kind, a, b}]
+	return r, ok
 }
 
 // MaxSpacing returns the largest spacing value anywhere in the matrix —

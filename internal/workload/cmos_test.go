@@ -8,7 +8,7 @@ import (
 )
 
 // TestCMOSChipClean is the end-to-end acceptance check for the deck-only
-// process: the full five-stage pipeline, construction rules included, must
+// process: the full six-stage pipeline, construction rules included, must
 // report zero errors on the generated CMOS chip.
 func TestCMOSChipClean(t *testing.T) {
 	tc := tech.CMOS()

@@ -115,7 +115,7 @@ func injectOne(d *layout.Design, top *layout.Symbol, tc *tech.Technology, kind E
 		return Injected{
 			Kind:      ErrWidth,
 			Where:     geom.R(base.X+4850, base.Y+1350, base.X+5150, base.Y+2650),
-			DICRules:  []string{"W.ND", "NET.FANOUT"},
+			DICRules:  []string{"W.ND", "WIDTH.ND", "NET.FANOUT"},
 			FlatRules: []string{"FLAT.W.ND"},
 		}
 	case ErrSpacing:
@@ -179,7 +179,7 @@ func injectOne(d *layout.Design, top *layout.Symbol, tc *tech.Technology, kind E
 		return Injected{
 			Kind:      ErrContactOnGate,
 			Where:     geom.R(base.X-350, base.Y-350, base.X+350, base.Y+350),
-			DICRules:  []string{"DEV.GATE.CONTACT", "NET.FANOUT"},
+			DICRules:  []string{"DEV.GATE.CONTACT", "ENC.NM.NC", "NET.FANOUT"},
 			FlatRules: []string{"FLAT.GATECONTACT"},
 		}
 	}

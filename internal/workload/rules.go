@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Ground-truth breakers for the geometric layer-rule classes. Each plants
+// one minimal defect in the empty lane east of the i-th column's pullup
+// (row 0) and returns its location in chip coordinates. The placements are
+// derived so that exactly one violation of the target class appears and
+// none of the other layer-rule classes fire — spacing and device side
+// effects inherent to the defect (an accidental transistor under a bad
+// gate, say) are part of the ground truth a real checker would report and
+// are asserted separately by the tests.
+//
+// Metal probes are declared on the GND net (suppressing the floating-net
+// fanout complaint) and placed a full 3λ clear of every neighbouring
+// cell's metal.
+
+// BreakRuleWidth adds a 300-wide diffusion wire (rule: 2λ = 500) east of
+// the i-th cell. Both the per-element W.ND check and the merged-region
+// WIDTH.ND kernel must flag it.
+func (c *Chip) BreakRuleWidth(i int) geom.Rect {
+	diffL, _ := c.Lib.Tech.LayerByName(tech.NMOSDiff)
+	x := int64(i) * PitchX
+	c.Design.Top.AddWire(diffL, 300, "", geom.Pt(x+5000, 1500), geom.Pt(x+5000, 2500))
+	return geom.R(x+4850, 1350, x+5150, 2650)
+}
+
+// BreakRuleArea adds a 750×800 floating metal island: both dimensions meet
+// the 3λ width rule, but the 600000 sq-centimicron area is under the
+// 10λ² = 625000 minimum, so only the AREA.NM kernel can catch it.
+func (c *Chip) BreakRuleArea(i int) geom.Rect {
+	metalL, _ := c.Lib.Tech.LayerByName(tech.NMOSMetal)
+	x := int64(i) * PitchX
+	where := geom.R(x+4750, 1350, x+5500, 2150)
+	c.Design.Top.AddBox(metalL, where, "GND")
+	return where
+}
+
+// BreakRuleEnclosure adds a contact cut whose metal pad covers it with
+// the required 1λ margin on three sides but stops 125 short on the east —
+// an under-enclosed contact only the ENC.NM.NC kernel sees. The returned
+// rect is the uncovered sliver.
+func (c *Chip) BreakRuleEnclosure(i int) geom.Rect {
+	tc := c.Lib.Tech
+	cutL, _ := tc.LayerByName(tech.NMOSContact)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	x := int64(i) * PitchX
+	c.Design.Top.AddBox(cutL, geom.R(x+4750, 1550, x+5250, 2050), "")
+	c.Design.Top.AddBox(metalL, geom.R(x+4500, 1300, x+5375, 2300), "GND")
+	return geom.R(x+5125, 1550, x+5250, 2050)
+}
+
+// BreakRuleOverlap crosses a diffusion wire 250 into a poly block: the
+// gate channel is only 1λ wide against the 2λ overlap rule, so OVL.NP.ND
+// must flag the thin crossing (and, the crossing being a transistor no
+// symbol declares, DEV.ACCIDENTAL fires alongside — that is the ground
+// truth of the defect, not a false error). The returned rect is the thin
+// channel.
+func (c *Chip) BreakRuleOverlap(i int) geom.Rect {
+	tc := c.Lib.Tech
+	diffL, _ := tc.LayerByName(tech.NMOSDiff)
+	polyL, _ := tc.LayerByName(tech.NMOSPoly)
+	x := int64(i) * PitchX
+	c.Design.Top.AddWire(diffL, 500, "", geom.Pt(x+4600, 1500), geom.Pt(x+5400, 1500))
+	c.Design.Top.AddBox(polyL, geom.R(x+5400, 750, x+6150, 2250), "")
+	return geom.R(x+5400, 1250, x+5650, 1750)
+}
+
+// BreakRuleExtension crosses a poly wire over a diffusion wire with a full
+// 2λ channel (the overlap rule passes) but ends the poly flush with the
+// channel's north edge instead of extending 2λ past it — the short gate
+// extension of Figure 8, caught by EXT.NP.ND (and by DEV.ACCIDENTAL, the
+// crossing being undeclared). The returned rect is the missing extension.
+func (c *Chip) BreakRuleExtension(i int) geom.Rect {
+	tc := c.Lib.Tech
+	diffL, _ := tc.LayerByName(tech.NMOSDiff)
+	polyL, _ := tc.LayerByName(tech.NMOSPoly)
+	x := int64(i) * PitchX
+	c.Design.Top.AddWire(diffL, 500, "", geom.Pt(x+4300, 1500), geom.Pt(x+5700, 1500))
+	c.Design.Top.AddWire(polyL, 500, "", geom.Pt(x+5000, 1000), geom.Pt(x+5000, 1750))
+	return geom.R(x+4750, 2000, x+5250, 2250)
+}

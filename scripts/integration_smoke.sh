@@ -2,10 +2,11 @@
 # Integration smoke for the check service: build the real binaries, start
 # dicheckd on a random port, and drive a scripted session through the HTTP
 # API — upload the generated CMOS chip (clean), apply an accidental-
-# transistor edit (violation appears), revert it (clean again) — asserting
-# fingerprint parity with offline runs replaying the same edit script at
-# every step, plus the debounce bound (an edit burst costs at most 2
-# rechecks).
+# transistor edit (violation appears), revert it (clean again), then a
+# sub-minimum-width wire (the WIDTH.CM region kernel fires and the
+# per-class summary counts it) — asserting fingerprint parity with
+# offline runs replaying the same edit script at every step, plus the
+# debounce bound (an edit burst costs at most 2 rechecks).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +36,9 @@ cat > "$work/break.json" <<'EOF'
 EOF
 cat > "$work/revert.json" <<'EOF'
 [{"op":"delete_element","symbol":"chip","index":-1}]
+EOF
+cat > "$work/narrow.json" <<'EOF'
+[{"op":"add_wire","symbol":"chip","layer":"metal","width":200,"path":[0,-5000,1000,-5000]}]
 EOF
 
 echo "== start daemon"
@@ -93,7 +97,33 @@ fp_reverted=$(field "$work/served-reverted.json" fingerprint)
 [ "$fp_reverted" = "$fp_offline_clean" ] \
   || fail "revert fingerprint mismatch: $fp_reverted vs $fp_offline_clean"
 
-# Step 5: debounce — a 10-edit no-net-motion burst straight at the API
+# Step 5: width rule round-trip — a 200-wide metal wire (rule: 3λ = 300)
+# must trip both the per-element W.CM check and the merged-region WIDTH.CM
+# kernel through the daemon, with the per-class summary counting them
+# under "width" and the fingerprint matching the offline replay.
+echo "== width violation round-trip"
+set +e
+"$bin/dicheck" -serve "$base" -session smoke -edits "$work/narrow.json" -json > "$work/served-narrow.json"
+rc=$?
+set -e
+[ "$rc" = 1 ] || fail "served narrow-wire check exited $rc, want 1"
+grep -q '"rule": "WIDTH.CM"' "$work/served-narrow.json" \
+  || fail "WIDTH.CM not reported by the service"
+grep -q '"width": 2' "$work/served-narrow.json" \
+  || fail "per-class summary does not count the two width findings"
+set +e
+"$bin/dicheck" -tech cmos -edits "$work/narrow.json" -json "$work/chip.cif" > "$work/offline-narrow.json"
+rc=$?
+set -e
+[ "$rc" = 1 ] || fail "offline narrow-wire check exited $rc, want 1"
+fp_served_narrow=$(field "$work/served-narrow.json" fingerprint)
+fp_offline_narrow=$(field "$work/offline-narrow.json" fingerprint)
+[ -n "$fp_served_narrow" ] && [ "$fp_served_narrow" = "$fp_offline_narrow" ] \
+  || fail "narrow fingerprint mismatch: served $fp_served_narrow offline $fp_offline_narrow"
+"$bin/dicheck" -serve "$base" -session smoke -edits "$work/revert.json" -json > /dev/null \
+  || fail "narrow revert exited $?"
+
+# Step 6: debounce — a 10-edit no-net-motion burst straight at the API
 # must cost at most 2 rechecks (observable via /stats).
 echo "== debounce burst"
 sid=$(curl -sf "$base/sessions" | sed -n 's/^    "id": "\(s[0-9]*\)",$/\1/p' | head -1)
@@ -109,7 +139,7 @@ burst=$((after - before))
 [ "$burst" -le 2 ] || fail "10-edit burst cost $burst rechecks (want <= 2)"
 grep -q '"clean": true' "$work/burst-report.json" || fail "burst end state not clean"
 
-# Step 6: lifecycle cleanup through the API.
+# Step 7: lifecycle cleanup through the API.
 echo "== delete session"
 curl -sf -X DELETE "$base/sessions/$sid" > /dev/null || fail "delete"
 curl -s "$base/sessions/$sid/report" | grep -q '"error"' || fail "deleted session still serves reports"
