@@ -380,7 +380,7 @@ func recheckWorkload(rows, cols int) (*tech.Technology, *workload.Chip, []*layou
 		// Declared GND so the floating probe trips neither NET.FANOUT
 		// (rails are exempt) nor any spacing cell; the resulting NET.OPEN
 		// warning does not affect Clean().
-		s.AddBox(metalL, geom.R(-15000, 0, -14250, 750), "GND")
+		s.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "GND")
 		rowSyms = append(rowSyms, s)
 	}
 	return tc, chip, rowSyms
@@ -468,6 +468,72 @@ func BenchmarkRecheckNoEdit(b *testing.B) {
 		if _, err := eng.Recheck(chip.Design); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCheckColdArray measures a from-scratch engine run on the
+// uniform 64×64 array chip: one shared row definition instanced 64 times
+// (4096 cells total). The instance-context dedup makes this far cheaper
+// per instance than the unique-rows BenchmarkCheckColdLarge — all 64 row
+// placements share one translation class, so the row's span embedding is
+// built once and derived 63 times by pure coordinate translation.
+func BenchmarkCheckColdArray(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "arr", 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.NewEngine(tc, core.Options{}).Check(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+// BenchmarkRecheckOneBox measures the windowed recheck: the uniform 64×64
+// array plus one isolated anonymous probe box at top level, moved via
+// layout.ApplyEdit each iteration. The move is window-scoped (TouchElement)
+// and electrically inert, so extraction patches the previous root in place
+// and the interaction stage replays its recorded result — recheck cost is
+// bounded by the edit, not the chip. The anonymous probe floats, so the
+// expected report is exactly its one NET.FANOUT error (asserted; parity
+// with the cold oracle is enforced by TestEngineWindowRecheckParity).
+func BenchmarkRecheckOneBox(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "arr", 64, 64)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	top := chip.Design.Top
+	top.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "")
+	eng := core.NewEngine(tc, core.Options{})
+	rep, err := eng.Check(chip.Design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := len(rep.Violations); n != 1 {
+		b.Fatalf("expected exactly the probe's fanout error, got %d violations", n)
+	}
+	dy := int64(250)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := layout.ApplyEdit(chip.Design, tc, layout.Edit{
+			Op: layout.OpMoveElement, Symbol: top.Name, Index: -1, DY: dy,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		dy = -dy
+		rep, err := eng.Recheck(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(rep.Violations); n != 1 {
+			b.Fatalf("expected exactly the probe's fanout error, got %d violations", n)
+		}
+	}
+	b.StopTimer()
+	if !eng.Stats().WindowPatched {
+		b.Fatal("window patch path did not engage")
 	}
 }
 

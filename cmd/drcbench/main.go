@@ -8,18 +8,20 @@
 //	drcbench -json [-o DIR] [-compare BENCH_old.json]
 //	drcbench -compare BENCH_old.json
 //
-//	-quick    smaller chip sizes (fast smoke run)
-//	-run      comma-separated experiment ids (default: all)
-//	-workers  DIC interaction-stage goroutines (0 = all cores, 1 = serial);
-//	          E18 reports serial vs parallel regardless of this setting
-//	-json     run the perfbench kernel suite instead of the experiments and
-//	          write a BENCH_<date>.json snapshot (ns/op + allocs/op per
-//	          named benchmark) — the repo's perf trajectory artifact
-//	-compare  run the kernel suite and print per-benchmark deltas against
-//	          this prior snapshot (informational: exit status ignores
-//	          regressions; combine with -json to also write the new
-//	          snapshot)
-//	-o        directory for the JSON snapshot (default ".")
+//	-quick        smaller chip sizes (fast smoke run)
+//	-run          comma-separated experiment ids (default: all)
+//	-workers      DIC interaction-stage goroutines (0 = all cores, 1 = serial);
+//	              E18 reports serial vs parallel regardless of this setting
+//	-json         run the perfbench kernel suite instead of the experiments and
+//	              write a BENCH_<date>.json snapshot (ns/op + allocs/op per
+//	              named benchmark) — the repo's perf trajectory artifact
+//	-compare      run the kernel suite and print per-benchmark deltas against
+//	              this prior snapshot (informational: exit status ignores
+//	              regressions; combine with -json to also write the new
+//	              snapshot)
+//	-o            directory for the JSON snapshot (default ".")
+//	-cpuprofile   write a pprof CPU profile of the run
+//	-memprofile   write a pprof heap profile at exit
 package main
 
 import (
@@ -28,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -36,17 +40,53 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	quick := flag.Bool("quick", false, "smaller workloads")
 	run := flag.String("run", "", "comma-separated experiment ids (default all)")
 	workers := flag.Int("workers", 0, "DIC interaction-stage goroutines (0 = all cores, 1 = serial)")
 	jsonOut := flag.Bool("json", false, "run the kernel benchmark suite and write BENCH_<date>.json")
 	compare := flag.String("compare", "", "run the kernel suite and print deltas vs this prior BENCH_*.json snapshot")
 	outDir := flag.String("o", ".", "output directory for the -json snapshot")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	eval.Workers = *workers
 
+	// Profiling hooks, same contract as dicheck's: hot-path investigation
+	// of an experiment or benchmark kernel shouldn't need a throwaway
+	// harness. Deferred here (not in main) so every return runs them.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "drcbench: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "drcbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "drcbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *jsonOut || *compare != "" {
-		os.Exit(runBenchSuite(*outDir, *jsonOut, *compare))
+		return runBenchSuite(*outDir, *jsonOut, *compare)
 	}
 
 	type experiment struct {
@@ -94,8 +134,9 @@ func main() {
 		fmt.Printf("(%s completed in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runBenchSuite runs the perfbench suite, optionally writing the dated

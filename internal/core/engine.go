@@ -60,6 +60,90 @@ type Engine struct {
 	prev map[string]layout.Hash // previous run's subtree hashes, by symbol name
 	runs int
 	last EngineStats
+
+	// replay holds everything needed to reproduce the interaction stage
+	// of the previous run when extraction reports a root patch (see
+	// tryReplayInteractions): the per-run net facts, the root instance's
+	// live tally, and the aggregated child-instance results.
+	replay replayState
+
+	// Construction-stage cache for the same patched-root replay: the
+	// issues of the previous run stay valid except for the patched nets'
+	// bounds, which are rewritten in place.
+	consNL     *netlist.Netlist
+	consIssues []netlist.Issue
+	consValid  bool
+}
+
+// replayState is the recorded interaction stage of the previous run,
+// replayable when extraction patched the root instead of rebuilding it.
+// Everything instance-structural (net facts, child tallies, counters) is
+// unchanged by such a patch; only the root definition's own pairs can
+// differ, and those are patched through patchRootInter.
+type replayState struct {
+	valid bool
+	nl    *netlist.Netlist         // pointer identity of the extraction replayed
+	root  *netlist.SymbolArtifacts // pointer identity of the root artifact
+	inst  int                      // instance count (defensive)
+
+	hasDev []bool          // per global net: carries a device terminal
+	shared map[uint64]bool // net-pair (lo<<32|hi): nets share a device
+
+	rootTally   *interactionTally // instance 0's live tally (nil: no pairs)
+	childViol   []Violation       // instances 1.. violations, fully resolved
+	child       interCounters     // instances 1.. counter deltas
+	childHashes []layout.Hash     // distinct child definition hashes (cache refresh)
+}
+
+// interCounters is the interaction stage's additive counter set.
+type interCounters struct {
+	candidates, checked            int
+	noRule, sameNet, related, conn int
+	downgrades, checks             int
+}
+
+func captureCounters(c *checker) interCounters {
+	st := &c.rep.Stats
+	ic := interCounters{
+		candidates: st.InteractionCandidates,
+		checked:    st.InteractionChecked,
+		noRule:     st.SkippedNoRule,
+		sameNet:    st.SkippedSameNetExempt,
+		related:    st.SkippedRelated,
+		conn:       st.SkippedConnectionPairs,
+		downgrades: st.ProcessDowngrades,
+	}
+	if c.curStage != nil {
+		ic.checks = c.curStage.Checks
+	}
+	return ic
+}
+
+func (a interCounters) sub(b interCounters) interCounters {
+	return interCounters{
+		candidates: a.candidates - b.candidates,
+		checked:    a.checked - b.checked,
+		noRule:     a.noRule - b.noRule,
+		sameNet:    a.sameNet - b.sameNet,
+		related:    a.related - b.related,
+		conn:       a.conn - b.conn,
+		downgrades: a.downgrades - b.downgrades,
+		checks:     a.checks - b.checks,
+	}
+}
+
+func (a interCounters) addTo(c *checker) {
+	st := &c.rep.Stats
+	st.InteractionCandidates += a.candidates
+	st.InteractionChecked += a.checked
+	st.SkippedNoRule += a.noRule
+	st.SkippedSameNetExempt += a.sameNet
+	st.SkippedRelated += a.related
+	st.SkippedConnectionPairs += a.conn
+	st.ProcessDowngrades += a.downgrades
+	if c.curStage != nil {
+		c.curStage.Checks += a.checks
+	}
 }
 
 // elemEntry caches one definition's stage-1 result.
@@ -87,6 +171,16 @@ type EngineStats struct {
 	InterReused  int // interaction definition caches replayed this run
 	SigMisses    int // instance signatures that had to adjudicate
 	SigHits      int // instance signatures replayed from a cached tally
+
+	// Array-regularity context cache (extraction span derivation):
+	// cumulative over the engine's lifetime, not per run.
+	CtxHits   int // span contexts derived by translating a same-class representative
+	CtxMisses int // span contexts built from scratch (one per distinct class)
+
+	// WindowPatched reports that the last run took the windowed-recheck
+	// fast path: extraction patched the previous root in place and the
+	// interaction stage replayed its recorded result.
+	WindowPatched bool
 }
 
 // NewEngine creates an incremental check session for one technology and
@@ -141,6 +235,21 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 	}
 	e.prev = cur
 
+	// Consume the accumulated edit records. When the only dirty symbol is
+	// the top and its edits were all window-scoped in-place moves, hand
+	// the window to extraction, which may patch the previous root instead
+	// of re-deriving it (the windowed recheck).
+	var win *netlist.EditWindow
+	for _, s := range d.SortedSymbols() {
+		info := s.TakeDirty()
+		if s == d.Top && info.Seen && !info.Full && len(info.Elems) > 0 {
+			win = &netlist.EditWindow{Elems: info.Elems, Window: info.Window}
+		}
+	}
+	if len(dirty) != 1 || dirty[0] != d.Top {
+		win = nil
+	}
+
 	rep := &Report{Design: d, Tech: e.tc}
 	c := &checker{design: d, tech: e.tc, ct: e.ct, opts: e.opts, rep: rep}
 
@@ -152,7 +261,7 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 	c.stage("generate hierarchical net list", func() {
 		var issues []netlist.Issue
 		var err error
-		inc, issues, err = netlist.ExtractVirtual(d, e.tc, e.cache, hashes)
+		inc, issues, err = netlist.ExtractVirtualWindow(d, e.tc, e.cache, hashes, win)
 		if err != nil {
 			c.add(Violation{Rule: "STRUCT.EXTRACT", Severity: Error, Detail: err.Error()})
 			return
@@ -168,11 +277,7 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 			c.stage("check interactions", func() { e.checkInteractions(c, inc, &stats) })
 		}
 		if !e.opts.SkipConstruction {
-			c.stage("check construction rules", func() {
-				for _, is := range netlist.ConstructionRules(inc.Netlist, e.tc) {
-					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
-				}
-			})
+			c.stage("check construction rules", func() { e.checkConstruction(c, inc) })
 		}
 		if e.opts.Reference != nil {
 			c.stage("check netlist reference", func() {
@@ -185,6 +290,8 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 	sortViolations(rep.Violations)
 
 	stats.ArtifactDefs = e.cache.Len()
+	stats.CtxHits, stats.CtxMisses = e.cache.ContextStats()
+	stats.WindowPatched = inc != nil && inc.Patch != nil
 	e.evict()
 	e.last = stats
 	return rep, nil
@@ -349,6 +456,11 @@ type defInter struct {
 	// indices then refer to this slice instead of art.Items.
 	items []netlist.ConnItem
 
+	// itemIdx maps global item index -> position in items (-1: not yet a
+	// pair endpoint). Retained on virtual artifacts so a root patch can
+	// resolve the moved items' new pairs without a rebuild.
+	itemIdx []int32
+
 	// netFree marks definitions whose every candidate pair is internal to
 	// one device: adjudication never consults the net environment (the
 	// same-device subcase decides first), so one tally replays for every
@@ -414,48 +526,6 @@ func (e *Engine) buildDefInter(art *netlist.SymbolArtifacts, maxGap int64) *defI
 		termClasses:  make(map[int][]int),
 		sigs:         make(map[string]*interactionTally),
 	}
-	addClass := func(cl int) {
-		if cl < 0 {
-			return
-		}
-		if _, ok := di.classPos[cl]; !ok {
-			di.classPos[cl] = len(di.candClasses)
-			di.candClasses = append(di.candClasses, cl)
-		}
-	}
-	addDev := func(dev int) {
-		if dev < 0 {
-			return
-		}
-		if _, ok := di.termClasses[dev]; ok {
-			return
-		}
-		tns := art.Devices[dev].TerminalNets
-		tcs := make([]int, 0, len(tns))
-		for ti := range tns {
-			cl := int(tns[ti].Net)
-			dup := false
-			for _, have := range tcs {
-				if have == cl {
-					dup = true
-					break
-				}
-			}
-			if !dup {
-				tcs = append(tcs, cl)
-			}
-		}
-		// Deterministic order for signature-independent iteration.
-		for i := 1; i < len(tcs); i++ {
-			for j := i; j > 0 && tcs[j-1] > tcs[j]; j-- {
-				tcs[j-1], tcs[j] = tcs[j], tcs[j-1]
-			}
-		}
-		di.termClasses[dev] = tcs
-		for _, cl := range tcs {
-			addClass(cl)
-		}
-	}
 	di.netFree = true
 	var itemIdx []int32
 	var layers []tech.LayerID
@@ -510,26 +580,94 @@ func (e *Engine) buildDefInter(art *netlist.SymbolArtifacts, maxGap int64) *defI
 			pa, pb = resolve(i), resolve(j)
 		}
 		di.pairs = append(di.pairs, defPair{a: pa, b: pb})
-		a, b := di.itemAt(pa), di.itemAt(pb)
-		if a.Dev < 0 || a.Dev != b.Dev {
-			di.netFree = false
-		}
-		addClass(int(a.Net))
-		addClass(int(b.Net))
-		addDev(a.Dev)
-		addDev(b.Dev)
-		if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
-			cp := [2]int{int(a.Net), int(b.Net)}
-			if cp[0] > cp[1] {
-				cp[0], cp[1] = cp[1], cp[0]
-			}
-			if _, ok := di.classPairPos[cp]; !ok {
-				di.classPairPos[cp] = len(di.classPairs)
-				di.classPairs = append(di.classPairs, cp)
-			}
-		}
+		di.registerPairMeta(pa, pb)
 	})
+	if art.Virtual {
+		di.itemIdx = itemIdx
+	}
 	return di
+}
+
+// addClass records one local net class in the signature domain.
+func (di *defInter) addClass(cl int) {
+	if cl < 0 {
+		return
+	}
+	if _, ok := di.classPos[cl]; !ok {
+		di.classPos[cl] = len(di.candClasses)
+		di.candClasses = append(di.candClasses, cl)
+	}
+}
+
+// addDev records one local device's terminal classes.
+func (di *defInter) addDev(dev int) {
+	if dev < 0 {
+		return
+	}
+	if _, ok := di.termClasses[dev]; ok {
+		return
+	}
+	tns := di.art.Devices[dev].TerminalNets
+	tcs := make([]int, 0, len(tns))
+	for ti := range tns {
+		cl := int(tns[ti].Net)
+		dup := false
+		for _, have := range tcs {
+			if have == cl {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			tcs = append(tcs, cl)
+		}
+	}
+	// Deterministic order for signature-independent iteration.
+	for i := 1; i < len(tcs); i++ {
+		for j := i; j > 0 && tcs[j-1] > tcs[j]; j-- {
+			tcs[j-1], tcs[j] = tcs[j], tcs[j-1]
+		}
+	}
+	di.termClasses[dev] = tcs
+	for _, cl := range tcs {
+		di.addClass(cl)
+	}
+}
+
+// registerPairMeta folds one pair's endpoints into the signature-domain
+// bookkeeping (classes, devices, class pairs, the netFree flag). Shared
+// between the initial build and root-patch pair additions.
+func (di *defInter) registerPairMeta(pa, pb int) {
+	a, b := di.itemAt(pa), di.itemAt(pb)
+	if a.Dev < 0 || a.Dev != b.Dev {
+		di.netFree = false
+	}
+	di.addClass(int(a.Net))
+	di.addClass(int(b.Net))
+	di.addDev(a.Dev)
+	di.addDev(b.Dev)
+	if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+		cp := [2]int{int(a.Net), int(b.Net)}
+		if cp[0] > cp[1] {
+			cp[0], cp[1] = cp[1], cp[0]
+		}
+		if _, ok := di.classPairPos[cp]; !ok {
+			di.classPairPos[cp] = len(di.classPairs)
+			di.classPairs = append(di.classPairs, cp)
+		}
+	}
+}
+
+// resolveLocal resolves a global item index into the pair-endpoint item
+// table, appending on first use. Valid only when itemIdx was retained.
+func (di *defInter) resolveLocal(gi int) int {
+	if k := di.itemIdx[gi]; k >= 0 {
+		return int(k)
+	}
+	k := len(di.items)
+	di.items = append(di.items, di.art.ResolveItem(gi))
+	di.itemIdx[gi] = int32(k)
+	return k
 }
 
 // itemAt resolves a pair-endpoint index to its frame-correct item.
@@ -904,6 +1042,10 @@ func (e *Engine) absorbKeepouts(c *checker, inc *netlist.IncExtraction, ii int, 
 // net-environment signature and fold it into the report; then run the
 // global keepout sweeps exactly as the chip-level checker does.
 func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats *EngineStats) {
+	if inc.Patch != nil && e.tryReplayInteractions(c, inc, stats) {
+		return
+	}
+	e.replay = replayState{}
 	ex := inc.Extraction
 	maxGap := e.ct.MaxSpacing()
 
@@ -977,7 +1119,8 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 		labelOf:   make([]int, len(ex.Netlist.Nets)),
 		labelSeen: make([]uint32, len(ex.Netlist.Nets)),
 	}
-	for ii := range inc.Instances {
+	var rootTally *interactionTally
+	processInstance := func(ii int) {
 		inst := &inc.Instances[ii]
 		di := e.defInterFor(inst.Art, maxGap, stats)
 		if !di.keepBuilt {
@@ -985,7 +1128,7 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 		}
 		e.absorbKeepouts(c, inc, ii, di)
 		if len(di.pairs) == 0 {
-			continue
+			return
 		}
 		if di.netFree {
 			// Every pair is device-internal: adjudication cannot touch
@@ -996,8 +1139,11 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 			} else {
 				stats.SigHits++
 			}
+			if ii == 0 {
+				rootTally = di.freeTally
+			}
 			e.absorbInstance(c, inc, ii, di.freeTally)
-			continue
+			return
 		}
 		sig := e.netEnvSignature(di, inc, ii, hasDev, shared, scratch)
 		tally, ok := di.sigs[string(sig)]
@@ -1008,8 +1154,373 @@ func (e *Engine) checkInteractions(c *checker, inc *netlist.IncExtraction, stats
 		} else {
 			stats.SigHits++
 		}
+		if ii == 0 {
+			rootTally = tally
+		}
 		e.absorbInstance(c, inc, ii, tally)
 	}
+	processInstance(0)
+	violMark := len(c.rep.Violations)
+	mark := captureCounters(c)
+	for ii := 1; ii < len(inc.Instances); ii++ {
+		processInstance(ii)
+	}
+
+	// Record the stage for the windowed-recheck replay: the root
+	// instance's tally stays live (patchRootInter edits it in place), the
+	// child instances' results are frozen as resolved violations plus
+	// counter deltas. Violations are copied — sortViolations reorders the
+	// report's backing array after every run.
+	hseen := make(map[layout.Hash]bool, 32)
+	var childHashes []layout.Hash
+	for ii := 1; ii < len(inc.Instances); ii++ {
+		h := inc.Instances[ii].Art.Hash
+		if !hseen[h] {
+			hseen[h] = true
+			childHashes = append(childHashes, h)
+		}
+	}
+	e.replay = replayState{
+		valid:       true,
+		nl:          ex.Netlist,
+		root:        inc.Root,
+		inst:        len(inc.Instances),
+		hasDev:      hasDev,
+		shared:      shared,
+		rootTally:   rootTally,
+		childViol:   append([]Violation(nil), c.rep.Violations[violMark:]...),
+		child:       captureCounters(c).sub(mark),
+		childHashes: childHashes,
+	}
+}
+
+// tryReplayInteractions reproduces the previous run's interaction stage
+// when extraction patched the root in place: the child instances replay
+// from the recorded aggregate, and the root definition's pair set is
+// patched for the moved items (old pairs' contributions subtracted, new
+// pairs adjudicated directly against the global net facts). Returns false
+// — with the recorded state invalidated — when any precondition fails;
+// the caller then runs the full stage, which re-records.
+func (e *Engine) tryReplayInteractions(c *checker, inc *netlist.IncExtraction, stats *EngineStats) bool {
+	r := &e.replay
+	p := inc.Patch
+	if !r.valid || r.nl != inc.Extraction.Netlist || r.root != inc.Root || r.inst != len(inc.Instances) {
+		return false
+	}
+	di, ok := e.inter[p.PrevHash]
+	if !ok || di.art != inc.Root {
+		return false
+	}
+	if len(p.Items) > 0 && !e.patchRootInter(di, inc, p.Items) {
+		// The cache entry may be half-patched; drop it so the full stage
+		// rebuilds it from the (already patched) artifact.
+		delete(e.inter, p.PrevHash)
+		delete(e.interGen, p.PrevHash)
+		r.valid = false
+		return false
+	}
+	if inc.Root.Hash != p.PrevHash {
+		delete(e.inter, p.PrevHash)
+		delete(e.interGen, p.PrevHash)
+		e.inter[inc.Root.Hash] = di
+	}
+	e.interGen[inc.Root.Hash] = e.runs
+	for _, h := range r.childHashes {
+		if _, ok := e.interGen[h]; ok {
+			e.interGen[h] = e.runs
+		}
+	}
+	stats.InterReused++
+	stats.SigHits += r.inst
+
+	e.absorbKeepouts(c, inc, 0, di)
+	if r.rootTally != nil {
+		e.absorbInstance(c, inc, 0, r.rootTally)
+	}
+	r.child.addTo(c)
+	c.rep.Violations = append(c.rep.Violations, r.childViol...)
+	return true
+}
+
+// patchRootInter rewrites the root definition's interaction cache for a
+// set of moved own items: pairs with a moved endpoint are removed (their
+// contributions subtracted from the live root tally), the items' geometry
+// is refreshed, and the moved items' new candidate pairs are enumerated
+// and adjudicated into the tally. The per-signature tally cache is
+// cleared — pair membership changed, so any cached adjudication is stale.
+func (e *Engine) patchRootInter(di *defInter, inc *netlist.IncExtraction, moved []int) bool {
+	art := inc.Root
+	if di.itemIdx == nil {
+		return false
+	}
+	// Keepout tallies (contact-over-gate, isolation-vs-base) depend on
+	// cut/isolation geometry; a moved item on those layers would
+	// invalidate them. The netlist patch only moves foot-backed
+	// interconnect, so in practice this never trips.
+	if cutID, ok := e.ct.Cut(); ok {
+		for _, gi := range moved {
+			if art.ItemView(gi).Layer == cutID {
+				return false
+			}
+		}
+	}
+	if isoID, ok := e.ct.Isolation(); ok {
+		for _, gi := range moved {
+			if art.ItemView(gi).Layer == isoID {
+				return false
+			}
+		}
+	}
+	maxGap := e.ct.MaxSpacing()
+	env := &directEnv{di: di, hasDev: e.replay.hasDev, shared: e.replay.shared}
+
+	movedL := make(map[int]bool, len(moved)) // local item-table indices
+	movedG := make(map[int]bool, len(moved)) // global item indices
+	for _, gi := range moved {
+		movedG[gi] = true
+		if k := di.itemIdx[gi]; k >= 0 {
+			movedL[int(k)] = true
+		}
+	}
+
+	t := e.replay.rootTally
+	// Subtract the removed pairs' contributions while di.items still
+	// holds the old geometry (the memoized pair geometry plus the live
+	// net environment reproduce the original adjudication exactly), then
+	// compact them out.
+	var oldT interactionTally
+	n := 0
+	for i := range di.pairs {
+		pr := di.pairs[i]
+		if movedL[pr.a] || movedL[pr.b] {
+			g := defPairGeom{p: &pr, opts: &e.opts}
+			adjudicatePair(e.tc, e.ct, e.opts, di.itemAt(pr.a), di.itemAt(pr.b), env, &g, &oldT)
+			continue
+		}
+		di.pairs[n] = pr
+		n++
+	}
+	di.pairs = di.pairs[:n]
+	if t == nil {
+		if oldT.candidates > 0 {
+			return false
+		}
+	} else if !t.subtract(&oldT) {
+		return false
+	}
+
+	// Refresh the moved items' geometry, then adjudicate their new pairs
+	// straight into the live tally.
+	for _, gi := range moved {
+		if k := di.itemIdx[gi]; k >= 0 {
+			di.items[k] = art.ResolveItem(gi)
+		}
+	}
+	ownEnd := art.OwnItemEnd()
+	for _, gi := range moved {
+		la := art.ItemView(gi).Layer
+		probe := art.ItemView(gi).Bounds.Expand(maxGap)
+		addPair := func(gj int) {
+			if !e.ct.Interacts(la, art.ItemView(gj).Layer) {
+				return
+			}
+			i, j := gi, gj
+			if i > j {
+				i, j = j, i
+			}
+			pa, pb := di.resolveLocal(i), di.resolveLocal(j)
+			di.registerPairMeta(pa, pb)
+			if t == nil {
+				t = &interactionTally{}
+				e.replay.rootTally = t
+			}
+			pr := defPair{a: pa, b: pb}
+			g := defPairGeom{p: &pr, opts: &e.opts}
+			adjudicatePair(e.tc, e.ct, e.opts, di.itemAt(pa), di.itemAt(pb), env, &g, t)
+			di.pairs = append(di.pairs, pr)
+		}
+		for j := 0; j < ownEnd; j++ {
+			// Moved-moved pairs are emitted once, by the lower index.
+			if j == gi || (movedG[j] && j < gi) {
+				continue
+			}
+			if probe.Touches(art.Items[j].Bounds) {
+				addPair(j)
+			}
+		}
+		for si := range art.Children {
+			sp := &art.Children[si]
+			if !probe.Touches(sp.Bounds) {
+				continue
+			}
+			items := sp.SpanItems()
+			for k := range items {
+				if probe.Touches(items[k].Bounds) {
+					addPair(sp.ItemStart + k)
+				}
+			}
+		}
+	}
+	// Pair membership changed: every cached per-signature adjudication of
+	// this definition is stale.
+	di.sigs = make(map[string]*interactionTally)
+	di.freeTally = nil
+	return true
+}
+
+// subtract removes another tally's contributions: counters subtract
+// directly; each violation draft must find (and remove) one equal draft.
+// Returns false when a draft has no match — the caller must then fall
+// back to a full recompute.
+func (t *interactionTally) subtract(o *interactionTally) bool {
+	for _, d := range o.violations {
+		found := -1
+		for i := range t.violations {
+			if draftEq(&t.violations[i], &d) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return false
+		}
+		t.violations = append(t.violations[:found], t.violations[found+1:]...)
+	}
+	t.checks -= o.checks
+	t.candidates -= o.candidates
+	t.checked -= o.checked
+	t.skippedNoRule -= o.skippedNoRule
+	t.skippedSameNet -= o.skippedSameNet
+	t.skippedRelated -= o.skippedRelated
+	t.skippedConn -= o.skippedConn
+	t.downgrades -= o.downgrades
+	return true
+}
+
+// draftEq compares drafts field by field (Violation holds a Nets slice,
+// which drafts never populate, so the comparison is over everything set).
+func draftEq(a, b *violationDraft) bool {
+	return a.aNet == b.aNet && a.bNet == b.bNet &&
+		a.v.Rule == b.v.Rule && a.v.Severity == b.v.Severity &&
+		a.v.Detail == b.v.Detail && a.v.Where == b.v.Where &&
+		a.v.Symbol == b.v.Symbol && a.v.Path == b.v.Path && a.v.Layer == b.v.Layer
+}
+
+// directEnv implements pairEnv for the root frame against the global net
+// facts directly — the root's local classes ARE the global net ids, so no
+// signature indirection is needed. Branch for branch it decides exactly
+// as sigEnv does under the root instance's signature (and as the
+// chip-level checker does), which the parity tests lock in.
+type directEnv struct {
+	di     *defInter
+	hasDev []bool
+	shared map[uint64]bool
+}
+
+func (s *directEnv) sameNet(a, b *netlist.ConnItem) bool {
+	return a.Net != netlist.NoNet && a.Net == b.Net
+}
+
+func (s *directEnv) devOnNet(dev int, net netlist.NetID) bool {
+	for _, tcl := range s.di.termClasses[dev] {
+		if netlist.NetID(tcl) == net {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *directEnv) related(a, b *netlist.ConnItem) bool {
+	if a.Dev >= 0 && a.Dev == b.Dev {
+		return true
+	}
+	if a.Dev >= 0 && b.Net != netlist.NoNet && s.devOnNet(a.Dev, b.Net) {
+		return true
+	}
+	if b.Dev >= 0 && a.Net != netlist.NoNet && s.devOnNet(b.Dev, a.Net) {
+		return true
+	}
+	if a.Net != netlist.NoNet && b.Net != netlist.NoNet {
+		if a.Net == b.Net {
+			return s.hasDev[a.Net]
+		}
+		lo, hi := a.Net, b.Net
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return s.shared[uint64(lo)<<32|uint64(uint32(hi))]
+	}
+	return false
+}
+
+func (s *directEnv) keepsSameNetSpacing(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := s.di.art.Devices[dev].Info
+	return info != nil && !info.SpacingExemptSameNet
+}
+
+func (s *directEnv) mayTouchIsolation(dev int) bool {
+	if dev < 0 {
+		return false
+	}
+	info := s.di.art.Devices[dev].Info
+	return info != nil && info.MayTouchIsolation
+}
+
+// checkConstruction is stage 6 with the same patched-root replay: the
+// rule set reads only nets and devices, and a root patch changes nothing
+// but the patched nets' bounds, so the previous issues are rewritten in
+// place instead of recomputed.
+func (e *Engine) checkConstruction(c *checker, inc *netlist.IncExtraction) {
+	var issues []netlist.Issue
+	done := false
+	if inc.Patch != nil && e.consValid && e.consNL == inc.Netlist {
+		issues, done = e.patchConstruction(inc, inc.Patch.Items)
+	}
+	if !done {
+		issues = netlist.ConstructionRules(inc.Netlist, e.tc)
+	}
+	e.consNL, e.consIssues, e.consValid = inc.Netlist, issues, true
+	for _, is := range issues {
+		c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
+	}
+}
+
+// patchConstruction rewrites the previous run's construction issues for a
+// root patch. Each patched item is the sole member of an anonymous net
+// with no terminals (the netlist patch preconditions), so its one issue
+// is the NET.FANOUT finding, keyed stably by (rule, detail) — only the
+// Where moves. Issue order is preserved (sortIssues keys on rule and
+// detail, both unchanged).
+func (e *Engine) patchConstruction(inc *netlist.IncExtraction, moved []int) ([]netlist.Issue, bool) {
+	if len(moved) == 0 {
+		return e.consIssues, true
+	}
+	out := append([]netlist.Issue(nil), e.consIssues...)
+	for _, gi := range moved {
+		f := inc.Root.ItemFootAt(gi)
+		if f < 0 {
+			return nil, false
+		}
+		cl := inc.Root.ClassOf[f]
+		net := &inc.Netlist.Nets[cl]
+		detail := fmt.Sprintf("net %q has %d device terminal(s), need at least 2",
+			net.Name, len(net.Terminals))
+		found := false
+		for k := range out {
+			if out[k].Rule == "NET.FANOUT" && out[k].Detail == detail {
+				out[k].Where = net.Bounds
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	return out, true
 }
 
 // adjudicateDef runs the shared subcase logic over every candidate pair of
@@ -1090,6 +1601,10 @@ func pathJoin(prefix, rel string) string {
 
 // String renders cache stats compactly for -repeat style loops.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("run %d: %d/%d symbols dirty, %d artifact defs, interactions %d built/%d reused, signatures %d miss/%d hit",
-		s.Runs, s.DirtySymbols, s.Symbols, s.ArtifactDefs, s.InterBuilt, s.InterReused, s.SigMisses, s.SigHits)
+	out := fmt.Sprintf("run %d: %d/%d symbols dirty, %d artifact defs, interactions %d built/%d reused, signatures %d miss/%d hit, contexts %d derived/%d built",
+		s.Runs, s.DirtySymbols, s.Symbols, s.ArtifactDefs, s.InterBuilt, s.InterReused, s.SigMisses, s.SigHits, s.CtxHits, s.CtxMisses)
+	if s.WindowPatched {
+		out += ", window-patched"
+	}
+	return out
 }

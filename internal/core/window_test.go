@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// TestEngineWindowRecheckParity locks the windowed recheck: after any
+// window-scoped edit (layout.ApplyEdit move_element), a warm Recheck must
+// fingerprint-match a cold engine on the same design state, whether the
+// patch fast path engaged or refused. The WindowPatched stat pins down
+// which path ran, so the fast path cannot silently stop engaging.
+func TestEngineWindowRecheckParity(t *testing.T) {
+	nm := tech.NMOS()
+	chip := workload.NewChip(nm, "win", 6, 6)
+	d := chip.Design
+	metalL, _ := nm.LayerByName(tech.NMOSMetal)
+	top := d.Top
+	// Two isolated anonymous probes west of the array; their moves are
+	// the patchable edits (each is the sole member of an anonymous net).
+	top.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "")
+	top.AddBox(metalL, geom.R(-20000, 4000, -19250, 5000), "")
+	probeA, probeB := len(top.Elements)-2, len(top.Elements)-1
+
+	eng := NewEngine(nm, Options{Workers: 1})
+	if _, err := eng.Check(d); err != nil {
+		t.Fatal(err)
+	}
+
+	move := func(idx int, dx, dy int64) {
+		t.Helper()
+		if err := layout.ApplyEdit(d, nm, layout.Edit{
+			Op: layout.OpMoveElement, Symbol: top.Name, Index: idx, DX: dx, DY: dy,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify := func(label string, wantPatched bool) {
+		t.Helper()
+		warm, err := eng.Recheck(d)
+		if err != nil {
+			t.Fatalf("%s: recheck: %v", label, err)
+		}
+		if got := eng.Stats().WindowPatched; got != wantPatched {
+			t.Fatalf("%s: WindowPatched = %v, want %v", label, got, wantPatched)
+		}
+		cold, err := NewEngine(nm, Options{Workers: 1}).Check(d)
+		if err != nil {
+			t.Fatalf("%s: cold: %v", label, err)
+		}
+		requireSameReport(t, label+" warm vs cold", warm, cold)
+	}
+
+	// Nominal: one isolated move patches the root in place.
+	move(probeA, 0, 250)
+	verify("one-box move", true)
+
+	// Two moves batched between rechecks: a multi-item patch.
+	move(probeA, 0, -250)
+	move(probeB, 500, 0)
+	verify("two-box batch", true)
+
+	// An unchanged design replays the previous run verbatim.
+	verify("no-edit replay", true)
+
+	// Moving a declared-net element (the VDD trunk) is window-scoped but
+	// not electrically inert: the patch must refuse and the full path
+	// take over, still matching the oracle.
+	move(0, 250, 0)
+	verify("rail move refuses patch", false)
+	move(0, -250, 0)
+	verify("rail move back refuses patch", false)
+
+	// The full run re-records the replay state, so patching recovers.
+	move(probeA, 0, 250)
+	verify("patch recovers after refusal", true)
+
+	// Structural edits (add + delete) degrade to full dirtiness.
+	move(probeA, 0, -250)
+	top.AddBox(metalL, geom.R(-25000, 0, -24250, 1000), "")
+	verify("structural edit refuses patch", false)
+	if err := layout.ApplyEdit(d, nm, layout.Edit{
+		Op: layout.OpDeleteElement, Symbol: top.Name, Index: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	verify("delete refuses patch", false)
+
+	// Randomized drift: repeated small window-scoped moves must keep the
+	// patch engaged and the report oracle-identical at every step.
+	rng := rand.New(rand.NewSource(1980))
+	steps := 10
+	if testing.Short() {
+		steps = 3
+	}
+	for i := 0; i < steps; i++ {
+		dy := rng.Int63n(501) - 250
+		move(probeA, 0, dy)
+		verify(fmt.Sprintf("drift step %d (dy %d)", i, dy), true)
+	}
+}
+
+// TestEngineWindowRecheckOtherSymbolFullPath: a window-scoped edit inside
+// a non-top symbol dirties the whole subtree chain, so the windowed patch
+// must not engage — and the warm result still matches the oracle.
+func TestEngineWindowRecheckOtherSymbolFullPath(t *testing.T) {
+	nm := tech.NMOS()
+	chip := workload.NewChipUnique(nm, "winrow", 4, 4)
+	d := chip.Design
+	row, ok := d.Symbol("row2")
+	if !ok {
+		t.Fatal("row2 missing")
+	}
+	metalL, _ := nm.LayerByName(tech.NMOSMetal)
+	row.AddBox(metalL, geom.R(-5000, 0, -4250, 1000), "")
+
+	eng := NewEngine(nm, Options{Workers: 1})
+	if _, err := eng.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := layout.ApplyEdit(d, nm, layout.Edit{
+		Op: layout.OpMoveElement, Symbol: "row2", Index: -1, DY: 250,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.Recheck(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Stats().WindowPatched {
+		t.Fatal("patch engaged for a non-top edit")
+	}
+	cold, err := NewEngine(nm, Options{Workers: 1}).Check(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, "row edit warm vs cold", warm, cold)
+}
+
+// TestNetEnvSignatureTalliesIdentical pins the signature cache's core
+// guarantee: the signature bytes are deterministic, and two instances
+// with equal signatures adjudicate to byte-identical tallies — same
+// violations, same counters — so replaying one tally for both is sound.
+func TestNetEnvSignatureTalliesIdentical(t *testing.T) {
+	nm := tech.NMOS()
+	chip := workload.NewChip(nm, "sigdet", 4, 5)
+	inc, _, err := netlist.ExtractVirtual(chip.Design, nm, netlist.NewCache(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(nm, Options{Workers: 1})
+	maxGap := e.ct.MaxSpacing()
+
+	// The same global net facts checkInteractions computes.
+	ex := inc.Extraction
+	hasDev := make([]bool, len(ex.Netlist.Nets))
+	for i := range ex.Netlist.Nets {
+		hasDev[i] = len(ex.Netlist.Nets[i].Terminals) > 0
+	}
+	shared := make(map[uint64]bool)
+	var netBuf []netlist.NetID
+	for di := range ex.Netlist.Devices {
+		netBuf = ex.Netlist.Devices[di].TerminalNetIDs(netBuf[:0])
+		for i := 0; i < len(netBuf); i++ {
+			for j := i + 1; j < len(netBuf); j++ {
+				lo, hi := netBuf[i], netBuf[j]
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				shared[uint64(lo)<<32|uint64(uint32(hi))] = true
+			}
+		}
+	}
+	scratch := &sigScratch{
+		labelOf:   make([]int, len(ex.Netlist.Nets)),
+		labelSeen: make([]uint32, len(ex.Netlist.Nets)),
+	}
+
+	type obs struct {
+		tally *interactionTally
+		inst  int
+	}
+	stats := &EngineStats{}
+	bySig := make(map[string][]obs)
+	for ii := range inc.Instances {
+		art := inc.Instances[ii].Art
+		di := e.defInterFor(art, maxGap, stats)
+		if len(di.pairs) == 0 || di.netFree {
+			continue
+		}
+		sig := string(e.netEnvSignature(di, inc, ii, hasDev, shared, scratch))
+		labels := append([]int(nil), scratch.labels...)
+		again := string(e.netEnvSignature(di, inc, ii, hasDev, shared, scratch))
+		if sig != again {
+			t.Fatalf("instance %d: signature not deterministic", ii)
+		}
+		// Adjudicate independently per instance (bypassing the tally
+		// cache) so equality below is a real statement about signatures.
+		tally := e.adjudicateDef(di, labels, []byte(sig))
+		key := fmt.Sprintf("%p/%x", art, sig)
+		bySig[key] = append(bySig[key], obs{tally: tally, inst: ii})
+	}
+	groups := 0
+	for key, list := range bySig {
+		if len(list) < 2 {
+			continue
+		}
+		groups++
+		for _, o := range list[1:] {
+			if !reflect.DeepEqual(list[0].tally, o.tally) {
+				t.Fatalf("%s: instances %d and %d share a signature but adjudicated differently:\n%+v\nvs\n%+v",
+					key, list[0].inst, o.inst, list[0].tally, o.tally)
+			}
+		}
+	}
+	if groups == 0 {
+		t.Fatal("no shared signatures observed; workload too small to exercise tally replay")
+	}
+}
+
+// TestWindowRecheckAllocsBounded guards the steady-state allocation count
+// of the patched recheck loop — the sub-millisecond path must not regress
+// into per-instance or per-item allocation.
+func TestWindowRecheckAllocsBounded(t *testing.T) {
+	nm := tech.NMOS()
+	chip := workload.NewChip(nm, "winalloc", 16, 16)
+	d := chip.Design
+	metalL, _ := nm.LayerByName(tech.NMOSMetal)
+	d.Top.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "")
+	eng := NewEngine(nm, Options{Workers: 1})
+	if _, err := eng.Check(d); err != nil {
+		t.Fatal(err)
+	}
+	dy := int64(250)
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := layout.ApplyEdit(d, nm, layout.Edit{
+			Op: layout.OpMoveElement, Symbol: d.Top.Name, Index: -1, DY: dy,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		dy = -dy
+		if _, err := eng.Recheck(d); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if !eng.Stats().WindowPatched {
+		t.Fatal("window patch path did not engage")
+	}
+	const maxAllocs = 600
+	if allocs > maxAllocs {
+		t.Fatalf("patched recheck allocates %.0f objects per run, want <= %d", allocs, maxAllocs)
+	}
+}

@@ -1185,6 +1185,19 @@ func (st *RegionStore) TransformBy(r Region, t Transform) Region {
 	return Region{bands: bands}
 }
 
+// Translate returns r moved by d with the result's storage drawn from the
+// store — TransformBy specialized to the pure-translation case, with no
+// orientation dispatch on the per-span copy loop.
+func (st *RegionStore) Translate(r Region, d Point) Region {
+	if (d == Point{}) || r.Empty() {
+		return r
+	}
+	bands := st.takeBands(len(r.bands))
+	arena := st.takeSpans(r.NumRects())
+	copyAxisTransformed(bands, arena, r, false, false, d)
+	return Region{bands: bands}
+}
+
 // ---- Morphology -------------------------------------------------------
 
 // Dilate returns the Minkowski sum of r with the square [-d,d]² (the

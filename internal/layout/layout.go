@@ -193,13 +193,31 @@ type Symbol struct {
 
 	bboxValid bool
 	bbox      geom.Rect
+
+	dirty DirtyInfo
+}
+
+// DirtyInfo accumulates what a symbol's edits since the last TakeDirty
+// covered: either full (structural) dirtiness, or a set of in-place
+// element geometry edits together with the bounding window of everything
+// they moved. Consumers that know how to recheck a window (the engine's
+// windowed recheck) read it through TakeDirty; plain Touch degrades to
+// Full, so every legacy edit path stays correct.
+type DirtyInfo struct {
+	Seen bool // any edit recorded since the last TakeDirty
+	Full bool // structural or unscoped edit: the whole definition is dirty
+	// Elems lists the element indices edited in place (deduplicated),
+	// meaningful only when !Full.
+	Elems []int
+	// Window is the union of the edited elements' old and new bounds.
+	Window geom.Rect
 }
 
 // AddElement appends an element, assigning its Index.
 func (s *Symbol) AddElement(e *Element) *Element {
 	e.Index = len(s.Elements)
 	s.Elements = append(s.Elements, e)
-	s.bboxValid = false
+	s.Touch()
 	return e
 }
 
@@ -226,7 +244,7 @@ func (s *Symbol) AddCall(target *Symbol, t geom.Transform, name string) *Call {
 	}
 	c := &Call{Target: target, T: t, Name: name}
 	s.Calls = append(s.Calls, c)
-	s.bboxValid = false
+	s.Touch()
 	return c
 }
 
@@ -234,10 +252,53 @@ func (s *Symbol) AddCall(target *Symbol, t geom.Transform, name string) *Call {
 func (s *Symbol) IsPrimitive() bool { return s.DeviceType != "" }
 
 // Touch marks the symbol's derived caches (currently the bounding box)
-// stale. The Add* methods do this automatically; call Touch after mutating
-// element geometry in place — the edit idiom of a long-lived incremental
-// checking session.
-func (s *Symbol) Touch() { s.bboxValid = false }
+// stale and records full dirtiness. The Add* methods do this
+// automatically; call Touch after mutating element geometry in place —
+// the edit idiom of a long-lived incremental checking session. An editor
+// that can bound its change should call TouchElement instead, which keeps
+// the dirtiness window-scoped.
+func (s *Symbol) Touch() {
+	s.bboxValid = false
+	s.dirty.Seen = true
+	s.dirty.Full = true
+}
+
+// TouchElement records an in-place geometry edit of element i whose
+// bounds before the edit were oldBounds. Unlike Touch it keeps the
+// dirtiness window-scoped: the accumulated window covers the element's
+// old and new extents, so a windowed recheck knows every place the edit
+// can have consequences. Out-of-range indices degrade to Touch.
+func (s *Symbol) TouchElement(i int, oldBounds geom.Rect) {
+	s.bboxValid = false
+	s.dirty.Seen = true
+	if s.dirty.Full {
+		return
+	}
+	if i < 0 || i >= len(s.Elements) {
+		s.dirty.Full = true
+		return
+	}
+	found := false
+	for _, k := range s.dirty.Elems {
+		if k == i {
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.dirty.Elems = append(s.dirty.Elems, i)
+	}
+	s.dirty.Window = s.dirty.Window.Union(oldBounds).Union(s.Elements[i].Bounds())
+}
+
+// TakeDirty returns the accumulated edit record and resets it. The engine
+// consumes every symbol's record once per run; between runs the record
+// accumulates across any number of edits.
+func (s *Symbol) TakeDirty() DirtyInfo {
+	d := s.dirty
+	s.dirty = DirtyInfo{}
+	return d
+}
 
 // Bounds returns the symbol's bounding box including called symbols,
 // cached until the symbol is modified.

@@ -286,6 +286,16 @@ type spanKey struct {
 	name string
 }
 
+// spanClassKey identifies a family of embeddings that differ only by
+// translation: same child content, same orientation. Every member of the
+// class is the same geometry shifted, so once one member is built the
+// rest derive by translating it — the array-regularity dedup that makes a
+// uniform 64×64 array cost one full embedding plus cheap copies.
+type spanClassKey struct {
+	hash   layout.Hash
+	orient geom.Orient
+}
+
 // spanData is the cached transformed embedding of a child subtree:
 // the child's artifacts mapped through one call transform with paths
 // prefixed by the call name. Shared by every parent that places the same
@@ -293,6 +303,7 @@ type spanKey struct {
 type spanData struct {
 	childArt *SymbolArtifacts
 	t        geom.Transform
+	name     string      // call name the paths/declared names are prefixed with
 	items    []ConnItem  // parent-frame coordinates, relative paths prefixed
 	foots    []LocalFoot // span index left unset; parent assigns
 	devs     []DeviceUse // TerminalNets nil; parent remaps classes
@@ -310,6 +321,44 @@ type spanData struct {
 	// definition builds, so they must never be materialized lazily).
 	itemBoxes []geom.Rect
 	footBoxes []geom.Rect
+
+	// pathTab/itemPathIdx/devPathIdx index the distinct relative paths of
+	// items and devices, built lazily on a family representative the first
+	// time a sibling derives from it (extraction is single-goroutine, so
+	// the lazy build needs no lock). Artifact item order favors sweep
+	// locality over instance order, so consecutive-run memoization degrades
+	// to one allocation per item; the table lets a derived span swap each
+	// distinct path once and assign by index.
+	pathTab     []string
+	itemPathIdx []int32
+	devPathIdx  []int32
+}
+
+// pathIndex builds the representative's distinct-path table.
+func (sd *spanData) pathIndex() {
+	if sd.pathTab != nil {
+		return
+	}
+	idx := make(map[string]int32, 64)
+	tab := make([]string, 0, 64)
+	of := func(p string) int32 {
+		if i, ok := idx[p]; ok {
+			return i
+		}
+		i := int32(len(tab))
+		tab = append(tab, p)
+		idx[p] = i
+		return i
+	}
+	sd.itemPathIdx = make([]int32, len(sd.items))
+	for i := range sd.items {
+		sd.itemPathIdx[i] = of(sd.items[i].Path)
+	}
+	sd.devPathIdx = make([]int32, len(sd.devs))
+	for i := range sd.devs {
+		sd.devPathIdx[i] = of(sd.devs[i].Path)
+	}
+	sd.pathTab = tab
 }
 
 func (sd *spanData) footSkel(i int) geom.Region {
@@ -346,6 +395,17 @@ type Cache struct {
 	artGen  map[layout.Hash]int
 	spanGen map[spanKey]int
 
+	// spanClass indexes one representative embedding per (content,
+	// orientation) family; span misses whose family has a representative
+	// derive from it by translation instead of re-transforming the child.
+	spanClass    map[spanClassKey]*spanData
+	spanClassGen map[spanClassKey]int
+
+	// Context-dedup effectiveness counters (cumulative for the session):
+	// a hit is an embedding derived by translation from its family
+	// representative, a miss is a full transform build.
+	ctxHits, ctxMisses int
+
 	// Reusable per-build scratch: the union-find and classification
 	// working arrays are dead the moment a build returns, so one buffer
 	// serves every build (the Cache is single-threaded by contract).
@@ -366,6 +426,13 @@ type Cache struct {
 	// span embeddings hold: two allocations per slab instead of two per
 	// item region.
 	regStore geom.RegionStore
+
+	// lastInc/lastIssues retain the most recent virtual extraction so a
+	// window-scoped root edit can patch it in place (tryPatchRoot) instead
+	// of re-deriving the root. They obey the same contract as instScratch:
+	// only the most recent IncExtraction is valid.
+	lastInc    *IncExtraction
+	lastIssues []Issue
 }
 
 type analysisEntry struct {
@@ -376,16 +443,23 @@ type analysisEntry struct {
 // NewCache creates an empty artifact cache.
 func NewCache() *Cache {
 	return &Cache{
-		arts:    make(map[layout.Hash]*SymbolArtifacts),
-		spans:   make(map[spanKey]*spanData),
-		infos:   make(map[layout.Hash]*analysisEntry),
-		artGen:  make(map[layout.Hash]int),
-		spanGen: make(map[spanKey]int),
+		arts:         make(map[layout.Hash]*SymbolArtifacts),
+		spans:        make(map[spanKey]*spanData),
+		infos:        make(map[layout.Hash]*analysisEntry),
+		artGen:       make(map[layout.Hash]int),
+		spanGen:      make(map[spanKey]int),
+		spanClass:    make(map[spanClassKey]*spanData),
+		spanClassGen: make(map[spanClassKey]int),
 	}
 }
 
 // Len reports how many definition artifacts are cached.
 func (c *Cache) Len() int { return len(c.arts) }
+
+// ContextStats reports the cumulative span context-dedup counters: hits
+// are embeddings derived by translation from a same-(content, orientation)
+// representative, misses are full transform builds.
+func (c *Cache) ContextStats() (hits, misses int) { return c.ctxHits, c.ctxMisses }
 
 // Analyze memoizes device.Analyze by the symbol's own content hash.
 func (c *Cache) Analyze(s *layout.Symbol, ownHash layout.Hash, tc *tech.Technology) (*device.Info, []device.Problem) {
@@ -416,6 +490,12 @@ func (c *Cache) evict() {
 			delete(c.spans, k)
 		}
 	}
+	for k, g := range c.spanClassGen {
+		if c.gen-g >= evictAge {
+			delete(c.spanClassGen, k)
+			delete(c.spanClass, k)
+		}
+	}
 }
 
 // Instance is one placement of a definition on the chip: its artifacts
@@ -433,6 +513,26 @@ type Instance struct {
 	FootStart int
 }
 
+// EditWindow scopes one run's dirtiness to in-place geometry edits of the
+// top symbol's own elements (layout.DirtyInfo, converted by the engine).
+// The extractor may use it to patch the previous extraction instead of
+// re-deriving the root; it is free to ignore it and rebuild.
+type EditWindow struct {
+	Elems  []int     // edited element indices
+	Window geom.Rect // union of old and new bounds of the edits
+}
+
+// RootPatch reports that extraction reused the previous run's netlist and
+// root artifacts, updating the changed items in place. Items lists the
+// root item indices whose geometry moved (possibly none: an unchanged
+// design replays verbatim). Consumers holding per-item caches keyed by
+// PrevHash can migrate them to the new root hash and patch the listed
+// items instead of rebuilding.
+type RootPatch struct {
+	PrevHash layout.Hash
+	Items    []int
+}
+
 // IncExtraction is ExtractIncremental's result: the flat Extraction the
 // checker stages consume, plus the definition/instance structure the
 // incremental interaction stage keys its caches on.
@@ -441,6 +541,9 @@ type IncExtraction struct {
 	Root      *SymbolArtifacts
 	Hashes    map[*layout.Symbol]layout.SymbolHashes
 	Instances []Instance // depth-first preorder; [0] is the root
+	// Patch is non-nil when this extraction was produced by patching the
+	// previous one in place rather than re-deriving the root.
+	Patch *RootPatch
 }
 
 // GlobalNet resolves a subtree-local net class of one instance to the
@@ -455,7 +558,7 @@ func (x *IncExtraction) GlobalNet(inst int, class int) NetID {
 // work is reused across instances and across runs. hashes may be nil, in
 // which case content hashes are computed here.
 func ExtractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes) (*IncExtraction, []Issue, error) {
-	return extractIncremental(d, tc, c, hashes, false)
+	return extractIncremental(d, tc, c, hashes, false, nil)
 }
 
 // ExtractVirtual is ExtractIncremental without materializing the flat
@@ -464,10 +567,20 @@ func ExtractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes 
 // the chip is never fully instantiated, so a warm recheck's cost scales
 // with the edit, not with the flattened chip size.
 func ExtractVirtual(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes) (*IncExtraction, []Issue, error) {
-	return extractIncremental(d, tc, c, hashes, true)
+	return extractIncremental(d, tc, c, hashes, true, nil)
 }
 
-func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes, virtual bool) (*IncExtraction, []Issue, error) {
+// ExtractVirtualWindow is ExtractVirtual with an optional edit window: when
+// the caller can prove the only change since the previous extraction is
+// the in-place geometry edits win describes (top symbol only), the
+// extractor may patch the previous result instead of re-deriving the root.
+// The result is identical either way (Patch reports which path was taken);
+// win == nil is exactly ExtractVirtual.
+func ExtractVirtualWindow(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes, win *EditWindow) (*IncExtraction, []Issue, error) {
+	return extractIncremental(d, tc, c, hashes, true, win)
+}
+
+func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes map[*layout.Symbol]layout.SymbolHashes, virtual bool, win *EditWindow) (*IncExtraction, []Issue, error) {
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -475,6 +588,12 @@ func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes 
 		hashes = d.ContentHashes()
 	}
 	c.gen++
+	if virtual {
+		if inc, issues, ok := c.tryPatchRoot(d.Top, tc, hashes, win); ok {
+			c.evict()
+			return inc, issues, nil
+		}
+	}
 	root := c.buildRoot(d.Top, hashes, tc, virtual)
 	c.evict()
 
@@ -524,7 +643,187 @@ func extractIncremental(d *layout.Design, tc *tech.Technology, c *Cache, hashes 
 	}
 	inc.buildInstances()
 	c.instScratch = inc.Instances
+	if virtual {
+		c.lastInc, c.lastIssues = inc, issues
+	} else {
+		c.lastInc, c.lastIssues = nil, nil
+	}
 	return inc, issues, nil
+}
+
+// tryPatchRoot attempts the windowed recheck: when the design's only
+// change since the previous virtual extraction is in-place geometry edits
+// of top-level elements whose nets are provably isolated — each edited
+// element is the sole member of an anonymous net, touches nothing on its
+// layer before or after the move — the previous extraction stays valid
+// verbatim except for the moved geometry, which is patched in place. The
+// unchanged-hash case (no observable edit) replays with an empty patch.
+// Any condition failure returns ok == false and the caller re-derives.
+func (c *Cache) tryPatchRoot(top *layout.Symbol, tc *tech.Technology, hashes map[*layout.Symbol]layout.SymbolHashes, win *EditWindow) (*IncExtraction, []Issue, bool) {
+	art := c.lastRoot
+	inc := c.lastInc
+	if art == nil || inc == nil || !art.Virtual || art.Sym != top || inc.Root != art || c.arts[art.Hash] != art {
+		return nil, nil, false
+	}
+	newHash := hashes[top].Subtree
+	if newHash == art.Hash {
+		// Nothing changed: the previous extraction is the answer.
+		inc.Hashes = hashes
+		inc.Patch = &RootPatch{PrevHash: art.Hash}
+		c.artGen[art.Hash] = c.gen
+		c.refreshSubtree(art)
+		return inc, c.lastIssues, true
+	}
+	if win == nil || len(win.Elems) == 0 || top.IsPrimitive() {
+		return nil, nil, false
+	}
+
+	// Own items of the root in element order (skipping elements that
+	// failed to materialize — those cannot be patched).
+	ownEnd := art.OwnItemEnd()
+	itemOfElem := make(map[int]int, ownEnd)
+	for i := 0; i < ownEnd; i++ {
+		if e := art.Items[i].Elem; e >= 0 {
+			itemOfElem[e] = i
+		}
+	}
+	type patchItem struct {
+		item, foot, class int
+		newBounds         geom.Rect
+		newReg            geom.Region
+	}
+	nl := inc.Netlist
+	patches := make([]patchItem, 0, len(win.Elems))
+	seen := make(map[int]bool, len(win.Elems))
+	for _, ei := range win.Elems {
+		if seen[ei] {
+			continue
+		}
+		seen[ei] = true
+		if ei < 0 || ei >= len(top.Elements) {
+			return nil, nil, false
+		}
+		el := top.Elements[ei]
+		it, ok := itemOfElem[ei]
+		if !ok || el.Net != "" {
+			return nil, nil, false
+		}
+		f := art.ItemFoot[it]
+		if f < 0 {
+			return nil, nil, false
+		}
+		foot := &art.Foots[f]
+		if el.Layer != foot.Layer {
+			return nil, nil, false
+		}
+		cl := art.ClassOf[f]
+		net := &nl.Nets[cl]
+		// The edited element must be electrically inert: the sole member
+		// of an anonymous net with no device terminals, and no candidate
+		// illegal connection. Then moving it cannot change any class, any
+		// name, or any extraction issue — only its own geometry.
+		if len(net.Declared) != 0 || len(net.Terminals) != 0 || net.Elements != 1 {
+			return nil, nil, false
+		}
+		for _, p := range art.IllegalCands {
+			if p[0] == it || p[1] == it {
+				return nil, nil, false
+			}
+		}
+		reg, err := el.Region()
+		if err != nil {
+			return nil, nil, false
+		}
+		patches = append(patches, patchItem{item: it, foot: f, class: cl, newBounds: reg.Bounds(), newReg: reg})
+	}
+	// The new position must stay isolated on its layer: no bounds contact
+	// with any other footprint (own or embedded). Contact would create
+	// connectivity or an illegal-connection candidate — either way the
+	// partition changes and the patch does not apply. The scan sees the
+	// other patched elements at their old positions, which can only bail
+	// conservatively; mutual contact among new positions is checked after.
+	for _, pi := range patches {
+		nb := pi.newBounds
+		layer := art.Foots[pi.foot].Layer
+		for f := range art.Foots {
+			if f != pi.foot && art.Foots[f].Layer == layer && art.Foots[f].Bounds.Touches(nb) {
+				return nil, nil, false
+			}
+		}
+		for si := range art.Children {
+			sp := &art.Children[si]
+			if !sp.Bounds.Touches(nb) {
+				continue
+			}
+			for local, b := range sp.sd.footBoxes {
+				if b.Touches(nb) && sp.sd.foots[local].Layer == layer {
+					return nil, nil, false
+				}
+			}
+		}
+	}
+	for i := range patches {
+		for j := i + 1; j < len(patches); j++ {
+			if art.Foots[patches[i].foot].Layer == art.Foots[patches[j].foot].Layer &&
+				patches[i].newBounds.Touches(patches[j].newBounds) {
+				return nil, nil, false
+			}
+		}
+	}
+
+	// Commit: re-key the root under its new hash and patch the moved
+	// geometry in place. Class structure, names, issues, devices, and
+	// instances are all untouched by construction.
+	prevHash := art.Hash
+	delete(c.arts, prevHash)
+	delete(c.artGen, prevHash)
+	patched := make([]int, len(patches))
+	for i, pi := range patches {
+		art.Foots[pi.foot].Bounds = pi.newBounds
+		art.Foots[pi.foot].Reg = pi.newReg
+		art.Items[pi.item].Bounds = pi.newBounds
+		art.Items[pi.item].Reg = pi.newReg
+		delete(art.skels, pi.foot)
+		// assembleNets unions the sole footprint's bounds into the zero
+		// rect, which is the identity: the net bounds ARE the footprint's.
+		nl.Nets[pi.class].Bounds = pi.newBounds
+		patched[i] = pi.item
+	}
+	art.Hash = newHash
+	c.arts[newHash] = art
+	c.artGen[newHash] = c.gen
+	c.refreshSubtree(art)
+	inc.Hashes = hashes
+	inc.Patch = &RootPatch{PrevHash: prevHash, Items: patched}
+	return inc, c.lastIssues, true
+}
+
+// refreshSubtree marks every artifact and span reachable from art as used
+// this generation, so a patched run ages nothing that is still live.
+func (c *Cache) refreshSubtree(art *SymbolArtifacts) {
+	seen := make(map[*SymbolArtifacts]bool, 16)
+	var walk func(a *SymbolArtifacts)
+	walk = func(a *SymbolArtifacts) {
+		for si := range a.Children {
+			sp := &a.Children[si]
+			if c.arts[sp.Art.Hash] == sp.Art {
+				c.artGen[sp.Art.Hash] = c.gen
+			}
+			key := spanKey{sp.Art.Hash, sp.Call.T, sp.Call.Name}
+			if c.spans[key] == sp.sd {
+				c.spanGen[key] = c.gen
+			}
+			ck := spanClassKey{sp.Art.Hash, sp.Call.T.Orient}
+			if _, ok := c.spanClass[ck]; ok {
+				c.spanClassGen[ck] = c.gen
+			}
+			if !seen[sp.Art] {
+				seen[sp.Art] = true
+				walk(sp.Art)
+			}
+		}
+	}
+	walk(art)
 }
 
 func (x *IncExtraction) buildInstances() {
@@ -893,13 +1192,39 @@ func (c *Cache) populate(art *SymbolArtifacts, s *layout.Symbol, hs map[*layout.
 }
 
 // span returns the cached transformed embedding of childArt under (t, name).
+// A miss first looks for a same-(content, orientation) representative to
+// derive from by translation; only the first member of each family pays
+// for the full transform build.
 func (c *Cache) span(childArt *SymbolArtifacts, t geom.Transform, name string, tc *tech.Technology) *spanData {
 	key := spanKey{childArt.Hash, t, name}
 	if sd, ok := c.spans[key]; ok {
 		c.spanGen[key] = c.gen
 		return sd
 	}
-	sd := &spanData{childArt: childArt, t: t}
+	ck := spanClassKey{childArt.Hash, t.Orient}
+	var sd *spanData
+	// The representative must reference the identical artifact value: a
+	// hash seen again after eviction names a rebuilt artifact whose class
+	// numbering the old embedding must not be replayed against.
+	if base, ok := c.spanClass[ck]; ok && base.childArt == childArt {
+		sd = c.deriveSpan(base, t, name, tc)
+		c.ctxHits++
+	} else {
+		sd = c.buildSpan(childArt, t, name, tc)
+		c.spanClass[ck] = sd
+		c.ctxMisses++
+	}
+	c.spanClassGen[ck] = c.gen
+	c.spans[key] = sd
+	c.spanGen[key] = c.gen
+	return sd
+}
+
+// buildSpan materializes one transformed embedding from the child's
+// artifacts — the full-cost path, taken once per (content, orientation)
+// family.
+func (c *Cache) buildSpan(childArt *SymbolArtifacts, t geom.Transform, name string, tc *tech.Technology) *spanData {
+	sd := &spanData{childArt: childArt, t: t, name: name}
 	// The child may be virtual (its flattened arrays live in its own span
 	// embeddings), so iteration goes through the accessors.
 	nFoots, nItems := childArt.NumFoots(), childArt.NumItems()
@@ -987,8 +1312,97 @@ func (c *Cache) span(childArt *SymbolArtifacts, t geom.Transform, name string, t
 		is.Where = t.ApplyRect(is.Where)
 		sd.issues[i] = is
 	}
-	c.spans[key] = sd
-	c.spanGen[key] = c.gen
+	return sd
+}
+
+// deriveSpan builds the embedding for (t, name) by translating the family
+// representative: same child content, same orientation, so every region,
+// bounds, and skeleton differs from base's by the constant offset
+// d = t.Trans - base.t.Trans, and every path/declared name differs only
+// in the leading call-name component. Copy, shift, and re-prefix — no
+// region transform, no string qualification logic, no accessor walks.
+func (c *Cache) deriveSpan(base *spanData, t geom.Transform, name string, tc *tech.Technology) *spanData {
+	d := t.Trans.Sub(base.t.Trans)
+	childArt := base.childArt
+	sd := &spanData{childArt: childArt, t: t, name: name, bounds: base.bounds.Translate(d)}
+
+	sd.foots = make([]LocalFoot, len(base.foots))
+	for i := range base.foots {
+		f := base.foots[i]
+		f.Bounds = f.Bounds.Translate(d)
+		f.Reg = c.regStore.Translate(f.Reg, d)
+		// Base qualification left exactly two shapes: rails verbatim, and
+		// everything else prefixed with the base call name.
+		if f.Declared != "" && !tc.IsRail(f.Declared) {
+			f.Declared = name + f.Declared[len(base.name):]
+		}
+		sd.foots[i] = f
+	}
+
+	// Base qualification is a pure prefix swap (base.name → name), so the
+	// whole derivation needs one new string per *distinct* path, not per
+	// item: the representative's path table maps every item/dev to its
+	// distinct path, and this span swaps each table entry once.
+	base.pathIndex()
+	swapped := make([]string, len(base.pathTab))
+	for i, p := range base.pathTab {
+		if len(p) == len(base.name) {
+			swapped[i] = name
+		} else {
+			swapped[i] = name + p[len(base.name):]
+		}
+	}
+	sd.items = make([]ConnItem, len(base.items))
+	for i := range base.items {
+		it := base.items[i]
+		if fi := childArt.ItemFoot[i]; fi >= 0 {
+			it.Bounds = sd.foots[fi].Bounds
+			it.Reg = sd.foots[fi].Reg
+		} else {
+			it.Bounds = it.Bounds.Translate(d)
+			it.Reg = c.regStore.Translate(it.Reg, d)
+		}
+		it.Path = swapped[base.itemPathIdx[i]]
+		sd.items[i] = it
+	}
+
+	sd.devs = make([]DeviceUse, len(base.devs))
+	for i := range base.devs {
+		dv := base.devs[i]
+		dv.Path = swapped[base.devPathIdx[i]]
+		dv.T.Trans = dv.T.Trans.Add(d)
+		sd.devs[i] = dv
+	}
+
+	sd.footBoxes = make([]geom.Rect, len(sd.foots))
+	for i := range sd.foots {
+		sd.footBoxes[i] = sd.foots[i].Bounds
+	}
+	sd.itemBoxes = make([]geom.Rect, len(sd.items))
+	for i := range sd.items {
+		sd.itemBoxes[i] = sd.items[i].Bounds
+	}
+	if len(base.gates) > 0 {
+		sd.gates = make([]Keepout, len(base.gates))
+		for i, k := range base.gates {
+			k.Reg = c.regStore.Translate(k.Reg, d)
+			k.Bounds = k.Bounds.Translate(d)
+			sd.gates[i] = k
+		}
+	}
+	if len(base.keeps) > 0 {
+		sd.keeps = make([]Keepout, len(base.keeps))
+		for i, k := range base.keeps {
+			k.Reg = c.regStore.Translate(k.Reg, d)
+			k.Bounds = k.Bounds.Translate(d)
+			sd.keeps[i] = k
+		}
+	}
+	sd.issues = make([]Issue, len(base.issues))
+	for i, is := range base.issues {
+		is.Where = is.Where.Translate(d)
+		sd.issues[i] = is
+	}
 	return sd
 }
 

@@ -66,7 +66,9 @@ func Suite() []NamedBench {
 		{"NetlistExtraction", benchNetlistExtraction},
 		{"CheckCold", benchCheckCold},
 		{"CheckColdLarge", benchCheckColdLarge},
+		{"CheckColdArray", benchCheckColdArray},
 		{"RecheckOneSymbol", benchRecheckOneSymbol},
+		{"RecheckOneBox", benchRecheckOneBox},
 		{"FlatCheck", benchFlatCheck},
 	}
 }
@@ -235,6 +237,68 @@ func benchRecheckOneSymbol(b *testing.B) {
 		if !rep.Clean() {
 			b.Fatal("chip not clean")
 		}
+	}
+}
+
+// benchCheckColdArray mirrors bench_test.go's BenchmarkCheckColdArray:
+// the uniform 64×64 array (one shared row definition), where the
+// instance-context dedup derives 63 of the 64 row embeddings by pure
+// translation instead of rebuilding them.
+func benchCheckColdArray(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "arr", 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.NewEngine(tc, core.Options{Workers: engineWorkers}).Check(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("chip not clean")
+		}
+	}
+}
+
+// benchRecheckOneBox mirrors bench_test.go's BenchmarkRecheckOneBox: the
+// windowed recheck of one isolated probe move on the uniform 64×64 array.
+// The anonymous probe floats, so the steady-state report is exactly its
+// one NET.FANOUT error.
+func benchRecheckOneBox(b *testing.B) {
+	tc := tech.NMOS()
+	chip := workload.NewChip(tc, "arr", 64, 64)
+	metalL, _ := tc.LayerByName(tech.NMOSMetal)
+	top := chip.Design.Top
+	top.AddBox(metalL, geom.R(-15000, 0, -14250, 1000), "")
+	eng := core.NewEngine(tc, core.Options{Workers: engineWorkers})
+	rep, err := eng.Check(chip.Design)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := len(rep.Violations); n != 1 {
+		b.Fatalf("expected exactly the probe's fanout error, got %d violations", n)
+	}
+	dy := int64(250)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := layout.ApplyEdit(chip.Design, tc, layout.Edit{
+			Op: layout.OpMoveElement, Symbol: top.Name, Index: -1, DY: dy,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		dy = -dy
+		rep, err := eng.Recheck(chip.Design)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n := len(rep.Violations); n != 1 {
+			b.Fatalf("expected exactly the probe's fanout error, got %d violations", n)
+		}
+	}
+	b.StopTimer()
+	if !eng.Stats().WindowPatched {
+		b.Fatal("window patch path did not engage")
 	}
 }
 

@@ -83,16 +83,22 @@ type Netlist struct {
 	Devices int `json:"devices"`
 }
 
-// EngineStats is the wire form of core.EngineStats.
+// EngineStats is the wire form of core.EngineStats. CtxHits/CtxMisses are
+// the netlist cache's span-context counters (derived-by-translation vs
+// built-from-scratch); WindowPatched reports whether the last run took the
+// windowed root-patch fast path.
 type EngineStats struct {
-	Runs         int `json:"runs"`
-	Symbols      int `json:"symbols"`
-	DirtySymbols int `json:"dirty_symbols"`
-	ArtifactDefs int `json:"artifact_defs"`
-	InterBuilt   int `json:"inter_built"`
-	InterReused  int `json:"inter_reused"`
-	SigMisses    int `json:"sig_misses"`
-	SigHits      int `json:"sig_hits"`
+	Runs          int  `json:"runs"`
+	Symbols       int  `json:"symbols"`
+	DirtySymbols  int  `json:"dirty_symbols"`
+	ArtifactDefs  int  `json:"artifact_defs"`
+	InterBuilt    int  `json:"inter_built"`
+	InterReused   int  `json:"inter_reused"`
+	SigMisses     int  `json:"sig_misses"`
+	SigHits       int  `json:"sig_hits"`
+	CtxHits       int  `json:"ctx_hits"`
+	CtxMisses     int  `json:"ctx_misses"`
+	WindowPatched bool `json:"window_patched"`
 }
 
 func rectWire(r geom.Rect) Rect { return Rect{r.X1, r.Y1, r.X2, r.Y2} }
@@ -102,6 +108,7 @@ func engineWire(es core.EngineStats) *EngineStats {
 		Runs: es.Runs, Symbols: es.Symbols, DirtySymbols: es.DirtySymbols,
 		ArtifactDefs: es.ArtifactDefs, InterBuilt: es.InterBuilt,
 		InterReused: es.InterReused, SigMisses: es.SigMisses, SigHits: es.SigHits,
+		CtxHits: es.CtxHits, CtxMisses: es.CtxMisses, WindowPatched: es.WindowPatched,
 	}
 }
 

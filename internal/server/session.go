@@ -38,6 +38,10 @@ type Session struct {
 	timerGen int // invalidates fired-but-not-yet-run timer callbacks
 
 	stats SessionStats
+	// pendingBatches/pendingEdits accumulate the burst since the last
+	// flush; flushLocked moves them into the LastFlush* stats.
+	pendingBatches int
+	pendingEdits   int
 
 	// lastUsed is read/written under the owning Server's mutex (not the
 	// session's), where LRU and idle eviction decisions are made.
@@ -48,12 +52,22 @@ type Session struct {
 // SessionStats counts a session's service-level activity. Rechecks is the
 // total number of engine runs including the initial cold check, so
 // (Rechecks - 1) per-burst deltas make debouncing observable via /stats.
+// The duration and flush-size fields make the windowed-recheck speedup
+// observable from outside: a sub-millisecond LastRecheckNS on an edit
+// session means the patch path is engaging.
 type SessionStats struct {
 	EditsApplied    int `json:"edits_applied"`
 	EditBatches     int `json:"edit_batches"`
 	Rechecks        int `json:"rechecks"`
 	DebounceFlushes int `json:"debounce_flushes"` // rechecks run by the timer
 	ReportFlushes   int `json:"report_flushes"`   // rechecks run by a report request
+
+	LastRecheckNS  int64 `json:"last_recheck_ns"`  // duration of the most recent engine run
+	TotalRecheckNS int64 `json:"total_recheck_ns"` // cumulative engine-run time, cold check included
+	// LastFlushBatches/LastFlushEdits are the size of the burst the most
+	// recent recheck coalesced — how much work one debounce window absorbed.
+	LastFlushBatches int `json:"last_flush_batches"`
+	LastFlushEdits   int `json:"last_flush_edits"`
 }
 
 // newSession parses nothing — the server constructs it with a validated
@@ -69,12 +83,15 @@ func newSession(id, name string, d *layout.Design, tc *tech.Technology, opts cor
 		lastUsed: now,
 		created:  now,
 	}
+	start := time.Now()
 	rep, err := s.eng.Check(d)
 	if err != nil {
 		return nil, err
 	}
 	s.rep = rep
 	s.stats.Rechecks = 1
+	s.stats.LastRecheckNS = time.Since(start).Nanoseconds()
+	s.stats.TotalRecheckNS = s.stats.LastRecheckNS
 	return s, nil
 }
 
@@ -89,8 +106,10 @@ func (s *Session) applyEdits(edits []layout.Edit) (applied, generation int, err 
 	}
 	n, err := layout.ApplyEdits(s.design, s.tc, edits)
 	s.stats.EditsApplied += n
+	s.pendingEdits += n
 	if n > 0 || err == nil {
 		s.stats.EditBatches++
+		s.pendingBatches++
 		s.dirty = true
 		s.armTimerLocked()
 	}
@@ -134,6 +153,7 @@ func (s *Session) timerFlush(gen int) {
 // On failure the session stays dirty and keeps the previous report; the
 // error surfaces on the report request that forced the flush.
 func (s *Session) flushLocked() error {
+	start := time.Now()
 	rep, err := s.eng.Recheck(s.design)
 	if err != nil {
 		return err
@@ -141,6 +161,10 @@ func (s *Session) flushLocked() error {
 	s.rep = rep
 	s.dirty = false
 	s.stats.Rechecks++
+	s.stats.LastRecheckNS = time.Since(start).Nanoseconds()
+	s.stats.TotalRecheckNS += s.stats.LastRecheckNS
+	s.stats.LastFlushBatches, s.pendingBatches = s.pendingBatches, 0
+	s.stats.LastFlushEdits, s.pendingEdits = s.pendingEdits, 0
 	return nil
 }
 

@@ -134,10 +134,23 @@ for i in $(seq 5); do
   curl -sf -X POST "$base/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":-100}]}' > /dev/null
 done
 curl -sf "$base/sessions/$sid/report" > "$work/burst-report.json"
-after=$(curl -sf "$base/sessions/$sid/stats" | sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p')
+curl -sf "$base/sessions/$sid/stats" > "$work/burst-stats.json"
+after=$(sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p' "$work/burst-stats.json")
 burst=$((after - before))
 [ "$burst" -le 2 ] || fail "10-edit burst cost $burst rechecks (want <= 2)"
 grep -q '"clean": true' "$work/burst-report.json" || fail "burst end state not clean"
+
+# The stats payload must expose the recheck timings, the size of the burst
+# the last flush absorbed, and the engine's context-cache counters.
+last_ns=$(sed -n 's/^    "last_recheck_ns": \([0-9]*\),\{0,1\}$/\1/p' "$work/burst-stats.json")
+[ -n "$last_ns" ] && [ "$last_ns" -gt 0 ] || fail "stats lack a positive last_recheck_ns"
+total_ns=$(sed -n 's/^    "total_recheck_ns": \([0-9]*\),\{0,1\}$/\1/p' "$work/burst-stats.json")
+[ -n "$total_ns" ] && [ "$total_ns" -ge "$last_ns" ] || fail "stats lack a sane total_recheck_ns"
+flush_batches=$(sed -n 's/^    "last_flush_batches": \([0-9]*\),\{0,1\}$/\1/p' "$work/burst-stats.json")
+[ -n "$flush_batches" ] && [ "$flush_batches" -ge 1 ] && [ "$flush_batches" -le 10 ] \
+  || fail "last_flush_batches '$flush_batches' does not reflect the burst"
+grep -q '"ctx_hits":' "$work/burst-stats.json" || fail "stats lack ctx_hits"
+grep -q '"ctx_misses":' "$work/burst-stats.json" || fail "stats lack ctx_misses"
 
 # Step 7: lifecycle cleanup through the API.
 echo "== delete session"
