@@ -17,6 +17,17 @@
 //	-debounce D        edit-coalescing window before a background recheck
 //	                   (default 25ms)
 //	-workers N         engine interaction-stage goroutines (0 = all cores)
+//	-check-timeout D   deadline on request-triggered checks; expiry is a
+//	                   503 + Retry-After (default 2m, 0 = none)
+//	-edit-timeout D    deadline on edit batches (default 10s, 0 = none)
+//	-max-inflight N    engine-run concurrency cap (default NumCPU)
+//	-queue-depth N     runs allowed to wait for a slot before 429 (default 64)
+//	-max-body BYTES    request-body cap; oversize is 413 (default 64 MiB)
+//	-state-dir DIR     enable crash-safe snapshots: restore on boot,
+//	                   snapshot on shutdown/eviction and every -snapshot-every
+//	-snapshot-every D  periodic snapshot interval (default 30s with -state-dir)
+//	-test-hooks        register POST /sessions/{id}/inject (fault injection
+//	                   for the load harness; never in production)
 //
 // Endpoints (all JSON):
 //
@@ -26,10 +37,12 @@
 //	GET    /sessions/{id}/report   current report (flushes pending edits)
 //	GET    /sessions/{id}/stats    service + engine counters
 //	DELETE /sessions/{id}          drop a session
+//	GET    /stats                  daemon-wide gauges and counters
+//	POST   /snapshot               snapshot every session to -state-dir now
 //	GET    /healthz                liveness probe
 //
-// See the README's "Check service" section for the session lifecycle and
-// an example curl transcript.
+// See the README's "Check service" and "Operations" sections for the
+// session lifecycle, the error contract, and recovery semantics.
 package main
 
 import (
@@ -57,7 +70,22 @@ func run() int {
 	idle := flag.Duration("idle", 30*time.Minute, "evict sessions idle longer than this")
 	debounce := flag.Duration("debounce", 25*time.Millisecond, "edit-coalescing window before a background recheck")
 	workers := flag.Int("workers", 0, "engine interaction-stage goroutines (0 = all cores)")
+	checkTimeout := flag.Duration("check-timeout", 2*time.Minute, "deadline on request-triggered checks (0 = none)")
+	editTimeout := flag.Duration("edit-timeout", 10*time.Second, "deadline on edit batches (0 = none)")
+	maxInflight := flag.Int("max-inflight", 0, "engine-run concurrency cap (0 = NumCPU)")
+	queueDepth := flag.Int("queue-depth", 64, "engine runs allowed to wait for a slot before 429")
+	maxBody := flag.Int64("max-body", 64<<20, "request-body byte cap; oversize is 413")
+	stateDir := flag.String("state-dir", "", "session snapshot directory (enables crash-safe restore)")
+	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (needs -state-dir)")
+	testHooks := flag.Bool("test-hooks", false, "register the fault-injection endpoint (never in production)")
 	flag.Parse()
+
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "dicheckd: state-dir: %v\n", err)
+			return 1
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -74,12 +102,39 @@ func run() int {
 	fmt.Printf("dicheckd listening on http://%s\n", bound)
 
 	srv := server.New(server.Config{
-		MaxSessions: *maxSessions,
-		IdleTTL:     *idle,
-		Debounce:    *debounce,
-		Workers:     *workers,
+		MaxSessions:   *maxSessions,
+		IdleTTL:       *idle,
+		Debounce:      *debounce,
+		Workers:       *workers,
+		CheckTimeout:  *checkTimeout,
+		EditTimeout:   *editTimeout,
+		MaxInflight:   *maxInflight,
+		QueueDepth:    *queueDepth,
+		MaxBodyBytes:  *maxBody,
+		StateDir:      *stateDir,
+		SnapshotEvery: *snapEvery,
+		TestHooks:     *testHooks,
 	})
-	hs := &http.Server{Handler: srv}
+	if *stateDir != "" {
+		restored, errs := srv.RestoreFromDisk(context.Background())
+		for _, err := range errs {
+			fmt.Fprintf(os.Stderr, "dicheckd: restore: %v\n", err)
+		}
+		if restored > 0 {
+			fmt.Printf("dicheckd: restored %d session(s) from %s\n", restored, *stateDir)
+		}
+	}
+
+	// Slow-client protection: a peer that trickles headers or never reads
+	// its response cannot pin a connection goroutine forever. The write
+	// timeout stays off because cold checks legitimately take minutes; the
+	// per-request check deadline bounds those instead.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- hs.Serve(ln) }()

@@ -1,0 +1,400 @@
+// Command drcload is the fault-injecting load harness for dicheckd. It
+// drives N concurrent sessions through edit/report loops against a live
+// daemon, records per-operation latency distributions and an error-class
+// histogram, optionally injects chaos (random session kills, slow checks
+// via the daemon's test hook, malformed edits), asserts hard SLOs, and
+// writes the run as a BENCH_LOAD_<date>.json artifact.
+//
+// Usage:
+//
+//	drcload -addr HOST:PORT [flags]
+//
+//	-addr            daemon address (required; scheme optional)
+//	-sessions N      concurrent sessions, one driver goroutine each (default 4)
+//	-duration D      how long to drive load (default 10s)
+//	-rows/-cols      per-session CMOS chip size (default 4×4)
+//	-chaos           enable fault injection: random session kills, injected
+//	                 slow checks (needs dicheckd -test-hooks), malformed edits
+//	-chaos-every D   mean interval between chaos events (default 300ms)
+//	-slow-ms N       injected slow-check duration for chaos (default 150)
+//	-seed N          RNG seed (default 1; runs are reproducible per seed)
+//	-o DIR           BENCH_LOAD_<date>.json output directory ("" = skip, default ".")
+//	-slo-p99 D       fail if report p99 exceeds D (0 = skip)
+//	-slo-goroutines N fail if the daemon ends with more goroutines (0 = skip)
+//
+// Exit status is nonzero when any SLO is violated. Two SLOs are always
+// on: no 5xx responses other than 503, and no panic/poisoned error
+// classes — chaos included, the daemon must degrade with structured
+// backpressure, never internal errors.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cif"
+	"repro/internal/layout"
+	"repro/internal/perfbench"
+	"repro/internal/server"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+// driver owns one session slot: it creates (and, after a chaos kill,
+// recreates) its session and loops edit/report against it.
+type driver struct {
+	idx  int
+	id   string // current session id ("" = needs create)
+	gen  int
+	mu   sync.Mutex
+	rng  *rand.Rand
+	dy   int64
+	edit []time.Duration
+	rep  []time.Duration
+	crt  []time.Duration
+}
+
+// collector aggregates error classes across drivers and the chaos actor.
+type collector struct {
+	mu        sync.Mutex
+	requests  uint64
+	errClass  map[string]uint64
+	transport uint64
+	bad5xx    uint64 // 5xx other than 503
+}
+
+func (c *collector) note(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	if err == nil {
+		return
+	}
+	var apiErr *server.APIError
+	if errors.As(err, &apiErr) {
+		class := apiErr.Class
+		if class == "" {
+			class = fmt.Sprintf("http_%d", apiErr.Status)
+		}
+		c.errClass[class]++
+		if apiErr.Status >= 500 && apiErr.Status != http.StatusServiceUnavailable {
+			c.bad5xx++
+		}
+		return
+	}
+	c.transport++
+}
+
+func run() int {
+	addr := flag.String("addr", "", "daemon address (required)")
+	sessions := flag.Int("sessions", 4, "concurrent sessions")
+	duration := flag.Duration("duration", 10*time.Second, "load duration")
+	rows := flag.Int("rows", 4, "per-session chip rows")
+	cols := flag.Int("cols", 4, "per-session chip columns")
+	chaos := flag.Bool("chaos", false, "inject faults: session kills, slow checks, malformed edits")
+	chaosEvery := flag.Duration("chaos-every", 300*time.Millisecond, "mean interval between chaos events")
+	slowMS := flag.Int("slow-ms", 150, "injected slow-check duration (chaos)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	outDir := flag.String("o", ".", "BENCH_LOAD_<date>.json output directory (empty = skip)")
+	sloP99 := flag.Duration("slo-p99", 0, "fail if report p99 exceeds this (0 = skip)")
+	sloGoroutines := flag.Int("slo-goroutines", 0, "fail if daemon ends with more goroutines (0 = skip)")
+	flag.Parse()
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "drcload: -addr is required")
+		return 2
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	tc := tech.CMOS()
+	chip := workload.NewCMOSChip(tc, "chip", *rows, *cols)
+	cifSrc, err := cif.Write(chip.Design, tc)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drcload: cif: %v\n", err)
+		return 2
+	}
+
+	cl := server.NewClient(base)
+	cl.AttemptTimeout = 2 * time.Minute
+	if _, err := cl.ServerStats(); err != nil {
+		fmt.Fprintf(os.Stderr, "drcload: daemon not reachable at %s: %v\n", base, err)
+		return 2
+	}
+
+	col := &collector{errClass: make(map[string]uint64)}
+	drivers := make([]*driver, *sessions)
+	for i := range drivers {
+		drivers[i] = &driver{idx: i, rng: rand.New(rand.NewSource(*seed + int64(i))), dy: 250}
+	}
+
+	fmt.Printf("drcload: %d sessions for %v against %s (chaos=%v)\n",
+		*sessions, *duration, base, *chaos)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for _, d := range drivers {
+		wg.Add(1)
+		go func(d *driver) {
+			defer wg.Done()
+			d.loop(cl, cifSrc, col, deadline)
+		}(d)
+	}
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	if *chaos {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			chaosLoop(cl, drivers, col, rand.New(rand.NewSource(*seed+9001)),
+				*chaosEvery, *slowMS, stopChaos)
+		}()
+	}
+	wg.Wait()
+	close(stopChaos)
+	chaosWG.Wait()
+
+	// Let in-flight daemon work settle before reading the end-of-run
+	// resource gauges: the bounded-goroutine claim is about steady state,
+	// not the instant the load stops.
+	time.Sleep(300 * time.Millisecond)
+	st, err := cl.ServerStats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drcload: final stats: %v\n", err)
+		return 1
+	}
+
+	var edits, reps, crts []time.Duration
+	for _, d := range drivers {
+		d.mu.Lock()
+		edits = append(edits, d.edit...)
+		reps = append(reps, d.rep...)
+		crts = append(crts, d.crt...)
+		d.mu.Unlock()
+	}
+	col.mu.Lock()
+	snap := perfbench.LoadSnapshot{
+		Date:             time.Now().Format("2006-01-02"),
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		Sessions:         *sessions,
+		Chaos:            *chaos,
+		DurationNS:       duration.Nanoseconds(),
+		Requests:         col.requests,
+		Reports:          perfbench.SummarizeLatencies(reps),
+		Edits:            perfbench.SummarizeLatencies(edits),
+		Creates:          perfbench.SummarizeLatencies(crts),
+		ErrClass:         col.errClass,
+		Transport:        col.transport,
+		ServerGoroutines: st.Goroutines,
+		ServerHeapBytes:  st.HeapAllocByte,
+	}
+	bad5xx := col.bad5xx
+	transport := col.transport
+	col.mu.Unlock()
+
+	if bad5xx > 0 {
+		snap.SLOViolations = append(snap.SLOViolations,
+			fmt.Sprintf("%d responses were 5xx other than 503", bad5xx))
+	}
+	for _, class := range []string{"panic", "poisoned"} {
+		if n := snap.ErrClass[class]; n > 0 {
+			snap.SLOViolations = append(snap.SLOViolations,
+				fmt.Sprintf("%d responses with class %q", n, class))
+		}
+	}
+	if transport > 0 {
+		snap.SLOViolations = append(snap.SLOViolations,
+			fmt.Sprintf("%d transport-level request failures", transport))
+	}
+	if *sloP99 > 0 && snap.Reports.P99NS > sloP99.Nanoseconds() {
+		snap.SLOViolations = append(snap.SLOViolations,
+			fmt.Sprintf("report p99 %v exceeds SLO %v", time.Duration(snap.Reports.P99NS), *sloP99))
+	}
+	if *sloGoroutines > 0 && st.Goroutines > *sloGoroutines {
+		snap.SLOViolations = append(snap.SLOViolations,
+			fmt.Sprintf("daemon has %d goroutines, SLO %d", st.Goroutines, *sloGoroutines))
+	}
+
+	fmt.Printf("drcload: %d requests; report p50=%v p95=%v p99=%v; edit p99=%v\n",
+		snap.Requests,
+		time.Duration(snap.Reports.P50NS), time.Duration(snap.Reports.P95NS),
+		time.Duration(snap.Reports.P99NS), time.Duration(snap.Edits.P99NS))
+	if len(snap.ErrClass) > 0 {
+		fmt.Printf("drcload: errors by class: %v\n", snap.ErrClass)
+	}
+	fmt.Printf("drcload: daemon ends with %d goroutines, %.1f MiB heap\n",
+		st.Goroutines, float64(st.HeapAllocByte)/(1<<20))
+
+	if *outDir != "" {
+		out, err := snap.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drcload: marshal: %v\n", err)
+			return 1
+		}
+		path := filepath.Join(*outDir, snap.Filename())
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "drcload: write: %v\n", err)
+			return 1
+		}
+		fmt.Printf("drcload: wrote %s\n", path)
+	}
+
+	if len(snap.SLOViolations) > 0 {
+		for _, v := range snap.SLOViolations {
+			fmt.Fprintf(os.Stderr, "drcload: SLO VIOLATION: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("drcload: all SLOs met")
+	return 0
+}
+
+// loop drives one session until the deadline: create it (with a floating
+// probe box to move), then a steady mix of move edits and reports. A
+// session killed by chaos surfaces as not_found/gone; the driver simply
+// recreates and keeps going — exactly what a resilient client does.
+func (d *driver) loop(cl *server.Client, cifSrc string, col *collector, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		if d.currentID() == "" {
+			if !d.create(cl, cifSrc, col) {
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+		}
+		id := d.currentID()
+		start := time.Now()
+		var err error
+		if d.rng.Intn(4) == 0 {
+			_, err = cl.Report(id)
+			d.record(&d.rep, time.Since(start))
+		} else {
+			_, err = cl.Edit(id, []layout.Edit{{
+				Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: d.dy,
+			}})
+			d.dy = -d.dy
+			d.record(&d.edit, time.Since(start))
+		}
+		col.note(err)
+		if isSessionLost(err) {
+			d.setID("")
+		}
+	}
+}
+
+func (d *driver) create(cl *server.Client, cifSrc string, col *collector) bool {
+	start := time.Now()
+	resp, err := cl.Create(server.CreateRequest{
+		Name: fmt.Sprintf("load%d", d.idx),
+		CIF:  cifSrc,
+		Tech: "cmos",
+	})
+	d.record(&d.crt, time.Since(start))
+	col.note(err)
+	if err != nil {
+		return false
+	}
+	// The probe the move edits target: a floating metal box well away
+	// from the chip; its fanout violation is expected and harmless.
+	_, err = cl.Edit(resp.ID, []layout.Edit{{
+		Op: layout.OpAddBox, Symbol: "chip", Layer: tech.CMOSMetal,
+		Box: []int64{-30000 - int64(d.idx)*4000, 0, -29000 - int64(d.idx)*4000, 1000},
+	}})
+	col.note(err)
+	if err != nil && isSessionLost(err) {
+		return false
+	}
+	d.setID(resp.ID)
+	return true
+}
+
+func (d *driver) currentID() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.id
+}
+
+func (d *driver) setID(id string) {
+	d.mu.Lock()
+	d.id = id
+	d.mu.Unlock()
+}
+
+func (d *driver) record(dst *[]time.Duration, dur time.Duration) {
+	d.mu.Lock()
+	*dst = append(*dst, dur)
+	d.mu.Unlock()
+}
+
+// isSessionLost reports whether err means the session no longer exists
+// (chaos killed it, or an eviction raced us).
+func isSessionLost(err error) bool {
+	var apiErr *server.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusNotFound || apiErr.Status == http.StatusGone
+}
+
+// chaosLoop is the fault injector: at randomized intervals it kills a
+// random live session, arms a slow check on one (when the daemon exposes
+// the test hook), or fires a malformed edit batch. Every fault must come
+// back as a structured 4xx/503 — anything else fails the run's SLOs.
+func chaosLoop(cl *server.Client, drivers []*driver, col *collector,
+	rng *rand.Rand, every time.Duration, slowMS int, stop <-chan struct{}) {
+	for {
+		wait := every/2 + time.Duration(rng.Int63n(int64(every)+1))
+		select {
+		case <-stop:
+			return
+		case <-time.After(wait):
+		}
+		d := drivers[rng.Intn(len(drivers))]
+		id := d.currentID()
+		if id == "" {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0: // kill: the driver sees 404/410 and recreates
+			err := cl.Delete(id)
+			col.note(ignoreSessionLost(err))
+		case 1: // slow check: drives deadline expiries / queue pressure
+			err := cl.Inject(id, server.InjectRequest{SlowMS: slowMS, SlowCount: 2})
+			// 404 when the hook is off or the session just died — not a fault.
+			col.note(ignoreSessionLost(err))
+		case 2: // malformed edit: must be a clean 400, never a 500
+			_, err := cl.Edit(id, []layout.Edit{{Op: "warp_reality", Symbol: "chip"}})
+			if err == nil {
+				col.note(fmt.Errorf("malformed edit was accepted"))
+			} else {
+				var apiErr *server.APIError
+				if errors.As(err, &apiErr) && apiErr.Status == http.StatusBadRequest {
+					err = nil // expected
+				}
+				col.note(ignoreSessionLost(err))
+			}
+		}
+	}
+}
+
+// ignoreSessionLost drops expected lost-session errors from chaos
+// actions that raced a kill.
+func ignoreSessionLost(err error) error {
+	if isSessionLost(err) {
+		return nil
+	}
+	return err
+}

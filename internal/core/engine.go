@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geom"
@@ -73,6 +74,13 @@ type Engine struct {
 	consNL     *netlist.Netlist
 	consIssues []netlist.Issue
 	consValid  bool
+
+	// poisoned, once set, refuses every further run: a panic that escaped
+	// mid-run may have left the caches half-written, and a half-written
+	// cache can silently corrupt reports. The owner (e.g. a dicheckd
+	// session recovering a handler panic) quarantines the engine with
+	// Poison instead of guessing which entries survived.
+	poisoned error
 }
 
 // replayState is the recorded interaction stage of the previous run,
@@ -204,11 +212,33 @@ func NewEngine(tc *tech.Technology, opts Options) *Engine {
 // Stats returns cache-effectiveness counters for the most recent run.
 func (e *Engine) Stats() EngineStats { return e.last }
 
+// Poison marks the engine permanently unusable; every subsequent run
+// fails with the reason. Call it after recovering a panic that unwound
+// through a run — the caches may be half-written, and refusing is the
+// only answer that preserves the fingerprint-parity contract.
+func (e *Engine) Poison(reason error) {
+	if e.poisoned == nil {
+		e.poisoned = reason
+	}
+}
+
+// Poisoned returns the poison reason, nil while the engine is healthy.
+func (e *Engine) Poisoned() error { return e.poisoned }
+
 // Check runs the full pipeline, reusing every cache entry whose content
 // hash still matches. On a fresh engine this is the cold run that
 // populates the caches.
 func (e *Engine) Check(d *layout.Design) (*Report, error) {
-	return e.run(d)
+	return e.run(context.Background(), d)
+}
+
+// CheckContext is Check under a context: the engine observes ctx at
+// every pipeline-stage boundary and aborts with ctx.Err(). Cancellation
+// is cooperative at stage granularity — a stage in flight runs to
+// completion so the content-addressed caches are never torn; everything
+// those completed stages cached stays valid for the next run.
+func (e *Engine) CheckContext(ctx context.Context, d *layout.Design) (*Report, error) {
+	return e.run(ctx, d)
 }
 
 // Recheck is Check for the edit loop: identical semantics, provided so
@@ -216,10 +246,19 @@ func (e *Engine) Check(d *layout.Design) (*Report, error) {
 // (modulo stage durations) to what a cold Check of the same design state
 // would return.
 func (e *Engine) Recheck(d *layout.Design) (*Report, error) {
-	return e.run(d)
+	return e.run(context.Background(), d)
 }
 
-func (e *Engine) run(d *layout.Design) (*Report, error) {
+// RecheckContext is Recheck under a context; see CheckContext for the
+// cancellation contract.
+func (e *Engine) RecheckContext(ctx context.Context, d *layout.Design) (*Report, error) {
+	return e.run(ctx, d)
+}
+
+func (e *Engine) run(ctx context.Context, d *layout.Design) (*Report, error) {
+	if e.poisoned != nil {
+		return nil, fmt.Errorf("core: engine poisoned: %w", e.poisoned)
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -253,12 +292,27 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 	rep := &Report{Design: d, Tech: e.tc}
 	c := &checker{design: d, tech: e.tc, ct: e.ct, opts: e.opts, rep: rep}
 
-	c.stage("check elements", func() { e.checkElements(c, d, hashes) })
-	c.stage("check primitive symbols", func() { e.checkPrimitiveSymbols(c, d, hashes) })
-	c.stage("check layer rules", func() { e.checkLayerRules(c, d, hashes) })
+	// stage runs one pipeline stage unless the context has expired; the
+	// first expiry observed suppresses every following stage so the run
+	// aborts at the next boundary.
+	var ctxErr error
+	stage := func(name string, fn func()) {
+		if ctxErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return
+		}
+		c.stage(name, fn)
+	}
+
+	stage("check elements", func() { e.checkElements(c, d, hashes) })
+	stage("check primitive symbols", func() { e.checkPrimitiveSymbols(c, d, hashes) })
+	stage("check layer rules", func() { e.checkLayerRules(c, d, hashes) })
 
 	var inc *netlist.IncExtraction
-	c.stage("generate hierarchical net list", func() {
+	stage("generate hierarchical net list", func() {
 		var issues []netlist.Issue
 		var err error
 		inc, issues, err = netlist.ExtractVirtualWindow(d, e.tc, e.cache, hashes, win)
@@ -272,20 +326,31 @@ func (e *Engine) run(d *layout.Design) (*Report, error) {
 		}
 	})
 	if inc != nil {
-		c.stage("check legal connections", func() { e.checkConnections(c, inc) })
+		stage("check legal connections", func() { e.checkConnections(c, inc) })
 		if !e.opts.SkipInteractions {
-			c.stage("check interactions", func() { e.checkInteractions(c, inc, &stats) })
+			stage("check interactions", func() { e.checkInteractions(c, inc, &stats) })
 		}
 		if !e.opts.SkipConstruction {
-			c.stage("check construction rules", func() { e.checkConstruction(c, inc) })
+			stage("check construction rules", func() { e.checkConstruction(c, inc) })
 		}
 		if e.opts.Reference != nil {
-			c.stage("check netlist reference", func() {
+			stage("check netlist reference", func() {
 				for _, is := range netlist.Compare(inc.Netlist, e.opts.Reference) {
 					c.add(Violation{Rule: is.Rule, Severity: Error, Detail: is.Detail, Where: is.Where})
 				}
 			})
 		}
+	}
+	if ctxErr != nil {
+		// Aborted between stages. The content-addressed caches filled by
+		// the completed stages stay valid (stale keys are simply never
+		// reachable), but the run-scoped replay records — the interaction
+		// replay and the construction issue cache — may describe a run
+		// that never finished; drop them so the next run rebuilds from
+		// the durable caches instead of replaying a phantom.
+		e.replay = replayState{}
+		e.consValid = false
+		return nil, ctxErr
 	}
 	sortViolations(rep.Violations)
 

@@ -1,0 +1,89 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LoadLatency is a latency distribution summary in nanoseconds, the unit
+// the rest of the bench artifacts use.
+type LoadLatency struct {
+	Count int     `json:"count"`
+	P50NS int64   `json:"p50_ns"`
+	P95NS int64   `json:"p95_ns"`
+	P99NS int64   `json:"p99_ns"`
+	MaxNS int64   `json:"max_ns"`
+	MeanN float64 `json:"mean_ns"`
+}
+
+// SummarizeLatencies computes the percentile summary of a sample set.
+// Percentiles use the nearest-rank method; an empty set is all zeros.
+func SummarizeLatencies(samples []time.Duration) LoadLatency {
+	var s LoadLatency
+	s.Count = len(samples)
+	if s.Count == 0 {
+		return s
+	}
+	ns := make([]int64, len(samples))
+	var sum int64
+	for i, d := range samples {
+		ns[i] = d.Nanoseconds()
+		sum += ns[i]
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	rank := func(p float64) int64 {
+		idx := int(p*float64(len(ns))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ns) {
+			idx = len(ns) - 1
+		}
+		return ns[idx]
+	}
+	s.P50NS = rank(0.50)
+	s.P95NS = rank(0.95)
+	s.P99NS = rank(0.99)
+	s.MaxNS = ns[len(ns)-1]
+	s.MeanN = float64(sum) / float64(len(ns))
+	return s
+}
+
+// LoadSnapshot is the BENCH_LOAD_<date>.json document: one drcload run
+// against a live daemon — throughput, latency distributions per
+// operation, the error-class histogram, and the daemon's end-of-run
+// resource gauges (the bounded-memory/goroutine evidence).
+type LoadSnapshot struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	Sessions   int    `json:"sessions"`
+	Chaos      bool   `json:"chaos"`
+	DurationNS int64  `json:"duration_ns"`
+
+	Requests  uint64            `json:"requests"`
+	Reports   LoadLatency       `json:"report_latency"`
+	Edits     LoadLatency       `json:"edit_latency"`
+	Creates   LoadLatency       `json:"create_latency"`
+	ErrClass  map[string]uint64 `json:"errors_by_class"`
+	Transport uint64            `json:"transport_errors"`
+
+	ServerGoroutines int    `json:"server_goroutines"`
+	ServerHeapBytes  uint64 `json:"server_heap_bytes"`
+
+	SLOViolations []string `json:"slo_violations,omitempty"`
+}
+
+// JSON renders the snapshot.
+func (s LoadSnapshot) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Filename returns the canonical snapshot name for its date.
+func (s LoadSnapshot) Filename() string { return fmt.Sprintf("BENCH_LOAD_%s.json", s.Date) }

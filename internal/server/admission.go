@@ -1,0 +1,95 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// admission is the bounded work-queue in front of every engine run (cold
+// checks and recheck flushes). At most maxInflight runs proceed at once;
+// up to depth more callers wait in line; everyone past that is rejected
+// immediately with 429 instead of piling a goroutine onto the queue. A
+// caller whose context expires while waiting gets 503 — both rejections
+// happen before any session state changes, so they are always safe for
+// the client to retry.
+type admission struct {
+	sem   chan struct{} // buffered maxInflight: a slot held = a run in flight
+	depth int
+
+	mu       sync.Mutex
+	queued   int
+	admitted uint64
+	rejFull  uint64 // 429: queue full
+	rejWait  uint64 // 503: context expired while queued
+}
+
+func newAdmission(maxInflight, depth int) *admission {
+	return &admission{sem: make(chan struct{}, maxInflight), depth: depth}
+}
+
+// tryAcquire takes a slot only if one is free right now — the debounce
+// timer's flush uses it so background work never queues (it re-arms and
+// retries instead).
+func (a *admission) tryAcquire() bool {
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return true
+	default:
+		return false
+	}
+}
+
+// acquire takes a slot, waiting in the bounded queue if necessary.
+func (a *admission) acquire(ctx context.Context) *svcError {
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.depth {
+		a.rejFull++
+		inflight := len(a.sem)
+		queued := a.queued
+		a.mu.Unlock()
+		return errf(http.StatusTooManyRequests, ClassOverload,
+			"check queue full (%d in flight, %d queued); retry later", inflight, queued)
+	}
+	a.queued++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.mu.Unlock()
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.mu.Lock()
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		a.rejWait++
+		a.mu.Unlock()
+		return errf(http.StatusServiceUnavailable, ClassTimeout,
+			"deadline expired while queued for a check slot: %v", ctx.Err())
+	}
+}
+
+func (a *admission) release() { <-a.sem }
+
+// gauges returns the live inflight/queued counts plus the cumulative
+// admitted/rejected counters.
+func (a *admission) gauges() (inflight, queued int, admitted, rejFull, rejWait uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sem), a.queued, a.admitted, a.rejFull, a.rejWait
+}

@@ -2,38 +2,77 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/layout"
 )
 
+// APIError is a non-2xx daemon response decoded into a typed error: the
+// HTTP status, the machine-stable error class from the wire contract, and
+// the Retry-After hint (zero when absent). Check it with errors.As.
+type APIError struct {
+	Status     int
+	Class      string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Class != "" {
+		return fmt.Sprintf("%s (%d %s)", e.Message, e.Status, e.Class)
+	}
+	return fmt.Sprintf("%s (%d)", e.Message, e.Status)
+}
+
 // Client drives a running dicheckd over HTTP. It is the library behind
 // `dicheck -serve` and the integration tests; methods map one-to-one onto
 // the daemon's endpoints.
+//
+// Every call is bounded by AttemptTimeout and retried up to MaxRetries
+// times with exponential backoff and jitter when it is safe to: GETs and
+// DELETEs retry on connection errors and on 429/503; POSTs retry only on
+// 429/503 carrying a Retry-After header — the daemon sets it exactly on
+// the rejections that happen before any state changes, so a retried POST
+// can never double-apply.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
 	BaseURL string
-	// HTTPClient defaults to a client with a 5-minute timeout (cold checks
-	// of large designs are slow on small machines).
+	// HTTPClient defaults to http.DefaultClient; per-call deadlines come
+	// from AttemptTimeout, not the http.Client timeout.
 	HTTPClient *http.Client
+	// AttemptTimeout bounds each individual attempt (default 5m — cold
+	// checks of large designs are slow on small machines).
+	AttemptTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBase is the first backoff step; it doubles per retry and gets
+	// ±50% jitter (default 100ms).
+	RetryBase time.Duration
 }
 
 // NewClient creates a client for the daemon at base.
 func NewClient(base string) *Client {
-	return &Client{
-		BaseURL:    base,
-		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
-	}
+	return &Client{BaseURL: base}
 }
 
 // Create opens a session and returns its id plus the initial cold report.
 func (c *Client) Create(req CreateRequest) (*CreateResponse, error) {
+	return c.CreateContext(context.Background(), req)
+}
+
+// CreateContext is Create bounded by ctx.
+func (c *Client) CreateContext(ctx context.Context, req CreateRequest) (*CreateResponse, error) {
 	var resp CreateResponse
-	if err := c.do(http.MethodPost, "/sessions", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/sessions", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -42,7 +81,7 @@ func (c *Client) Create(req CreateRequest) (*CreateResponse, error) {
 // List returns every live session.
 func (c *Client) List() ([]SessionInfo, error) {
 	var resp []SessionInfo
-	if err := c.do(http.MethodGet, "/sessions", nil, &resp); err != nil {
+	if err := c.do(context.Background(), http.MethodGet, "/sessions", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -65,8 +104,13 @@ func (c *Client) FindByName(name string) (string, bool, error) {
 
 // Edit applies one edit batch to a session.
 func (c *Client) Edit(id string, edits []layout.Edit) (*EditResponse, error) {
+	return c.EditContext(context.Background(), id, edits)
+}
+
+// EditContext is Edit bounded by ctx.
+func (c *Client) EditContext(ctx context.Context, id string, edits []layout.Edit) (*EditResponse, error) {
 	var resp EditResponse
-	if err := c.do(http.MethodPost, "/sessions/"+id+"/edits", EditRequest{Edits: edits}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/sessions/"+id+"/edits", EditRequest{Edits: edits}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -75,8 +119,13 @@ func (c *Client) Edit(id string, edits []layout.Edit) (*EditResponse, error) {
 // Report fetches the session's current report, forcing any pending edits
 // through a recheck first.
 func (c *Client) Report(id string) (*Report, error) {
+	return c.ReportContext(context.Background(), id)
+}
+
+// ReportContext is Report bounded by ctx.
+func (c *Client) ReportContext(ctx context.Context, id string) (*Report, error) {
 	var resp Report
-	if err := c.do(http.MethodGet, "/sessions/"+id+"/report", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/sessions/"+id+"/report", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -85,33 +134,127 @@ func (c *Client) Report(id string) (*Report, error) {
 // Stats fetches the session's service and engine counters.
 func (c *Client) Stats(id string) (*StatsResponse, error) {
 	var resp StatsResponse
-	if err := c.do(http.MethodGet, "/sessions/"+id+"/stats", nil, &resp); err != nil {
+	if err := c.do(context.Background(), http.MethodGet, "/sessions/"+id+"/stats", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Delete removes a session.
-func (c *Client) Delete(id string) error {
-	return c.do(http.MethodDelete, "/sessions/"+id, nil, nil)
+// ServerStats fetches the daemon-wide gauges and counters.
+func (c *Client) ServerStats() (*ServerStatsResponse, error) {
+	var resp ServerStatsResponse
+	if err := c.do(context.Background(), http.MethodGet, "/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
-// do runs one JSON round trip. Non-2xx responses decode the daemon's
-// error payload into the returned error.
-func (c *Client) do(method, path string, body, out any) error {
-	var rd io.Reader
+// SnapshotNow asks the daemon to snapshot every session to its state
+// directory immediately.
+func (c *Client) SnapshotNow() error {
+	return c.do(context.Background(), http.MethodPost, "/snapshot", struct{}{}, nil)
+}
+
+// Inject arms the fault-injection hook on a session (daemon must run with
+// test hooks enabled).
+func (c *Client) Inject(id string, req InjectRequest) error {
+	return c.do(context.Background(), http.MethodPost, "/sessions/"+id+"/inject", req, nil)
+}
+
+// Delete removes a session.
+func (c *Client) Delete(id string) error {
+	return c.do(context.Background(), http.MethodDelete, "/sessions/"+id, nil, nil)
+}
+
+// do runs one JSON call with bounded retries. Non-2xx responses decode
+// the daemon's error payload into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
 	if body != nil {
 		buf, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+		payload = buf
 	}
-	req, err := http.NewRequest(method, c.BaseURL+path, rd)
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 3
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	idempotent := method == http.MethodGet || method == http.MethodDelete
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.attempt(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if attempt >= retries || ctx.Err() != nil {
+			return lastErr
+		}
+		wait, retryable := retryDelay(err, idempotent, base, attempt)
+		if !retryable {
+			return lastErr
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return lastErr
+		}
+	}
+}
+
+// retryDelay decides whether err warrants another attempt and how long to
+// back off first.
+func retryDelay(err error, idempotent bool, base time.Duration, attempt int) (time.Duration, bool) {
+	backoff := base << attempt
+	// ±50% jitter so synchronized clients don't stampede in lockstep.
+	backoff = backoff/2 + time.Duration(rand.Int63n(int64(backoff)+1))
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		// 429/503 are issued before any state changes; the Retry-After
+		// header is the daemon's explicit safe-to-retry signal, so even
+		// POSTs retry on it.
+		if (apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable) &&
+			(idempotent || apiErr.RetryAfter > 0) {
+			if apiErr.RetryAfter > backoff {
+				backoff = apiErr.RetryAfter
+			}
+			return backoff, true
+		}
+		return 0, false
+	}
+	// Transport-level failure (connection refused/reset, EOF): the request
+	// may or may not have reached the daemon, so only idempotent methods
+	// retry automatically.
+	return backoff, idempotent
+}
+
+// attempt runs a single HTTP round trip under the per-attempt timeout.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) error {
+	timeout := c.AttemptTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Minute
+	}
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var rd io.Reader
+	if payload != nil {
+		rd = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return err
 	}
-	if body != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -128,11 +271,20 @@ func (c *Client) do(method, path string, body, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		apiErr := &APIError{Status: resp.StatusCode, Message: resp.Status}
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s)", method, path, eb.Error, resp.Status)
+			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, eb.Error)
+			apiErr.Class = eb.Class
+		} else {
+			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, resp.Status)
 		}
-		return fmt.Errorf("%s %s: %s", method, path, resp.Status)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				apiErr.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil

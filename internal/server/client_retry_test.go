@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientRetriesOverloadWithRetryAfter asserts a POST is retried on a
+// 429 that carries Retry-After (the daemon's safe-to-retry signal) and
+// succeeds on the second attempt.
+func TestClientRetriesOverloadWithRetryAfter(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "queue full", Class: ClassOverload})
+			return
+		}
+		writeJSON(w, http.StatusCreated, CreateResponse{ID: "s1", Report: &Report{Clean: true}})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	resp, err := c.Create(CreateRequest{CIF: "x"})
+	if err != nil {
+		t.Fatalf("create did not retry through the 429: %v", err)
+	}
+	if resp.ID != "s1" || hits.Load() != 2 {
+		t.Fatalf("id=%s hits=%d, want s1 after exactly 2 attempts", resp.ID, hits.Load())
+	}
+}
+
+// TestClientDoesNotRetryUnsafePOST asserts a POST answered with a plain
+// 500 (no Retry-After, not a backpressure status) is NOT retried — the
+// request may have partially applied, so an automatic replay could
+// double-apply edits.
+func TestClientDoesNotRetryUnsafePOST(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "boom", Class: ClassPanic})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	_, err := c.Create(CreateRequest{CIF: "x"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("expected the 500 surfaced, got %v", err)
+	}
+	if apiErr.Class != ClassPanic {
+		t.Fatalf("class = %q, want %q", apiErr.Class, ClassPanic)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("unsafe POST was attempted %d times, want 1", hits.Load())
+	}
+}
+
+// TestClientRetriesIdempotentOnTransportError asserts a GET survives a
+// connection-level failure: the first attempt hits a dead listener, the
+// client backs off and the (stubbed) recovery succeeds. Here the "dead"
+// phase is a handler that hijacks and drops the connection.
+func TestClientRetriesIdempotentOnTransportError(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Fatal("no hijacker")
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Fatal(err)
+			}
+			conn.Close() // mid-request connection reset
+			return
+		}
+		writeJSON(w, http.StatusOK, []SessionInfo{{ID: "s1"}})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	infos, err := c.List()
+	if err != nil {
+		t.Fatalf("GET did not retry through the connection reset: %v", err)
+	}
+	if len(infos) != 1 || hits.Load() != 2 {
+		t.Fatalf("infos=%v hits=%d, want 1 session after 2 attempts", infos, hits.Load())
+	}
+}
+
+// TestClientHonorsCallerContext asserts the per-call context bounds the
+// whole retry loop, not just one attempt.
+func TestClientHonorsCallerContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "busy", Class: ClassTimeout})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ReportContext(ctx, "s1")
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	// With MaxRetries=3 and Retry-After=1s the uncancelled loop would take
+	// ~3s; the context must cut it short.
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("retry loop ignored the caller context (took %v)", took)
+	}
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEvictRaceHammer is the eviction-race regression test: concurrent
+// editors and reporters hammer sessions while an evictor sweeps them out
+// from underneath (snapshot-then-close, state directory configured) and
+// creators resurrect them. The contract under this race: every response
+// is a success, a 404 (fully evicted), or a 410 (evicted mid-request) —
+// never a 5xx, never a torn state, and with -race, no data race.
+func TestEvictRaceHammer(t *testing.T) {
+	text, _ := cmosCIF(t, 2, 2)
+	srv, c := newTestServer(t, Config{
+		Debounce: time.Millisecond, // keep the timer path in the race too
+		IdleTTL:  time.Minute,
+		StateDir: t.TempDir(),
+	})
+	noRetry(c)
+
+	const nSessions = 4
+	var ids [nSessions]atomic.Value // string: current id for slot i ("" = dead)
+	for i := 0; i < nSessions; i++ {
+		created, err := c.Create(CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i].Store(created.ID)
+	}
+
+	okClass := func(err error) bool {
+		if err == nil {
+			return true
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			return false
+		}
+		switch apiErr.Status {
+		case http.StatusNotFound, http.StatusGone:
+			return true
+		}
+		return false
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan error, 64)
+
+	// Editors and reporters, one pair per slot.
+	for i := 0; i < nSessions; i++ {
+		slot := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			flip := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, _ := ids[slot].Load().(string)
+				if id == "" {
+					continue
+				}
+				var err error
+				if flip {
+					_, err = c.Edit(id, breakEdits())
+				} else {
+					_, err = c.Edit(id, revertEdits())
+				}
+				flip = !flip
+				if !okClass(err) {
+					select {
+					case fail <- err:
+					default:
+					}
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, _ := ids[slot].Load().(string)
+				if id == "" {
+					continue
+				}
+				if _, err := c.Report(id); !okClass(err) {
+					select {
+					case fail <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	// The evictor: every few milliseconds, sweep everything idle (the
+	// cutoff is in the future, so every session qualifies) — exactly the
+	// retire path a production idle sweep takes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(3 * time.Millisecond):
+				srv.SweepIdle(time.Now().Add(2 * time.Minute))
+			}
+		}
+	}()
+
+	// The creators: resurrect any slot whose session got swept.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			for slot := 0; slot < nSessions; slot++ {
+				id, _ := ids[slot].Load().(string)
+				if id == "" {
+					continue
+				}
+				if _, err := c.Stats(id); err != nil {
+					created, err := c.Create(CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
+					if err == nil {
+						ids[slot].Store(created.ID)
+					}
+				}
+			}
+		}
+	}()
+
+	time.Sleep(800 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-fail:
+		t.Fatalf("hammer saw a non-contract response: %v", err)
+	default:
+	}
+
+	// The daemon must still be fully healthy after the storm.
+	created, err := c.Create(CreateRequest{Name: "after", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Report(created.ID); err != nil {
+		t.Fatal(err)
+	}
+	gst, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gst.PanicsRecovered != 0 || gst.SessionsPoisoned != 0 {
+		t.Fatalf("the race recovered panics: %+v", gst)
+	}
+}

@@ -1,9 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -31,6 +34,34 @@ type Config struct {
 	// Workers is the engines' interaction-stage goroutine count
 	// (core.Options.Workers; 0 = all cores).
 	Workers int
+
+	// CheckTimeout bounds engine runs triggered by a request — the cold
+	// check on create and the flush a report forces. On expiry the
+	// request gets 503 + Retry-After (0 = no deadline).
+	CheckTimeout time.Duration
+	// EditTimeout bounds edit-batch requests (0 = no deadline).
+	EditTimeout time.Duration
+	// MaxInflight is the engine-run concurrency cap fronting cold checks
+	// and flushes (default: NumCPU, minimum 2).
+	MaxInflight int
+	// QueueDepth is how many engine runs may wait for a slot before new
+	// arrivals are rejected with 429 (default 64; negative = 0).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies on the POST endpoints; oversize
+	// requests get 413 (default 64 MiB).
+	MaxBodyBytes int64
+
+	// StateDir, when set, enables crash-safe session snapshots: restore
+	// on boot (RestoreFromDisk), snapshot on Close, periodic snapshots
+	// every SnapshotEvery, and snapshot-then-close eviction.
+	StateDir string
+	// SnapshotEvery is the periodic snapshot interval (0 disables the
+	// periodic sweep; Close still snapshots).
+	SnapshotEvery time.Duration
+
+	// TestHooks registers the fault-injection endpoint
+	// (POST /sessions/{id}/inject). Never enable it in production.
+	TestHooks bool
 }
 
 func (c Config) withDefaults() Config {
@@ -43,36 +74,71 @@ func (c Config) withDefaults() Config {
 	if c.Debounce == 0 {
 		c.Debounce = 25 * time.Millisecond
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.NumCPU()
+		if c.MaxInflight < 2 {
+			c.MaxInflight = 2
+		}
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
 	return c
+}
+
+// serverStats are the daemon-wide counters behind GET /stats.
+type serverStats struct {
+	PanicsRecovered   uint64
+	SessionsPoisoned  uint64
+	EvictionsLRU      uint64
+	EvictionsIdle     uint64
+	SnapshotsSaved    uint64
+	SnapshotsRestored uint64
 }
 
 // Server is the check service: a session table behind an http.Handler.
 // Handler methods are safe for concurrent use; per-session work is
 // serialized by the session's own mutex, so requests against distinct
-// sessions proceed in parallel.
+// sessions proceed in parallel. Engine runs are admitted through a
+// bounded queue (Config.MaxInflight/QueueDepth), and every handler and
+// timer callback runs under panic recovery that quarantines only the
+// offending session, never the process.
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
+	adm *admission
 
 	mu       sync.Mutex
 	sessions map[string]*Session
 	nextID   int
+	stats    serverStats
 
 	// now is the clock, injectable for eviction tests.
 	now func() time.Time
 
-	stopJanitor chan struct{}
-	janitorOnce sync.Once
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
-// New creates a Server. Call Close when done to stop the idle-eviction
-// janitor.
+// New creates a Server. Call Close when done to stop the background
+// goroutines (idle janitor, periodic snapshots); if Config.StateDir is
+// set, call RestoreFromDisk before serving to resurrect saved sessions.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:         cfg.withDefaults(),
-		sessions:    make(map[string]*Session),
-		now:         time.Now,
-		stopJanitor: make(chan struct{}),
+		cfg:      cfg,
+		adm:      newAdmission(cfg.MaxInflight, cfg.QueueDepth),
+		sessions: make(map[string]*Session),
+		now:      time.Now,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /sessions", s.handleCreate)
@@ -81,6 +147,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /sessions/{id}/stats", s.handleStats)
 	mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
 	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /stats", s.handleServerStats)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshotNow)
+	if cfg.TestHooks {
+		mux.HandleFunc("POST /sessions/{id}/inject", s.handleInject)
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -88,15 +159,36 @@ func New(cfg Config) *Server {
 	if s.cfg.IdleTTL > 0 {
 		go s.janitor()
 	}
+	if s.cfg.StateDir != "" && s.cfg.SnapshotEvery > 0 {
+		go s.snapshotLoop()
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. The outermost recovery is the
+// process's last line of defense: a panic that escapes a handler (or the
+// mux itself) is answered with a 500 and the daemon keeps serving.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.notePanic()
+			// Best effort: if the handler already wrote headers this is a
+			// lost cause for this response, but the process survives.
+			writeErrClass(w, http.StatusInternalServerError, ClassPanic,
+				fmt.Errorf("internal panic: %v", rec))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
-// Close stops the idle janitor and closes every session.
+// Close stops the background goroutines, snapshots every session when a
+// state directory is configured (the graceful-shutdown snapshot), and
+// closes every session.
 func (s *Server) Close() {
-	s.janitorOnce.Do(func() { close(s.stopJanitor) })
+	s.stopOnce.Do(func() { close(s.stop) })
+	if s.cfg.StateDir != "" {
+		s.SnapshotAll(s.now())
+	}
 	s.mu.Lock()
 	victims := make([]*Session, 0, len(s.sessions))
 	for id, sess := range s.sessions {
@@ -115,7 +207,7 @@ func (s *Server) janitor() {
 	defer tick.Stop()
 	for {
 		select {
-		case <-s.stopJanitor:
+		case <-s.stop:
 			return
 		case <-tick.C:
 			s.SweepIdle(s.now())
@@ -124,7 +216,9 @@ func (s *Server) janitor() {
 }
 
 // SweepIdle evicts every session idle since before now - IdleTTL and
-// returns how many it removed.
+// returns how many it removed. Eviction is snapshot-then-close: with a
+// state directory configured the victim's state is persisted before the
+// session dies, so an eviction never loses acknowledged edits.
 func (s *Server) SweepIdle(now time.Time) int {
 	if s.cfg.IdleTTL <= 0 {
 		return 0
@@ -138,11 +232,27 @@ func (s *Server) SweepIdle(now time.Time) int {
 			delete(s.sessions, id)
 		}
 	}
+	s.stats.EvictionsIdle += uint64(len(victims))
 	s.mu.Unlock()
 	for _, sess := range victims {
-		sess.close()
+		s.retire(sess)
 	}
 	return len(victims)
+}
+
+// retire persists a victim's state (best effort) and closes it —
+// "snapshot, then close". Both steps serialize on the session mutex
+// after any in-flight request; a request that raced the eviction gets a
+// clean 410 from the closed session, never a torn state.
+func (s *Server) retire(sess *Session) {
+	if s.cfg.StateDir != "" {
+		if n, err := s.snapshotSession(sess, s.now()); err == nil && n > 0 {
+			s.mu.Lock()
+			s.stats.SnapshotsSaved++
+			s.mu.Unlock()
+		}
+	}
+	sess.close()
 }
 
 // lookup fetches a session and bumps its LRU stamp.
@@ -171,13 +281,62 @@ func (s *Server) register(sess *Session) {
 		if oldest != nil {
 			victim = oldest
 			delete(s.sessions, oldest.ID)
+			s.stats.EvictionsLRU++
 		}
 	}
 	s.sessions[sess.ID] = sess
 	s.mu.Unlock()
 	if victim != nil {
-		victim.close()
+		s.retire(victim)
 	}
+}
+
+func (s *Server) notePanic() {
+	s.mu.Lock()
+	s.stats.PanicsRecovered++
+	s.mu.Unlock()
+}
+
+// guardSession runs a session operation under panic recovery: a panic
+// poisons that session only and comes back as a 500 with class "panic";
+// every other session, the admission queue, and the process itself are
+// untouched.
+func (s *Server) guardSession(sess *Session, fn func() *svcError) (serr *svcError) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.notePanic()
+			s.mu.Lock()
+			s.stats.SessionsPoisoned++
+			s.mu.Unlock()
+			sess.poisonWith(fmt.Errorf("panic: %v", rec))
+			serr = errf(http.StatusInternalServerError, ClassPanic,
+				"session %s: recovered panic: %v (session poisoned)", sess.ID, rec)
+		}
+	}()
+	return fn()
+}
+
+// opCtx derives the request context with the configured deadline.
+func opCtx(r *http.Request, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), timeout)
+}
+
+// decodeBody decodes a JSON request body under the size cap, mapping
+// oversize bodies to 413 and malformed JSON to 400.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *svcError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge, ClassTooLarge,
+				"request body over %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, ClassBadRequest, "decode request: %v", err)
+	}
+	return nil
 }
 
 // CreateRequest creates a session from a CIF source and a technology. One
@@ -227,19 +386,38 @@ func resolveTech(req *CreateRequest) (*tech.Technology, error) {
 	return fn(), nil
 }
 
+// resolveCreate resolves a create request into the technology and check
+// options — shared between the create handler and snapshot restore so a
+// restored session is configured exactly like the original.
+func resolveCreate(req *CreateRequest, workers int) (*tech.Technology, core.Options, error) {
+	tc, err := resolveTech(req)
+	if err != nil {
+		return nil, core.Options{}, err
+	}
+	opts := core.Options{Workers: workers, SkipConstruction: req.NoConstruct}
+	switch req.Metric {
+	case "", "euclid":
+	case "ortho":
+		opts.Metric = core.Orthogonal
+	default:
+		return nil, core.Options{}, fmt.Errorf("unknown metric %q", req.Metric)
+	}
+	return tc, opts, nil
+}
+
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if serr := s.decodeBody(w, r, &req); serr != nil {
+		writeSvcErr(w, serr)
 		return
 	}
 	if req.CIF == "" {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty cif source"))
+		writeSvcErr(w, errf(http.StatusBadRequest, ClassBadRequest, "empty cif source"))
 		return
 	}
-	tc, err := resolveTech(&req)
+	tc, opts, err := resolveCreate(&req, s.cfg.Workers)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeSvcErr(w, errf(http.StatusBadRequest, ClassBadRequest, "%v", err))
 		return
 	}
 	designName := req.DesignName
@@ -251,16 +429,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := cif.Parse(req.CIF, tc, designName)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("parse cif: %w", err))
+		writeSvcErr(w, errf(http.StatusBadRequest, ClassBadRequest, "parse cif: %v", err))
 		return
 	}
-	opts := core.Options{Workers: s.cfg.Workers, SkipConstruction: req.NoConstruct}
-	switch req.Metric {
-	case "", "euclid":
-	case "ortho":
-		opts.Metric = core.Orthogonal
-	default:
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown metric %q", req.Metric))
+
+	ctx, cancel := opCtx(r, s.cfg.CheckTimeout)
+	defer cancel()
+	// The cold check is the most expensive thing the daemon does; it goes
+	// through the admission queue like every other engine run.
+	if serr := s.adm.acquire(ctx); serr != nil {
+		writeSvcErr(w, serr)
 		return
 	}
 
@@ -269,9 +447,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("s%d", s.nextID)
 	s.mu.Unlock()
 
-	sess, err := newSession(id, req.Name, d, tc, opts, s.cfg.Debounce, s.now())
+	origin := sessionOrigin{Tech: req.Tech, Deck: req.Deck, Metric: req.Metric, NoConstruct: req.NoConstruct}
+	sess, err := newSession(ctx, id, req.Name, d, tc, opts, origin, s.adm, s.cfg.Debounce, s.now())
+	s.adm.release()
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, fmt.Errorf("initial check: %w", err))
+		writeSvcErr(w, classifyRunErr(fmt.Errorf("initial check: %w", err)))
 		return
 	}
 	// Build the response before publishing the session: the moment it is
@@ -327,25 +507,37 @@ type EditResponse struct {
 func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		writeSvcErr(w, errf(http.StatusNotFound, ClassNotFound, "no session %q", r.PathValue("id")))
 		return
 	}
+	sess.inflight.Add(1)
+	defer sess.inflight.Add(-1)
 	var req EditRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+	if serr := s.decodeBody(w, r, &req); serr != nil {
+		writeSvcErr(w, serr)
 		return
 	}
 	if len(req.Edits) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("empty edit batch"))
+		writeSvcErr(w, errf(http.StatusBadRequest, ClassBadRequest, "empty edit batch"))
 		return
 	}
-	applied, gen, err := sess.applyEdits(req.Edits)
-	resp := EditResponse{Applied: applied, Generation: gen}
-	if err != nil {
-		// The successful prefix is applied and will be rechecked; report
-		// partial application so the client can reconcile.
-		resp.Error = err.Error()
-		writeJSON(w, http.StatusBadRequest, resp)
+	_, cancel := opCtx(r, s.cfg.EditTimeout)
+	defer cancel()
+	var resp EditResponse
+	serr := s.guardSession(sess, func() *svcError {
+		applied, gen, serr := sess.applyEdits(req.Edits)
+		resp = EditResponse{Applied: applied, Generation: gen}
+		return serr
+	})
+	if serr != nil {
+		if serr.class == ClassBadRequest {
+			// The successful prefix is applied and will be rechecked;
+			// report partial application so the client can reconcile.
+			resp.Error = serr.Error()
+			writeJSON(w, http.StatusBadRequest, resp)
+			return
+		}
+		writeSvcErr(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -354,12 +546,21 @@ func (s *Server) handleEdits(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		writeSvcErr(w, errf(http.StatusNotFound, ClassNotFound, "no session %q", r.PathValue("id")))
 		return
 	}
-	rep, err := sess.report()
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	sess.inflight.Add(1)
+	defer sess.inflight.Add(-1)
+	ctx, cancel := opCtx(r, s.cfg.CheckTimeout)
+	defer cancel()
+	var rep *Report
+	serr := s.guardSession(sess, func() *svcError {
+		var serr *svcError
+		rep, serr = sess.report(ctx)
+		return serr
+	})
+	if serr != nil {
+		writeSvcErr(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -368,12 +569,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		writeSvcErr(w, errf(http.StatusNotFound, ClassNotFound, "no session %q", r.PathValue("id")))
 		return
 	}
-	st, err := sess.statsSnapshot()
-	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+	st, serr := sess.statsSnapshot()
+	if serr != nil {
+		writeSvcErr(w, serr)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -388,20 +589,118 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeSvcErr(w, errf(http.StatusNotFound, ClassNotFound, "no session %q", id))
 		return
 	}
 	sess.close()
+	s.removeSnapshot(id)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
 }
 
-// errorBody is the uniform error payload.
-type errorBody struct {
-	Error string `json:"error"`
+// InjectRequest arms the fault-injection test hook on one session (only
+// routed when Config.TestHooks is set): the next SlowCount engine runs
+// sleep SlowMS milliseconds (context-respecting — the way to simulate a
+// recheck blowing its deadline), and the next PanicCount session
+// operations panic (the way to prove quarantine).
+type InjectRequest struct {
+	SlowMS     int `json:"slow_ms,omitempty"`
+	SlowCount  int `json:"slow_count,omitempty"`
+	PanicCount int `json:"panic_count,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeSvcErr(w, errf(http.StatusNotFound, ClassNotFound, "no session %q", r.PathValue("id")))
+		return
+	}
+	var req InjectRequest
+	if serr := s.decodeBody(w, r, &req); serr != nil {
+		writeSvcErr(w, serr)
+		return
+	}
+	slowN := req.SlowCount
+	if slowN == 0 && req.SlowMS > 0 {
+		slowN = 1
+	}
+	if serr := sess.setInject(time.Duration(req.SlowMS)*time.Millisecond, slowN, req.PanicCount); serr != nil {
+		writeSvcErr(w, serr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"armed": true})
+}
+
+// ServerStatsResponse is the GET /stats payload: global gauges and
+// counters for capacity planning and the load harness's bounded-resource
+// assertions.
+type ServerStatsResponse struct {
+	Sessions        int   `json:"sessions"`
+	SessionsDirty   int   `json:"sessions_dirty"`
+	RequestInflight int32 `json:"request_inflight"` // sum of per-session gauges
+
+	InflightChecks int    `json:"inflight_checks"` // engine runs holding a slot
+	QueuedChecks   int    `json:"queued_checks"`   // engine runs waiting for a slot
+	MaxInflight    int    `json:"max_inflight"`
+	QueueDepth     int    `json:"queue_depth"`
+	Admitted       uint64 `json:"admitted"`
+	Rejected429    uint64 `json:"rejected_429"` // queue full
+	Rejected503    uint64 `json:"rejected_503"` // deadline expired while queued
+
+	PanicsRecovered   uint64 `json:"panics_recovered"`
+	SessionsPoisoned  uint64 `json:"sessions_poisoned"`
+	EvictionsLRU      uint64 `json:"evictions_lru"`
+	EvictionsIdle     uint64 `json:"evictions_idle"`
+	SnapshotsSaved    uint64 `json:"snapshots_saved"`
+	SnapshotsRestored uint64 `json:"snapshots_restored"`
+
+	Goroutines    int    `json:"goroutines"`
+	HeapAllocByte uint64 `json:"heap_alloc_bytes"`
+	UptimeNS      int64  `json:"uptime_ns"`
+}
+
+func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	st := s.stats
+	s.mu.Unlock()
+
+	resp := ServerStatsResponse{
+		Sessions:          len(sessions),
+		MaxInflight:       s.cfg.MaxInflight,
+		QueueDepth:        s.cfg.QueueDepth,
+		PanicsRecovered:   st.PanicsRecovered,
+		SessionsPoisoned:  st.SessionsPoisoned,
+		EvictionsLRU:      st.EvictionsLRU,
+		EvictionsIdle:     st.EvictionsIdle,
+		SnapshotsSaved:    st.SnapshotsSaved,
+		SnapshotsRestored: st.SnapshotsRestored,
+		Goroutines:        runtime.NumGoroutine(),
+		UptimeNS:          time.Since(s.start).Nanoseconds(),
+	}
+	for _, sess := range sessions {
+		resp.RequestInflight += sess.inflight.Load()
+		// TryLock: the stats endpoint must never block behind a session
+		// mid-flush. A busy session is by definition processing edits, so
+		// counting it dirty is accurate enough for a gauge.
+		if sess.mu.TryLock() {
+			if sess.dirty {
+				resp.SessionsDirty++
+			}
+			sess.mu.Unlock()
+		} else {
+			resp.SessionsDirty++
+		}
+	}
+	inflight, queued, admitted, rejFull, rejWait := s.adm.gauges()
+	resp.InflightChecks, resp.QueuedChecks = inflight, queued
+	resp.Admitted, resp.Rejected429, resp.Rejected503 = admitted, rejFull, rejWait
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resp.HeapAllocByte = ms.HeapAlloc
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

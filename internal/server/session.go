@@ -1,14 +1,37 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/layout"
 	"repro/internal/tech"
 )
+
+// sessionOrigin records how a session's technology and options were
+// specified at creation, so a snapshot can restore an identical engine.
+type sessionOrigin struct {
+	Tech        string // registered technology name ("" when deck-created)
+	Deck        string // rule-deck source text ("" when registry-created)
+	Metric      string // "", "euclid", or "ortho"
+	NoConstruct bool
+}
+
+// injectState is the fault-injection test hook (enabled by Config
+// .TestHooks): slow consumes SlowN engine runs with an artificial
+// context-respecting sleep, panicN makes the next N session operations
+// panic. Production daemons never register the endpoint that sets it.
+type injectState struct {
+	slow   time.Duration
+	slowN  int
+	panicN int
+}
 
 // Session is one named check session: a design, the technology it is
 // checked under, and a long-lived incremental engine. All engine and
@@ -21,6 +44,11 @@ import (
 // run either by the debounce timer after the burst goes quiet or by the
 // next /report request, whichever comes first. A client asking for the
 // report therefore always gets the post-batch result.
+//
+// A session can be poisoned: a panic recovered while operating on it
+// quarantines this session only — every subsequent request gets a 500
+// with class "poisoned", the engine refuses further runs, and every
+// other session keeps serving.
 type Session struct {
 	ID   string
 	Name string
@@ -32,16 +60,36 @@ type Session struct {
 	rep    *core.Report // last completed run's report
 	dirty  bool         // edits applied since rep was produced
 	closed bool
+	poison error // non-nil: quarantined after a recovered panic
+
+	origin   sessionOrigin
+	restored bool // rebuilt from an on-disk snapshot at boot
 
 	debounce time.Duration
 	timer    *time.Timer
 	timerGen int // invalidates fired-but-not-yet-run timer callbacks
+
+	// adm is the owning server's admission queue; engine runs (the cold
+	// check aside, which the create handler admits itself) go through it.
+	adm *admission
+
+	inject injectState
 
 	stats SessionStats
 	// pendingBatches/pendingEdits accumulate the burst since the last
 	// flush; flushLocked moves them into the LastFlush* stats.
 	pendingBatches int
 	pendingEdits   int
+
+	// snapGen/snapClean record the edit generation and dirtiness the last
+	// written snapshot captured, so periodic snapshotting skips sessions
+	// that have not changed since.
+	snapGen  int
+	snapDone bool
+
+	// inflight counts requests currently inside this session's handlers
+	// (waiting on the mutex included) — the per-session gauge on /stats.
+	inflight atomic.Int32
 
 	// lastUsed is read/written under the owning Server's mutex (not the
 	// session's), where LRU and idle eviction decisions are made.
@@ -71,20 +119,22 @@ type SessionStats struct {
 }
 
 // newSession parses nothing — the server constructs it with a validated
-// design and technology — and runs the initial cold check.
-func newSession(id, name string, d *layout.Design, tc *tech.Technology, opts core.Options, debounce time.Duration, now time.Time) (*Session, error) {
+// design and technology — and runs the initial cold check under ctx.
+func newSession(ctx context.Context, id, name string, d *layout.Design, tc *tech.Technology, opts core.Options, origin sessionOrigin, adm *admission, debounce time.Duration, now time.Time) (*Session, error) {
 	s := &Session{
 		ID:       id,
 		Name:     name,
 		design:   d,
 		tc:       tc,
 		eng:      core.NewEngine(tc, opts),
+		origin:   origin,
+		adm:      adm,
 		debounce: debounce,
 		lastUsed: now,
 		created:  now,
 	}
 	start := time.Now()
-	rep, err := s.eng.Check(d)
+	rep, err := s.eng.CheckContext(ctx, d)
 	if err != nil {
 		return nil, err
 	}
@@ -95,15 +145,70 @@ func newSession(id, name string, d *layout.Design, tc *tech.Technology, opts cor
 	return s, nil
 }
 
+// gateLocked is the state check every operation starts with: a closed
+// session answers 410 (it was evicted or deleted while the request raced
+// it), a poisoned one 500 with the quarantine class.
+func (s *Session) gateLocked() *svcError {
+	if s.closed {
+		return errf(http.StatusGone, ClassGone, "session %s is gone (evicted or deleted)", s.ID)
+	}
+	if s.poison != nil {
+		return errf(http.StatusInternalServerError, ClassPoisoned,
+			"session %s poisoned: %v", s.ID, s.poison)
+	}
+	return nil
+}
+
+// faultPointLocked fires the injected faults: a pending panic panics (the
+// handler's recovery poisons the session), nothing else. The injected
+// slowness fires inside flushLocked where a genuinely slow recheck would.
+func (s *Session) faultPointLocked() {
+	if s.inject.panicN > 0 {
+		s.inject.panicN--
+		panic(fmt.Sprintf("injected fault (test hook) in session %s", s.ID))
+	}
+}
+
+// setInject arms the fault-injection state (test hook endpoint).
+func (s *Session) setInject(slow time.Duration, slowN, panicN int) *svcError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
+		return err
+	}
+	s.inject = injectState{slow: slow, slowN: slowN, panicN: panicN}
+	return nil
+}
+
+// poisonWith quarantines the session after a recovered panic: the engine
+// refuses further runs, the debounce timer is disarmed, and every
+// subsequent request is answered with the poisoned error class. It takes
+// the lock itself — the panic already unwound through the deferred
+// unlock of whatever operation was in flight.
+func (s *Session) poisonWith(reason error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.poison != nil {
+		return
+	}
+	s.poison = reason
+	s.eng.Poison(reason)
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+}
+
 // applyEdits applies one edit batch under the session lock and arms the
 // debounce timer. It returns the number applied and the total batch count
 // (the edit generation).
-func (s *Session) applyEdits(edits []layout.Edit) (applied, generation int, err error) {
+func (s *Session) applyEdits(edits []layout.Edit) (applied, generation int, serr *svcError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return 0, 0, fmt.Errorf("session %s is closed", s.ID)
+	if err := s.gateLocked(); err != nil {
+		return 0, 0, err
 	}
+	s.faultPointLocked()
 	n, err := layout.ApplyEdits(s.design, s.tc, edits)
 	s.stats.EditsApplied += n
 	s.pendingEdits += n
@@ -113,7 +218,12 @@ func (s *Session) applyEdits(edits []layout.Edit) (applied, generation int, err 
 		s.dirty = true
 		s.armTimerLocked()
 	}
-	return n, s.stats.EditBatches, err
+	if err != nil {
+		// The successful prefix is applied and will be rechecked; the
+		// caller reports partial application so the client can reconcile.
+		return n, s.stats.EditBatches, errf(http.StatusBadRequest, ClassBadRequest, "%v", err)
+	}
+	return n, s.stats.EditBatches, nil
 }
 
 // armTimerLocked (re)starts the debounce timer; each new batch pushes the
@@ -137,24 +247,64 @@ func (s *Session) armTimerLocked() {
 // timerFlush is the debounce timer callback: recheck if still dirty and
 // not superseded. A stale timer — one that lost the race with a report
 // flush (dirty false) or with a newer edit batch (generation mismatch) —
-// does nothing.
+// does nothing. The flush goes through the admission queue without
+// waiting: if no slot is free the timer simply re-arms, so background
+// work never contributes to a queue pileup. A panic in the background
+// flush poisons the session exactly like a handler panic would.
 func (s *Session) timerFlush(gen int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || !s.dirty || gen != s.timerGen {
+	defer func() {
+		if r := recover(); r != nil {
+			reason := fmt.Errorf("panic in debounce flush: %v", r)
+			// The lock is held here (this defer runs before the unlock);
+			// poison inline rather than via poisonWith.
+			if s.poison == nil {
+				s.poison = reason
+				s.eng.Poison(reason)
+				if s.timer != nil {
+					s.timer.Stop()
+					s.timer = nil
+				}
+			}
+		}
+	}()
+	if s.closed || s.poison != nil || !s.dirty || gen != s.timerGen {
 		return
 	}
-	if err := s.flushLocked(); err == nil {
+	if s.adm != nil && !s.adm.tryAcquire() {
+		// No free slot: push the flush out by another window instead of
+		// queuing — the next report request or timer firing will get it.
+		s.armTimerLocked()
+		return
+	}
+	if s.adm != nil {
+		defer s.adm.release()
+	}
+	s.faultPointLocked()
+	if err := s.flushLocked(context.Background()); err == nil {
 		s.stats.DebounceFlushes++
 	}
 }
 
 // flushLocked runs the incremental Recheck over the accumulated edits.
 // On failure the session stays dirty and keeps the previous report; the
-// error surfaces on the report request that forced the flush.
-func (s *Session) flushLocked() error {
+// error surfaces on the report request that forced the flush. The
+// injected slow-check hook sleeps here, context-respecting, simulating a
+// recheck that outlives its deadline.
+func (s *Session) flushLocked(ctx context.Context) error {
+	if s.inject.slowN > 0 && s.inject.slow > 0 {
+		s.inject.slowN--
+		t := time.NewTimer(s.inject.slow)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
 	start := time.Now()
-	rep, err := s.eng.Recheck(s.design)
+	rep, err := s.eng.RecheckContext(ctx, s.design)
 	if err != nil {
 		return err
 	}
@@ -168,17 +318,36 @@ func (s *Session) flushLocked() error {
 	return nil
 }
 
+// classifyRunErr maps an engine-run failure onto the wire contract:
+// deadline/cancellation → 503 timeout (retry later), anything else → 422
+// (the design itself cannot be checked).
+func classifyRunErr(err error) *svcError {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errf(http.StatusServiceUnavailable, ClassTimeout, "check deadline expired: %v", err)
+	}
+	return errf(http.StatusUnprocessableEntity, ClassFailed, "%v", err)
+}
+
 // report returns the wire report for the current design state, flushing
-// pending edits first so the caller always observes the post-batch result.
-func (s *Session) report() (*Report, error) {
+// pending edits first so the caller always observes the post-batch
+// result. The flush is engine work, so it is admitted through the
+// bounded queue under the request's context.
+func (s *Session) report(ctx context.Context) (*Report, *svcError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
-		return nil, fmt.Errorf("session %s is closed", s.ID)
+	if err := s.gateLocked(); err != nil {
+		return nil, err
 	}
+	s.faultPointLocked()
 	if s.dirty {
-		if err := s.flushLocked(); err != nil {
-			return nil, err
+		if s.adm != nil {
+			if serr := s.adm.acquire(ctx); serr != nil {
+				return nil, serr
+			}
+			defer s.adm.release()
+		}
+		if err := s.flushLocked(ctx); err != nil {
+			return nil, classifyRunErr(err)
 		}
 		s.stats.ReportFlushes++
 	}
@@ -193,17 +362,22 @@ type StatsResponse struct {
 	Design     string       `json:"design"`
 	Tech       string       `json:"tech"`
 	Dirty      bool         `json:"dirty"` // edits pending a recheck
+	Poisoned   bool         `json:"poisoned"`
+	Restored   bool         `json:"restored"` // rebuilt from a snapshot at boot
+	Inflight   int32        `json:"inflight"` // requests currently inside this session
 	DebounceNS int64        `json:"debounce_ns"`
 	Session    SessionStats `json:"session"`
 	Engine     EngineStats  `json:"engine"`
 }
 
-// statsSnapshot assembles the /stats payload.
-func (s *Session) statsSnapshot() (*StatsResponse, error) {
+// statsSnapshot assembles the /stats payload. Unlike the other
+// operations it answers for poisoned sessions too — observability is how
+// a quarantine gets noticed.
+func (s *Session) statsSnapshot() (*StatsResponse, *svcError) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, fmt.Errorf("session %s is closed", s.ID)
+		return nil, errf(http.StatusGone, ClassGone, "session %s is gone (evicted or deleted)", s.ID)
 	}
 	return &StatsResponse{
 		ID:         s.ID,
@@ -211,6 +385,9 @@ func (s *Session) statsSnapshot() (*StatsResponse, error) {
 		Design:     s.design.Name,
 		Tech:       s.tc.Name,
 		Dirty:      s.dirty,
+		Poisoned:   s.poison != nil,
+		Restored:   s.restored,
+		Inflight:   s.inflight.Load(),
 		DebounceNS: s.debounce.Nanoseconds(),
 		Session:    s.stats,
 		Engine:     *engineWire(s.eng.Stats()),
@@ -218,7 +395,9 @@ func (s *Session) statsSnapshot() (*StatsResponse, error) {
 }
 
 // close marks the session dead and stops its timer. Called with the
-// session lock NOT held.
+// session lock NOT held; it serializes after any in-flight operation, so
+// a request that raced the eviction observes a clean 410, never a torn
+// state.
 func (s *Session) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -240,6 +419,7 @@ func (s *Session) info() SessionInfo {
 		Tech:     s.tc.Name,
 		Clean:    s.rep != nil && s.rep.Clean() && !s.dirty,
 		Dirty:    s.dirty,
+		Poisoned: s.poison != nil,
 		Edits:    s.stats.EditsApplied,
 		Rechecks: s.stats.Rechecks,
 	}
@@ -253,6 +433,7 @@ type SessionInfo struct {
 	Tech     string `json:"tech"`
 	Clean    bool   `json:"clean"` // last report clean and no pending edits
 	Dirty    bool   `json:"dirty"`
+	Poisoned bool   `json:"poisoned,omitempty"`
 	Edits    int    `json:"edits"`
 	Rechecks int    `json:"rechecks"`
 }

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cif"
+	"repro/internal/core"
+	"repro/internal/layout"
+	"repro/internal/tech"
+	"repro/internal/workload"
+)
+
+// randomEdits generates a valid random edit script against the cmosCIF
+// chip: boxes added in a dedicated probe area west of the chip, moved
+// around, and occasionally deleted. Every op is legal, so the script
+// exercises real state evolution rather than error paths.
+func randomEdits(rng *rand.Rand, n int) []layout.Edit {
+	var edits []layout.Edit
+	boxes := 0
+	for i := 0; i < n; i++ {
+		switch k := rng.Intn(4); {
+		case k <= 1 || boxes == 0: // add a probe box on its own column
+			x := int64(-40000 - boxes*3000)
+			y := int64(rng.Intn(8)) * 1500
+			edits = append(edits, layout.Edit{
+				Op: layout.OpAddBox, Symbol: "chip", Layer: tech.CMOSMetal,
+				Box: []int64{x, y, x + 1000, y + 1000},
+			})
+			boxes++
+		case k == 2: // nudge the most recent element
+			edits = append(edits, layout.Edit{
+				Op: layout.OpMoveElement, Symbol: "chip", Index: -1,
+				DY: int64(rng.Intn(5)-2) * 250,
+			})
+		default: // drop it again
+			edits = append(edits, layout.Edit{
+				Op: layout.OpDeleteElement, Symbol: "chip", Index: -1,
+			})
+			boxes--
+		}
+	}
+	return edits
+}
+
+// TestSnapshotRoundTripProperty is the property test of the snapshot
+// format: for random edit scripts, snapshot → restore must reproduce the
+// exact report fingerprint the live session had — which RestoreSession
+// itself asserts — and the restored session must keep working (a further
+// edit rechecks identically to the live session's).
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	tc := tech.CMOS()
+	chip := workload.NewCMOSChip(tc, "chip", 2, 2)
+	text, err := cif.Write(chip.Design, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		d, err := cif.Parse(text, tc, "chip")
+		if err != nil {
+			t.Fatal(err)
+		}
+		origin := sessionOrigin{Tech: "cmos"}
+		sess, err := newSession(context.Background(), fmt.Sprintf("s%d", trial+1), "prop", d, tc,
+			core.Options{}, origin, nil, -1, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		script := randomEdits(rng, 3+rng.Intn(8))
+		if _, _, serr := sess.applyEdits(script); serr != nil {
+			t.Fatalf("trial %d: apply: %v", trial, serr)
+		}
+		snap, err := sess.Snapshot(time.Now())
+		if err != nil {
+			t.Fatalf("trial %d: snapshot: %v", trial, err)
+		}
+		if snap == nil {
+			t.Fatalf("trial %d: snapshot skipped a changed session", trial)
+		}
+		liveFP := core.FingerprintDigest(sess.rep)
+		if snap.Fingerprint != liveFP {
+			t.Fatalf("trial %d: snapshot fingerprint %s != live %s", trial, snap.Fingerprint, liveFP)
+		}
+
+		restored, err := RestoreSession(context.Background(), snap, nil, -1, 0, time.Now())
+		if err != nil {
+			t.Fatalf("trial %d: restore: %v", trial, err)
+		}
+		if !restored.restored {
+			t.Fatalf("trial %d: restored flag not set", trial)
+		}
+
+		// The restored session must evolve identically: one more edit on
+		// both sides, same fingerprint.
+		more := []layout.Edit{{
+			Op: layout.OpAddBox, Symbol: "chip", Layer: tech.CMOSMetal,
+			Box: []int64{-90000, 0, -89000, 1000},
+		}}
+		for _, s := range []*Session{sess, restored} {
+			if _, _, serr := s.applyEdits(more); serr != nil {
+				t.Fatalf("trial %d: post-restore edit: %v", trial, serr)
+			}
+			if _, serr := s.report(context.Background()); serr != nil {
+				t.Fatalf("trial %d: post-restore report: %v", trial, serr)
+			}
+		}
+		if a, b := core.FingerprintDigest(sess.rep), core.FingerprintDigest(restored.rep); a != b {
+			t.Fatalf("trial %d: post-restore divergence: live %s restored %s", trial, a, b)
+		}
+	}
+}
+
+// TestSnapshotFileAtomicity exercises the on-disk layer: write, read
+// back, version gate, and the skip-unchanged fast path.
+func TestSnapshotFileAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	tc := tech.CMOS()
+	chip := workload.NewCMOSChip(tc, "chip", 2, 2)
+	text, err := cif.Write(chip.Design, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cif.Parse(text, tc, "chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := newSession(context.Background(), "s1", "disk", d, tc,
+		core.Options{}, sessionOrigin{Tech: "cmos"}, nil, -1, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Snapshot(time.Now())
+	if err != nil || snap == nil {
+		t.Fatalf("snapshot: %v %v", snap, err)
+	}
+	path, err := WriteSnapshotFile(dir, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != snap.Fingerprint || got.CIF != snap.CIF || got.ID != "s1" {
+		t.Fatal("snapshot did not round-trip through disk")
+	}
+
+	// Unknown versions are refused, not misread.
+	bad := *snap
+	bad.Version = SnapshotVersion + 1
+	badPath, err := WriteSnapshotFile(dir, &bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(badPath); err == nil {
+		t.Fatal("future-version snapshot was accepted")
+	}
+
+	// Unchanged state: the next Snapshot call is a no-op.
+	sess.noteSnapshotted(snap.Generation)
+	again, err := sess.Snapshot(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != nil {
+		t.Fatal("unchanged session was re-snapshotted")
+	}
+	// No stray temp files behind the atomic write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range ents {
+		if filepath.Ext(ent.Name()) != snapshotExt {
+			t.Fatalf("leftover non-snapshot file %s", ent.Name())
+		}
+	}
+}
+
+// TestBootRestore is the crash drill in miniature: sessions served, state
+// snapshotted, process "killed" (server discarded without Close), a new
+// server boots on the same state directory and must serve the same
+// sessions with identical fingerprints.
+func TestBootRestore(t *testing.T) {
+	dir := t.TempDir()
+	text, _ := cmosCIF(t, 2, 2)
+	cfg := Config{Debounce: time.Hour, StateDir: dir}
+
+	srv1 := New(cfg)
+	ts1 := httptest.NewServer(srv1)
+	c1 := NewClient(ts1.URL)
+
+	a, err := c1.Create(CreateRequest{Name: "alpha", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c1.Create(CreateRequest{Name: "beta", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Edit(a.ID, breakEdits()); err != nil {
+		t.Fatal(err)
+	}
+	repA, err := c1.Report(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.SnapshotNow(); err != nil {
+		t.Fatal(err)
+	}
+	// kill -9: no Close, no shutdown snapshot — what's on disk is all
+	// that survives.
+	ts1.Close()
+
+	srv2 := New(cfg)
+	ts2 := httptest.NewServer(srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+	c2 := NewClient(ts2.URL)
+	restored, errs := srv2.RestoreFromDisk(context.Background())
+	if len(errs) > 0 {
+		t.Fatalf("restore errors: %v", errs)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d sessions, want 2", restored)
+	}
+
+	gotA, err := c2.Report(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.Fingerprint != repA.Fingerprint {
+		t.Fatalf("restored fingerprint %s != pre-kill %s", gotA.Fingerprint, repA.Fingerprint)
+	}
+	st, err := c2.Stats(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Restored {
+		t.Fatal("restored session not flagged as restored")
+	}
+	if _, err := c2.Report(b.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// New sessions must not collide with restored ids.
+	cNew, err := c2.Create(CreateRequest{Name: "gamma", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cNew.ID == a.ID || cNew.ID == b.ID {
+		t.Fatalf("id collision after restore: %s", cNew.ID)
+	}
+	gst, err := c2.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gst.SnapshotsRestored != 2 {
+		t.Fatalf("SnapshotsRestored = %d, want 2", gst.SnapshotsRestored)
+	}
+}
+
+// TestEvictionSnapshotsThenCloses asserts the LRU eviction persists the
+// victim before closing it: the evicted session's snapshot lands on disk
+// and a later boot restores it.
+func TestEvictionSnapshotsThenCloses(t *testing.T) {
+	dir := t.TempDir()
+	text, _ := cmosCIF(t, 2, 2)
+	srv, c := newTestServer(t, Config{Debounce: time.Hour, MaxSessions: 1, StateDir: dir})
+
+	a, err := c.Create(CreateRequest{Name: "old", CIF: text, Tech: "cmos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edit(a.ID, breakEdits()); err != nil {
+		t.Fatal(err)
+	}
+	repA, err := c.Report(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create(CreateRequest{Name: "new", CIF: text, Tech: "cmos"}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := os.Stat(filepath.Join(dir, a.ID+snapshotExt)); err != nil {
+		t.Fatalf("evicted session left no snapshot: %v", err)
+	}
+	gst, err := c.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gst.EvictionsLRU != 1 {
+		t.Fatalf("EvictionsLRU = %d, want 1", gst.EvictionsLRU)
+	}
+
+	snap, err := ReadSnapshotFile(filepath.Join(dir, a.ID+snapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fingerprint != repA.Fingerprint {
+		t.Fatalf("evicted snapshot fingerprint %s != last served %s", snap.Fingerprint, repA.Fingerprint)
+	}
+
+	// DELETE removes the snapshot too — the user asked for it to not exist.
+	infos, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range infos {
+		if err := c.Delete(info.ID); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, info.ID+snapshotExt)); !os.IsNotExist(err) {
+			t.Fatalf("deleted session %s left its snapshot behind", info.ID)
+		}
+	}
+	_ = srv
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Load smoke for the hardened check service: build the real binaries,
+# start dicheckd with fault-injection hooks and crash-safe snapshots on,
+# and drive it with drcload in chaos mode — random session kills,
+# injected slow checks, malformed edit batches — under hard SLOs:
+#
+#   - report p99 under the threshold
+#   - zero 5xx responses other than 503 (chaos must surface as
+#     structured backpressure, never internal errors)
+#   - zero panic/poisoned error classes
+#   - zero transport-level failures
+#   - the daemon's goroutine count stays bounded
+#   - the daemon shuts down cleanly (SIGTERM -> exit 0) afterwards
+#
+# drcload exits nonzero on any SLO violation; this script adds the
+# daemon-side assertions (no recovered panics, clean shutdown).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+bin="$work/bin"
+cleanup() {
+  [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# jq-free JSON field extraction (top-level scalar fields of pretty-printed
+# output). Usage: field FILE NAME
+field() { sed -n "s/^  \"$2\": \"\{0,1\}\([^\",]*\)\"\{0,1\},\{0,1\}\$/\1/p" "$1" | head -1; }
+
+SESSIONS="${SESSIONS:-4}"
+DURATION="${DURATION:-5s}"
+SLO_P99="${SLO_P99:-8s}"
+SLO_GOROUTINES="${SLO_GOROUTINES:-300}"
+
+echo "== build"
+mkdir -p "$bin"
+go build -o "$bin/" ./cmd/dicheckd ./cmd/drcload
+
+echo "== start daemon (test hooks + snapshots on)"
+"$bin/dicheckd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
+  -debounce 25ms -check-timeout 5s -edit-timeout 5s \
+  -state-dir "$work/state" -snapshot-every 500ms -test-hooks &
+daemon_pid=$!
+for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+[ -s "$work/addr" ] || fail "daemon never wrote its address"
+addr=$(cat "$work/addr")
+echo "   daemon at http://$addr"
+curl -sf "http://$addr/healthz" > /dev/null || fail "healthz"
+
+echo "== chaos load: $SESSIONS sessions for $DURATION"
+"$bin/drcload" -addr "$addr" -sessions "$SESSIONS" -duration "$DURATION" \
+  -chaos -slo-p99 "$SLO_P99" -slo-goroutines "$SLO_GOROUTINES" -o "$work" \
+  || fail "drcload reported SLO violations"
+
+snap=$(ls "$work"/BENCH_LOAD_*.json 2>/dev/null | head -1)
+[ -n "$snap" ] || fail "no BENCH_LOAD artifact written"
+echo "   artifact: $(basename "$snap")"
+# Keep the artifact past this script's cleanup when asked to (CI uploads it).
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp "$snap" "$ARTIFACT_DIR/"
+fi
+
+echo "== daemon-side assertions"
+curl -sf "http://$addr/stats" > "$work/stats.json" || fail "GET /stats"
+panics=$(field "$work/stats.json" panics_recovered)
+[ "$panics" = 0 ] || fail "daemon recovered $panics panics under chaos load"
+poisoned=$(field "$work/stats.json" sessions_poisoned)
+[ "$poisoned" = 0 ] || fail "$poisoned sessions were poisoned under chaos load"
+
+echo "== clean shutdown"
+kill -TERM "$daemon_pid"
+shutdown_rc=0
+wait "$daemon_pid" || shutdown_rc=$?
+daemon_pid=""
+[ "$shutdown_rc" = 0 ] || fail "daemon exited $shutdown_rc on SIGTERM"
+
+echo "PASS: chaos load met every SLO and the daemon shut down cleanly"
