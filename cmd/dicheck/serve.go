@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -23,10 +24,11 @@ type servedRun struct {
 
 func runServed(r servedRun) int {
 	c := server.NewClient(r.url)
+	ctx := context.Background()
 
 	id := ""
 	if r.session != "" {
-		found, ok, err := c.FindByName(r.session)
+		found, ok, err := c.SessionFind(ctx, r.session)
 		if err != nil {
 			fatalf("serve: %v", err)
 		}
@@ -59,7 +61,7 @@ func runServed(r servedRun) int {
 			req.Deck = string(deckSrc)
 			req.Tech = ""
 		}
-		resp, err := c.Create(req)
+		resp, err := c.SessionCreate(ctx, req)
 		if err != nil {
 			fatalf("serve: %v", err)
 		}
@@ -67,7 +69,7 @@ func runServed(r servedRun) int {
 	}
 	if r.session == "" {
 		defer func() {
-			if err := c.Delete(id); err != nil {
+			if err := c.SessionDelete(ctx, id); err != nil {
 				fmt.Fprintf(os.Stderr, "dicheck: serve: delete session: %v\n", err)
 			}
 		}()
@@ -78,12 +80,12 @@ func runServed(r servedRun) int {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		if _, err := c.Edit(id, edits); err != nil {
+		if _, err := c.SessionEdit(ctx, id, edits); err != nil {
 			fatalf("serve: %v", err)
 		}
 	}
 
-	rep, err := c.Report(id)
+	rep, err := c.SessionReport(ctx, id)
 	if err != nil {
 		fatalf("serve: %v", err)
 	}

@@ -23,26 +23,33 @@
 //	-max-inflight N    engine-run concurrency cap (default NumCPU)
 //	-queue-depth N     runs allowed to wait for a slot before 429 (default 64)
 //	-max-body BYTES    request-body cap; oversize is 413 (default 64 MiB)
+//	-report-history N  per-session ring of recent report states the
+//	                   ?since= delta path can diff against (default 8;
+//	                   negative disables deltas)
 //	-state-dir DIR     enable crash-safe snapshots: restore on boot,
 //	                   snapshot on shutdown/eviction and every -snapshot-every
 //	-snapshot-every D  periodic snapshot interval (default 30s with -state-dir)
-//	-test-hooks        register POST /sessions/{id}/inject (fault injection
-//	                   for the load harness; never in production)
+//	-test-hooks        register POST /v1/sessions/{id}/inject (fault
+//	                   injection for the load harness; never in production)
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON, versioned under /v1; the unprefixed paths answer
+// 308 redirects for one deprecation release):
 //
-//	POST   /sessions               create a session {name, cif, tech|deck, ...}
-//	GET    /sessions               list sessions
-//	POST   /sessions/{id}/edits    apply an edit batch {edits: [...]}
-//	GET    /sessions/{id}/report   current report (flushes pending edits)
-//	GET    /sessions/{id}/stats    service + engine counters
-//	DELETE /sessions/{id}          drop a session
-//	GET    /stats                  daemon-wide gauges and counters
-//	POST   /snapshot               snapshot every session to -state-dir now
-//	GET    /healthz                liveness probe
+//	POST   /v1/sessions               create a session {name, cif, tech|deck, ...}
+//	GET    /v1/sessions               list sessions
+//	POST   /v1/sessions/{id}/edits    apply an edit batch {edits: [...]}
+//	GET    /v1/sessions/{id}/report   current report (flushes pending edits);
+//	                                  ?since=<fingerprint> answers a delta
+//	                                  {base, added, removed} instead
+//	GET    /v1/sessions/{id}/stats    service + engine counters
+//	DELETE /v1/sessions/{id}          drop a session
+//	GET    /v1/stats                  daemon-wide gauges and counters
+//	POST   /v1/snapshot               snapshot every session to -state-dir now
+//	GET    /v1/healthz                liveness probe
 //
-// See the README's "Check service" and "Operations" sections for the
-// session lifecycle, the error contract, and recovery semantics.
+// See the README's "Check service", "Report deltas", and "Operations"
+// sections for the session lifecycle, the error contract, delta
+// semantics, and recovery semantics.
 package main
 
 import (
@@ -75,6 +82,7 @@ func run() int {
 	maxInflight := flag.Int("max-inflight", 0, "engine-run concurrency cap (0 = NumCPU)")
 	queueDepth := flag.Int("queue-depth", 64, "engine runs allowed to wait for a slot before 429")
 	maxBody := flag.Int64("max-body", 64<<20, "request-body byte cap; oversize is 413")
+	reportHistory := flag.Int("report-history", 8, "per-session report states kept for ?since= deltas (negative disables)")
 	stateDir := flag.String("state-dir", "", "session snapshot directory (enables crash-safe restore)")
 	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "periodic snapshot interval (needs -state-dir)")
 	testHooks := flag.Bool("test-hooks", false, "register the fault-injection endpoint (never in production)")
@@ -111,6 +119,7 @@ func run() int {
 		MaxInflight:   *maxInflight,
 		QueueDepth:    *queueDepth,
 		MaxBodyBytes:  *maxBody,
+		ReportHistory: *reportHistory,
 		StateDir:      *stateDir,
 		SnapshotEvery: *snapEvery,
 		TestHooks:     *testHooks,

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomViolationSet builds a sorted violation multiset with deliberate
+// duplicates and near-duplicates, the worst case for a merge diff.
+func randomViolationSet(rng *rand.Rand, n int) []Violation {
+	vs := make([]Violation, 0, n)
+	for i := 0; i < n; i++ {
+		v := Violation{
+			Rule:     fmt.Sprintf("S.%d.%d.diff", rng.Intn(3), rng.Intn(3)),
+			Severity: Severity(rng.Intn(2)),
+			Detail:   fmt.Sprintf("d%d", rng.Intn(4)),
+			Where:    geom.Rect{X1: int64(rng.Intn(5)) * 100, Y1: int64(rng.Intn(5)) * 100, X2: 600, Y2: 600},
+			Symbol:   []string{"", "inv", "chip"}[rng.Intn(3)],
+		}
+		vs = append(vs, v)
+		if rng.Intn(4) == 0 { // exact duplicate: multiset semantics matter
+			vs = append(vs, v)
+		}
+	}
+	sortViolations(vs)
+	return vs
+}
+
+// applyDiff reconstructs new from old plus a (added, removed) diff — the
+// reference patch operation the check service's delta clients perform.
+func applyDiff(t *testing.T, old, added, removed []Violation) []Violation {
+	t.Helper()
+	out := make([]Violation, 0, len(old)+len(added))
+	ri := 0
+	for i := range old {
+		if ri < len(removed) && CompareViolations(&old[i], &removed[ri]) == 0 {
+			ri++
+			continue
+		}
+		out = append(out, old[i])
+	}
+	if ri != len(removed) {
+		t.Fatalf("removed entries not found in old: %d left", len(removed)-ri)
+	}
+	out = append(out, added...)
+	sortViolations(out)
+	return out
+}
+
+// TestDiffViolationsProperty: for random sorted multisets A and B,
+// applying DiffViolations(A, B) to A reproduces B exactly, and the diff
+// of a set against itself is empty.
+func TestDiffViolationsProperty(t *testing.T) {
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		old := randomViolationSet(rng, rng.Intn(12))
+		new := randomViolationSet(rng, rng.Intn(12))
+
+		added, removed := DiffViolations(old, new)
+		got := applyDiff(t, old, added, removed)
+		if len(got) != len(new) {
+			t.Fatalf("trial %d: patched length %d, want %d", trial, len(got), len(new))
+		}
+		for i := range got {
+			if CompareViolations(&got[i], &new[i]) != 0 {
+				t.Fatalf("trial %d: patched[%d] = %+v, want %+v", trial, i, got[i], new[i])
+			}
+		}
+
+		// Self-diff is empty, and every added/removed entry stays sorted.
+		if a, r := DiffViolations(new, new); len(a) != 0 || len(r) != 0 {
+			t.Fatalf("trial %d: self-diff produced %d added %d removed", trial, len(a), len(r))
+		}
+		for i := 1; i < len(added); i++ {
+			if CompareViolations(&added[i-1], &added[i]) > 0 {
+				t.Fatalf("trial %d: added not sorted", trial)
+			}
+		}
+		for i := 1; i < len(removed); i++ {
+			if CompareViolations(&removed[i-1], &removed[i]) > 0 {
+				t.Fatalf("trial %d: removed not sorted", trial)
+			}
+		}
+	}
+}
+
+// TestDiffViolationsDuplicates pins the pairwise-match rule: two equal
+// findings against one leaves exactly one removed.
+func TestDiffViolationsDuplicates(t *testing.T) {
+	v := Violation{Rule: "W.ND", Detail: "too narrow", Where: geom.Rect{X1: 1, Y1: 2, X2: 3, Y2: 4}}
+	old := []Violation{v, v}
+	new := []Violation{v}
+	added, removed := DiffViolations(old, new)
+	if len(added) != 0 || len(removed) != 1 {
+		t.Fatalf("added=%d removed=%d, want 0/1", len(added), len(removed))
+	}
+	added, removed = DiffViolations(new, old)
+	if len(added) != 1 || len(removed) != 0 {
+		t.Fatalf("added=%d removed=%d, want 1/0", len(added), len(removed))
+	}
+}

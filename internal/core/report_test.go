@@ -104,8 +104,8 @@ func TestSortViolationsTotalOrder(t *testing.T) {
 	// The comparator must agree with itself under argument swap.
 	for i := range tied {
 		for j := range tied {
-			ij := compareViolations(&tied[i], &tied[j])
-			ji := compareViolations(&tied[j], &tied[i])
+			ij := CompareViolations(&tied[i], &tied[j])
+			ji := CompareViolations(&tied[j], &tied[i])
 			if (ij < 0) != (ji > 0) && !(ij == 0 && ji == 0) {
 				t.Fatalf("comparator asymmetric for %d,%d: %d vs %d", i, j, ij, ji)
 			}

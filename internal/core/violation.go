@@ -93,12 +93,15 @@ func (v Violation) String() string {
 // byte-identity guarantee depends on totality here.)
 func sortViolations(vs []Violation) {
 	sort.Slice(vs, func(i, j int) bool {
-		return compareViolations(&vs[i], &vs[j]) < 0
+		return CompareViolations(&vs[i], &vs[j]) < 0
 	})
 }
 
-// compareViolations is a total order over violation values.
-func compareViolations(a, b *Violation) int {
+// CompareViolations is the total order every sorted report obeys — the
+// contract that makes violation sequences diffable: two reports are
+// merge-comparable streams, so which findings an edit added or removed
+// falls out of one linear walk (see DiffViolations).
+func CompareViolations(a, b *Violation) int {
 	switch {
 	case a.Rule != b.Rule:
 		return strings.Compare(a.Rule, b.Rule)
@@ -123,6 +126,35 @@ func compareViolations(a, b *Violation) int {
 	default:
 		return slices.CompareFunc(a.Nets, b.Nets, strings.Compare)
 	}
+}
+
+// DiffViolations computes the multiset difference between two violation
+// sequences sorted by CompareViolations (the order every completed run's
+// report is in): added holds the violations present in new but not old,
+// removed the ones present in old but not new, both still sorted. The
+// walk is a single linear merge, so diffing two reports costs O(old+new)
+// regardless of how little changed — the primitive behind the check
+// service's incremental report deltas. Duplicate violations are matched
+// pairwise: if old holds two equal findings and new holds one, exactly
+// one lands in removed.
+func DiffViolations(old, new []Violation) (added, removed []Violation) {
+	i, j := 0, 0
+	for i < len(old) && j < len(new) {
+		switch c := CompareViolations(&old[i], &new[j]); {
+		case c < 0:
+			removed = append(removed, old[i])
+			i++
+		case c > 0:
+			added = append(added, new[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	removed = append(removed, old[i:]...)
+	added = append(added, new[j:]...)
+	return added, removed
 }
 
 // CountByRule tallies violations by rule id.

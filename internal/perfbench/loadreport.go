@@ -51,6 +51,49 @@ func SummarizeLatencies(samples []time.Duration) LoadLatency {
 	return s
 }
 
+// ByteSummary is a payload-size distribution summary in bytes — the
+// report-delta evidence: full-report bytes vs delta bytes under the same
+// edit loop.
+type ByteSummary struct {
+	Count int     `json:"count"`
+	P50   int64   `json:"p50_bytes"`
+	P99   int64   `json:"p99_bytes"`
+	Max   int64   `json:"max_bytes"`
+	Mean  float64 `json:"mean_bytes"`
+}
+
+// SummarizeBytes computes the percentile summary of a payload-size
+// sample set (nearest-rank; an empty set is all zeros).
+func SummarizeBytes(samples []int64) ByteSummary {
+	var s ByteSummary
+	s.Count = len(samples)
+	if s.Count == 0 {
+		return s
+	}
+	bs := make([]int64, len(samples))
+	copy(bs, samples)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	var sum int64
+	for _, b := range bs {
+		sum += b
+	}
+	rank := func(p float64) int64 {
+		idx := int(p*float64(len(bs))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(bs) {
+			idx = len(bs) - 1
+		}
+		return bs[idx]
+	}
+	s.P50 = rank(0.50)
+	s.P99 = rank(0.99)
+	s.Max = bs[len(bs)-1]
+	s.Mean = float64(sum) / float64(len(bs))
+	return s
+}
+
 // LoadSnapshot is the BENCH_LOAD_<date>.json document: one drcload run
 // against a live daemon — throughput, latency distributions per
 // operation, the error-class histogram, and the daemon's end-of-run
@@ -61,6 +104,7 @@ type LoadSnapshot struct {
 	NumCPU     int    `json:"num_cpu"`
 	Sessions   int    `json:"sessions"`
 	Chaos      bool   `json:"chaos"`
+	Delta      bool   `json:"delta,omitempty"` // delta-mode report loop
 	DurationNS int64  `json:"duration_ns"`
 
 	Requests  uint64            `json:"requests"`
@@ -69,6 +113,15 @@ type LoadSnapshot struct {
 	Creates   LoadLatency       `json:"create_latency"`
 	ErrClass  map[string]uint64 `json:"errors_by_class"`
 	Transport uint64            `json:"transport_errors"`
+
+	// Payload-size evidence for delta mode: FullBytes samples full-report
+	// payloads, DeltaBytes the ?since= delta payloads of the same loop;
+	// DeltaResets counts deltas that degraded to the full list. Churns is
+	// how many voluntary delete/recreate cycles the drivers performed.
+	FullBytes   ByteSummary `json:"full_bytes,omitempty"`
+	DeltaBytes  ByteSummary `json:"delta_bytes,omitempty"`
+	DeltaResets uint64      `json:"delta_resets,omitempty"`
+	Churns      uint64      `json:"churns,omitempty"`
 
 	ServerGoroutines int    `json:"server_goroutines"`
 	ServerHeapBytes  uint64 `json:"server_heap_bytes"`

@@ -9,6 +9,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -32,9 +33,11 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("%s (%d)", e.Message, e.Status)
 }
 
-// Client drives a running dicheckd over HTTP. It is the library behind
-// `dicheck -serve` and the integration tests; methods map one-to-one onto
-// the daemon's endpoints.
+// Client drives a running dicheckd over its /v1 HTTP API. It is the
+// library behind `dicheck -serve` and the load/integration harnesses;
+// methods map one-to-one onto the daemon's endpoints and follow one
+// shape: context first, Session* verbs for per-session calls, exported
+// typed request/response structs.
 //
 // Every call is bounded by AttemptTimeout and retried up to MaxRetries
 // times with exponential backoff and jitter when it is safe to: GETs and
@@ -43,7 +46,8 @@ func (e *APIError) Error() string {
 // the rejections that happen before any state changes, so a retried POST
 // can never double-apply.
 type Client struct {
-	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347". The /v1
+	// prefix is the client's business, not the caller's.
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient; per-call deadlines come
 	// from AttemptTimeout, not the http.Client timeout.
@@ -64,33 +68,29 @@ func NewClient(base string) *Client {
 	return &Client{BaseURL: base}
 }
 
-// Create opens a session and returns its id plus the initial cold report.
-func (c *Client) Create(req CreateRequest) (*CreateResponse, error) {
-	return c.CreateContext(context.Background(), req)
-}
-
-// CreateContext is Create bounded by ctx.
-func (c *Client) CreateContext(ctx context.Context, req CreateRequest) (*CreateResponse, error) {
+// SessionCreate opens a session and returns its id plus the initial cold
+// report.
+func (c *Client) SessionCreate(ctx context.Context, req CreateRequest) (*CreateResponse, error) {
 	var resp CreateResponse
-	if err := c.do(ctx, http.MethodPost, "/sessions", req, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// List returns every live session.
-func (c *Client) List() ([]SessionInfo, error) {
+// SessionList returns every live session.
+func (c *Client) SessionList(ctx context.Context) ([]SessionInfo, error) {
 	var resp []SessionInfo
-	if err := c.do(context.Background(), http.MethodGet, "/sessions", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
 }
 
-// FindByName returns the id of the live session with the given name
-// ("" , false when absent; the lowest id wins if names collide).
-func (c *Client) FindByName(name string) (string, bool, error) {
-	infos, err := c.List()
+// SessionFind returns the id of the live session with the given name
+// ("", false when absent; the lowest id wins if names collide).
+func (c *Client) SessionFind(ctx context.Context, name string) (string, bool, error) {
+	infos, err := c.SessionList(ctx)
 	if err != nil {
 		return "", false, err
 	}
@@ -102,68 +102,99 @@ func (c *Client) FindByName(name string) (string, bool, error) {
 	return "", false, nil
 }
 
-// Edit applies one edit batch to a session.
-func (c *Client) Edit(id string, edits []layout.Edit) (*EditResponse, error) {
-	return c.EditContext(context.Background(), id, edits)
-}
-
-// EditContext is Edit bounded by ctx.
-func (c *Client) EditContext(ctx context.Context, id string, edits []layout.Edit) (*EditResponse, error) {
+// SessionEdit applies one edit batch to a session.
+func (c *Client) SessionEdit(ctx context.Context, id string, edits []layout.Edit) (*EditResponse, error) {
 	var resp EditResponse
-	if err := c.do(ctx, http.MethodPost, "/sessions/"+id+"/edits", EditRequest{Edits: edits}, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/edits", EditRequest{Edits: edits}, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Report fetches the session's current report, forcing any pending edits
-// through a recheck first.
-func (c *Client) Report(id string) (*Report, error) {
-	return c.ReportContext(context.Background(), id)
-}
-
-// ReportContext is Report bounded by ctx.
-func (c *Client) ReportContext(ctx context.Context, id string) (*Report, error) {
+// SessionReport fetches the session's current full report, forcing any
+// pending edits through a recheck first.
+func (c *Client) SessionReport(ctx context.Context, id string) (*Report, error) {
 	var resp Report
-	if err := c.do(ctx, http.MethodGet, "/sessions/"+id+"/report", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/report", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Stats fetches the session's service and engine counters.
-func (c *Client) Stats(id string) (*StatsResponse, error) {
-	var resp StatsResponse
-	if err := c.do(context.Background(), http.MethodGet, "/sessions/"+id+"/stats", nil, &resp); err != nil {
+// SessionReportSince fetches the session's report as a delta against the
+// given base fingerprint. An unknown or evicted fingerprint (or "") does
+// not fail: the daemon answers with a reset delta carrying the complete
+// violation list, so the caller always converges — check Reset before
+// patching.
+func (c *Client) SessionReportSince(ctx context.Context, id, since string) (*ReportDelta, error) {
+	var resp ReportDelta
+	path := "/v1/sessions/" + id + "/report?since=" + url.QueryEscape(since)
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// SessionReportApply refreshes a cached report over the delta path: only
+// what changed since base's fingerprint crosses the wire, and the full
+// current report is reconstructed locally (ApplyDelta — byte-identical
+// to what SessionReport would have returned). A nil base, or a base the
+// daemon no longer remembers, transparently degrades to a reset. The
+// returned delta is what actually crossed the wire; its WireBytes and
+// Reset fields are how callers observe the saving.
+func (c *Client) SessionReportApply(ctx context.Context, id string, base *Report) (*Report, *ReportDelta, error) {
+	since := ""
+	if base != nil {
+		since = base.Fingerprint
+	}
+	d, err := c.SessionReportSince(ctx, id, since)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := ApplyDelta(base, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, d, nil
+}
+
+// SessionStats fetches the session's service and engine counters.
+func (c *Client) SessionStats(ctx context.Context, id string) (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SessionInject arms the fault-injection hook on a session (daemon must
+// run with test hooks enabled).
+func (c *Client) SessionInject(ctx context.Context, id string, req InjectRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/inject", req, nil)
+}
+
+// SessionDelete removes a session.
+func (c *Client) SessionDelete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }
 
 // ServerStats fetches the daemon-wide gauges and counters.
-func (c *Client) ServerStats() (*ServerStatsResponse, error) {
+func (c *Client) ServerStats(ctx context.Context) (*ServerStatsResponse, error) {
 	var resp ServerStatsResponse
-	if err := c.do(context.Background(), http.MethodGet, "/stats", nil, &resp); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// SnapshotNow asks the daemon to snapshot every session to its state
-// directory immediately.
-func (c *Client) SnapshotNow() error {
-	return c.do(context.Background(), http.MethodPost, "/snapshot", struct{}{}, nil)
-}
-
-// Inject arms the fault-injection hook on a session (daemon must run with
-// test hooks enabled).
-func (c *Client) Inject(id string, req InjectRequest) error {
-	return c.do(context.Background(), http.MethodPost, "/sessions/"+id+"/inject", req, nil)
-}
-
-// Delete removes a session.
-func (c *Client) Delete(id string) error {
-	return c.do(context.Background(), http.MethodDelete, "/sessions/"+id, nil, nil)
+// SnapshotAll asks the daemon to snapshot every session to its state
+// directory immediately and reports what the sweep wrote.
+func (c *Client) SnapshotAll(ctx context.Context) (*SnapshotSweepResponse, error) {
+	var resp SnapshotSweepResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/snapshot", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // do runs one JSON call with bounded retries. Non-2xx responses decode
@@ -238,6 +269,11 @@ func retryDelay(err error, idempotent bool, base time.Duration, attempt int) (ti
 	return backoff, idempotent
 }
 
+// wireSized is implemented by response types that record their encoded
+// payload size (Report, ReportDelta) — the measurement behind the load
+// harness's payload-bytes histograms.
+type wireSized interface{ setWireBytes(int64) }
+
 // attempt runs a single HTTP round trip under the per-attempt timeout.
 func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) error {
 	timeout := c.AttemptTimeout
@@ -289,5 +325,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(data, out)
+	if err := json.Unmarshal(data, out); err != nil {
+		return err
+	}
+	if ws, ok := out.(wireSized); ok {
+		ws.setWireBytes(int64(len(data)))
+	}
+	return nil
 }

@@ -21,13 +21,13 @@ func TestClientRetriesOverloadWithRetryAfter(t *testing.T) {
 			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "queue full", Class: ClassOverload})
 			return
 		}
-		writeJSON(w, http.StatusCreated, CreateResponse{ID: "s1", Report: &Report{Clean: true}})
+		writeJSON(w, http.StatusCreated, CreateResponse{ID: "s1", Report: &Report{ReportBody: ReportBody{Clean: true}}})
 	}))
 	defer ts.Close()
 
 	c := NewClient(ts.URL)
 	c.RetryBase = time.Millisecond
-	resp, err := c.Create(CreateRequest{CIF: "x"})
+	resp, err := c.SessionCreate(context.Background(), CreateRequest{CIF: "x"})
 	if err != nil {
 		t.Fatalf("create did not retry through the 429: %v", err)
 	}
@@ -50,7 +50,7 @@ func TestClientDoesNotRetryUnsafePOST(t *testing.T) {
 
 	c := NewClient(ts.URL)
 	c.RetryBase = time.Millisecond
-	_, err := c.Create(CreateRequest{CIF: "x"})
+	_, err := c.SessionCreate(context.Background(), CreateRequest{CIF: "x"})
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
 		t.Fatalf("expected the 500 surfaced, got %v", err)
@@ -88,7 +88,7 @@ func TestClientRetriesIdempotentOnTransportError(t *testing.T) {
 
 	c := NewClient(ts.URL)
 	c.RetryBase = time.Millisecond
-	infos, err := c.List()
+	infos, err := c.SessionList(context.Background())
 	if err != nil {
 		t.Fatalf("GET did not retry through the connection reset: %v", err)
 	}
@@ -111,7 +111,7 @@ func TestClientHonorsCallerContext(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := c.ReportContext(ctx, "s1")
+	_, err := c.SessionReport(ctx, "s1")
 	if err == nil {
 		t.Fatal("expected failure")
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -35,7 +36,7 @@ func TestConcurrentSessions(t *testing.T) {
 
 	drive := func(name string) {
 		defer wg.Done()
-		created, err := c.Create(CreateRequest{Name: name, CIF: text, Tech: "nmos"})
+		created, err := c.SessionCreate(context.Background(), CreateRequest{Name: name, CIF: text, Tech: "nmos"})
 		if err != nil {
 			errs <- fmt.Errorf("%s: create: %w", name, err)
 			return
@@ -46,7 +47,7 @@ func TestConcurrentSessions(t *testing.T) {
 			if i%2 == 1 {
 				dy = -50
 			}
-			if _, err := c.Edit(created.ID, []layout.Edit{{
+			if _, err := c.SessionEdit(context.Background(), created.ID, []layout.Edit{{
 				Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: dy,
 			}}); err != nil {
 				errs <- fmt.Errorf("%s: edit %d: %w", name, i, err)
@@ -56,7 +57,7 @@ func TestConcurrentSessions(t *testing.T) {
 				// Back at the start state: the report must match the
 				// initial fingerprint exactly, however the flushes and
 				// timers interleaved.
-				rep, err := c.Report(created.ID)
+				rep, err := c.SessionReport(context.Background(), created.ID)
 				if err != nil {
 					errs <- fmt.Errorf("%s: report %d: %w", name, i, err)
 					return
@@ -67,7 +68,7 @@ func TestConcurrentSessions(t *testing.T) {
 				}
 			}
 		}
-		if err := c.Delete(created.ID); err != nil {
+		if err := c.SessionDelete(context.Background(), created.ID); err != nil {
 			errs <- fmt.Errorf("%s: delete: %w", name, err)
 		}
 	}
@@ -78,7 +79,7 @@ func TestConcurrentSessions(t *testing.T) {
 	}
 
 	// One extra session shared by racing writers and readers.
-	shared, err := c.Create(CreateRequest{Name: "shared", CIF: text, Tech: "nmos"})
+	shared, err := c.SessionCreate(context.Background(), CreateRequest{Name: "shared", CIF: text, Tech: "nmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestConcurrentSessions(t *testing.T) {
 			if i%2 == 1 {
 				dy = -50
 			}
-			if _, err := c.Edit(shared.ID, []layout.Edit{{
+			if _, err := c.SessionEdit(context.Background(), shared.ID, []layout.Edit{{
 				Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: dy,
 			}}); err != nil {
 				errs <- fmt.Errorf("shared edit: %w", err)
@@ -112,7 +113,7 @@ func TestConcurrentSessions(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := c.Report(shared.ID); err != nil {
+			if _, err := c.SessionReport(context.Background(), shared.ID); err != nil {
 				errs <- fmt.Errorf("shared report: %w", err)
 				return
 			}
@@ -126,7 +127,7 @@ func TestConcurrentSessions(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := c.Stats(shared.ID); err != nil {
+			if _, err := c.SessionStats(context.Background(), shared.ID); err != nil {
 				errs <- fmt.Errorf("shared stats: %w", err)
 				return
 			}

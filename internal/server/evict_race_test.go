@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"net/http"
 	"sync"
@@ -27,7 +28,7 @@ func TestEvictRaceHammer(t *testing.T) {
 	const nSessions = 4
 	var ids [nSessions]atomic.Value // string: current id for slot i ("" = dead)
 	for i := 0; i < nSessions; i++ {
-		created, err := c.Create(CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
+		created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,9 +73,9 @@ func TestEvictRaceHammer(t *testing.T) {
 				}
 				var err error
 				if flip {
-					_, err = c.Edit(id, breakEdits())
+					_, err = c.SessionEdit(context.Background(), id, breakEdits())
 				} else {
-					_, err = c.Edit(id, revertEdits())
+					_, err = c.SessionEdit(context.Background(), id, revertEdits())
 				}
 				flip = !flip
 				if !okClass(err) {
@@ -97,7 +98,7 @@ func TestEvictRaceHammer(t *testing.T) {
 				if id == "" {
 					continue
 				}
-				if _, err := c.Report(id); !okClass(err) {
+				if _, err := c.SessionReport(context.Background(), id); !okClass(err) {
 					select {
 					case fail <- err:
 					default:
@@ -138,8 +139,8 @@ func TestEvictRaceHammer(t *testing.T) {
 				if id == "" {
 					continue
 				}
-				if _, err := c.Stats(id); err != nil {
-					created, err := c.Create(CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
+				if _, err := c.SessionStats(context.Background(), id); err != nil {
+					created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "hammer", CIF: text, Tech: "cmos"})
 					if err == nil {
 						ids[slot].Store(created.ID)
 					}
@@ -158,14 +159,14 @@ func TestEvictRaceHammer(t *testing.T) {
 	}
 
 	// The daemon must still be fully healthy after the storm.
-	created, err := c.Create(CreateRequest{Name: "after", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "after", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Report(created.ID); err != nil {
+	if _, err := c.SessionReport(context.Background(), created.ID); err != nil {
 		t.Fatal(err)
 	}
-	gst, err := c.ServerStats()
+	gst, err := c.ServerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,34 +6,95 @@
 // The wire report below is the same machine-readable projection of
 // core.Report that `dicheck -json` prints, extended with the fingerprint
 // digest: field names are part of the output contract; extend, don't
-// rename.
+// rename. Every report-shaped payload — full report, report delta,
+// on-disk snapshot — declares its schema explicitly (report/v1,
+// report-delta/v1, snapshot/v1) and shares one Envelope, so there is
+// exactly one place the common header fields are defined.
 package server
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/tech"
 )
 
-// Report is the wire form of a check report.
-type Report struct {
-	Design   string `json:"design"`
-	Clean    bool   `json:"clean"`
-	Errors   int    `json:"errors"`
-	Warnings int    `json:"warnings"`
-	// Fingerprint is core.FingerprintDigest of the report: equal digests
-	// mean the duration-free report content is byte-identical, the parity
-	// contract between a served session and an offline Recheck replaying
-	// the same edit script.
-	Fingerprint string `json:"fingerprint"`
-	// Classes tallies violations by coarse rule class (core.RuleClass):
-	// {"spacing": 3, "width": 1, ...}. Only non-zero classes appear.
-	Classes    map[string]int `json:"classes,omitempty"`
-	Violations []Violation    `json:"violations"`
-	Stages     []Stage        `json:"stages"`
-	Stats      Stats          `json:"stats"`
-	Netlist    *Netlist       `json:"netlist,omitempty"`
-	Engine     *EngineStats   `json:"engine,omitempty"`
+// Wire schema tags. Every versioned payload carries its tag in the
+// envelope's "schema" field; a breaking field change bumps the suffix.
+const (
+	SchemaReport      = "report/v1"
+	SchemaReportDelta = "report-delta/v1"
+	SchemaSnapshot    = "snapshot/v1"
+)
+
+// Envelope is the shared wire header: the schema tag, the fingerprint of
+// the design state the payload describes (core.FingerprintDigest — equal
+// digests mean the duration-free report content is byte-identical, the
+// parity contract between a served session and an offline replay), the
+// per-class violation tally, and the duration of the engine run that
+// produced that state. Full reports, report deltas, and session
+// snapshots all embed it.
+type Envelope struct {
+	Schema      string         `json:"schema"`
+	Fingerprint string         `json:"fingerprint"`
+	Classes     map[string]int `json:"classes,omitempty"`
+	CheckNS     int64          `json:"check_ns,omitempty"`
 }
+
+// ReportBody is the non-violation remainder of a report: small,
+// fixed-size summary data that ships with both full reports and deltas —
+// a delta plus its base reconstructs a full report byte-identically
+// because everything outside the violation list rides along.
+type ReportBody struct {
+	Design   string       `json:"design"`
+	Clean    bool         `json:"clean"`
+	Errors   int          `json:"errors"`
+	Warnings int          `json:"warnings"`
+	Stages   []Stage      `json:"stages"`
+	Stats    Stats        `json:"stats"`
+	Netlist  *Netlist     `json:"netlist,omitempty"`
+	Engine   *EngineStats `json:"engine,omitempty"`
+}
+
+// Report is the wire form of a full check report (schema report/v1).
+type Report struct {
+	Envelope
+	ReportBody
+	Violations []Violation `json:"violations"`
+
+	// WireBytes is the encoded payload size the client observed (not a
+	// wire field — the daemon never sends it).
+	WireBytes int64 `json:"-"`
+}
+
+// ReportDelta is the incremental wire form (schema report-delta/v1),
+// answered on GET /v1/sessions/{id}/report?since=<fingerprint>: the
+// envelope and body describe the current state, Added/Removed are the
+// violations that appeared/disappeared since the Base fingerprint.
+// Applying the delta to the base report (ApplyDelta) reproduces the full
+// current report byte-identically.
+//
+// When the base fingerprint is unknown or evicted from the session's
+// bounded history, the daemon falls back to Reset=true with Base empty
+// and Added carrying the complete violation list — a reset delta IS a
+// full report in delta clothing, so clients always converge.
+type ReportDelta struct {
+	Envelope
+	Base    string      `json:"base,omitempty"`
+	Reset   bool        `json:"reset,omitempty"`
+	Added   []Violation `json:"added"`
+	Removed []Violation `json:"removed"`
+	ReportBody
+
+	// WireBytes is the encoded payload size the client observed (not a
+	// wire field).
+	WireBytes int64 `json:"-"`
+}
+
+func (r *Report) setWireBytes(n int64)      { r.WireBytes = n }
+func (d *ReportDelta) setWireBytes(n int64) { d.WireBytes = n }
 
 // Violation is the wire form of one finding.
 type Violation struct {
@@ -112,35 +173,88 @@ func engineWire(es core.EngineStats) *EngineStats {
 	}
 }
 
-// BuildReport projects a core.Report (and, when non-nil, the engine that
-// produced it) into the wire form.
-func BuildReport(rep *core.Report, eng *core.Engine) *Report {
-	errs := rep.Errors()
-	out := &Report{
-		Design:      rep.Design.Name,
-		Clean:       rep.Clean(),
-		Errors:      len(errs),
-		Warnings:    len(rep.Violations) - len(errs),
+// violationWire projects one core violation into wire form.
+func violationWire(v *core.Violation) Violation {
+	return Violation{
+		Rule:     v.Rule,
+		Severity: v.Severity.String(),
+		Detail:   v.Detail,
+		Where:    rectWire(v.Where),
+		Symbol:   v.Symbol,
+		Path:     v.Path,
+		Layer:    int(v.Layer),
+		Nets:     v.Nets,
+	}
+}
+
+// violationsWire projects a core violation sequence; the result is never
+// nil so empty lists marshal as [] rather than null.
+func violationsWire(vs []core.Violation) []Violation {
+	out := make([]Violation, 0, len(vs))
+	for i := range vs {
+		out = append(out, violationWire(&vs[i]))
+	}
+	return out
+}
+
+// violationCore inverts violationWire — the conversion is lossless, which
+// is what lets snapshots persist the delta history in wire form and
+// restore it into the engine-domain ring.
+func violationCore(v *Violation) core.Violation {
+	sev := core.Error
+	if v.Severity == core.Warning.String() {
+		sev = core.Warning
+	}
+	return core.Violation{
+		Rule:     v.Rule,
+		Severity: sev,
+		Detail:   v.Detail,
+		Where:    geom.Rect{X1: v.Where.X1, Y1: v.Where.Y1, X2: v.Where.X2, Y2: v.Where.Y2},
+		Symbol:   v.Symbol,
+		Path:     v.Path,
+		Layer:    tech.LayerID(v.Layer),
+		Nets:     v.Nets,
+	}
+}
+
+// violationsCore inverts violationsWire.
+func violationsCore(vs []Violation) []core.Violation {
+	out := make([]core.Violation, 0, len(vs))
+	for i := range vs {
+		out = append(out, violationCore(&vs[i]))
+	}
+	return out
+}
+
+// buildEnvelope assembles the shared header for a schema over one core
+// report. CheckNS is the summed stage durations — the engine-run cost of
+// producing this state.
+func buildEnvelope(schema string, rep *core.Report) Envelope {
+	env := Envelope{
+		Schema:      schema,
 		Fingerprint: core.FingerprintDigest(rep),
-		Violations:  make([]Violation, 0, len(rep.Violations)),
 	}
 	if len(rep.Violations) > 0 {
-		out.Classes = core.CountByClass(rep.Violations)
-	}
-	for _, v := range rep.Violations {
-		out.Violations = append(out.Violations, Violation{
-			Rule:     v.Rule,
-			Severity: v.Severity.String(),
-			Detail:   v.Detail,
-			Where:    rectWire(v.Where),
-			Symbol:   v.Symbol,
-			Path:     v.Path,
-			Layer:    int(v.Layer),
-			Nets:     v.Nets,
-		})
+		env.Classes = core.CountByClass(rep.Violations)
 	}
 	for _, s := range rep.Stats.Stages {
-		out.Stages = append(out.Stages, Stage{
+		env.CheckNS += s.Duration.Nanoseconds()
+	}
+	return env
+}
+
+// buildBody assembles the non-violation remainder shared by full reports
+// and deltas.
+func buildBody(rep *core.Report, eng *core.Engine) ReportBody {
+	errs := rep.Errors()
+	body := ReportBody{
+		Design:   rep.Design.Name,
+		Clean:    rep.Clean(),
+		Errors:   len(errs),
+		Warnings: len(rep.Violations) - len(errs),
+	}
+	for _, s := range rep.Stats.Stages {
+		body.Stages = append(body.Stages, Stage{
 			Name:       s.Name,
 			DurationNS: s.Duration.Nanoseconds(),
 			Checks:     s.Checks,
@@ -148,7 +262,7 @@ func BuildReport(rep *core.Report, eng *core.Engine) *Report {
 		})
 	}
 	st := rep.Stats
-	out.Stats = Stats{
+	body.Stats = Stats{
 		ElementsChecked:        st.ElementsChecked,
 		SymbolDefsChecked:      st.SymbolDefsChecked,
 		DeviceInstances:        st.DeviceInstances,
@@ -161,12 +275,193 @@ func BuildReport(rep *core.Report, eng *core.Engine) *Report {
 		ProcessDowngrades:      st.ProcessDowngrades,
 	}
 	if rep.Netlist != nil {
-		out.Netlist = &Netlist{Nets: rep.Netlist.NumNets(), Devices: len(rep.Netlist.Devices)}
+		body.Netlist = &Netlist{Nets: rep.Netlist.NumNets(), Devices: len(rep.Netlist.Devices)}
 	}
 	if eng != nil {
-		out.Engine = engineWire(eng.Stats())
+		body.Engine = engineWire(eng.Stats())
 	}
-	return out
+	return body
+}
+
+// BuildReport projects a core.Report (and, when non-nil, the engine that
+// produced it) into the wire form.
+func BuildReport(rep *core.Report, eng *core.Engine) *Report {
+	return &Report{
+		Envelope:   buildEnvelope(SchemaReport, rep),
+		ReportBody: buildBody(rep, eng),
+		Violations: violationsWire(rep.Violations),
+	}
+}
+
+// BuildDelta projects the current report as a delta against a known base
+// state: base is the client's fingerprint, prev the violation sequence
+// that state had. Added/Removed come from one sorted merge walk
+// (core.DiffViolations) — the total order over violations makes the diff
+// deterministic and O(prev+current).
+func BuildDelta(base string, prev []core.Violation, rep *core.Report, eng *core.Engine) *ReportDelta {
+	added, removed := core.DiffViolations(prev, rep.Violations)
+	return &ReportDelta{
+		Envelope:   buildEnvelope(SchemaReportDelta, rep),
+		Base:       base,
+		Added:      violationsWire(added),
+		Removed:    violationsWire(removed),
+		ReportBody: buildBody(rep, eng),
+	}
+}
+
+// BuildResetDelta projects the current report as a reset delta — the
+// fallback when the requested base fingerprint is unknown or already
+// evicted from the bounded history: no base, Added carries everything.
+func BuildResetDelta(rep *core.Report, eng *core.Engine) *ReportDelta {
+	return &ReportDelta{
+		Envelope:   buildEnvelope(SchemaReportDelta, rep),
+		Reset:      true,
+		Added:      violationsWire(rep.Violations),
+		Removed:    []Violation{},
+		ReportBody: buildBody(rep, eng),
+	}
+}
+
+// severityRank orders wire severities the way core.CompareViolations
+// orders core ones (error before warning).
+func severityRank(s string) int {
+	if s == core.Warning.String() {
+		return 1
+	}
+	return 0
+}
+
+// compareWireViolations mirrors core.CompareViolations over the wire
+// form, field for field, so a wire-side merge agrees byte-for-byte with
+// the engine-side diff that produced the delta.
+func compareWireViolations(a, b *Violation) int {
+	cmpStr := func(x, y string) int {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	cmpInt := func(x, y int64) int {
+		switch {
+		case x < y:
+			return -1
+		case x > y:
+			return 1
+		}
+		return 0
+	}
+	if c := cmpStr(a.Rule, b.Rule); c != 0 {
+		return c
+	}
+	if c := cmpStr(a.Symbol, b.Symbol); c != 0 {
+		return c
+	}
+	if c := cmpStr(a.Path, b.Path); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.Where.X1, b.Where.X1); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.Where.Y1, b.Where.Y1); c != 0 {
+		return c
+	}
+	if c := cmpStr(a.Detail, b.Detail); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.Where.X2, b.Where.X2); c != 0 {
+		return c
+	}
+	if c := cmpInt(a.Where.Y2, b.Where.Y2); c != 0 {
+		return c
+	}
+	if c := severityRank(a.Severity) - severityRank(b.Severity); c != 0 {
+		return c
+	}
+	if c := a.Layer - b.Layer; c != 0 {
+		return c
+	}
+	if c := len(a.Nets) - len(b.Nets); c != 0 {
+		// Prefix-compare first, length only breaks full-prefix ties — the
+		// same rule slices.CompareFunc applies on the core side.
+		for i := range min(len(a.Nets), len(b.Nets)) {
+			if cc := cmpStr(a.Nets[i], b.Nets[i]); cc != 0 {
+				return cc
+			}
+		}
+		return c
+	}
+	for i := range a.Nets {
+		if cc := cmpStr(a.Nets[i], b.Nets[i]); cc != 0 {
+			return cc
+		}
+	}
+	return 0
+}
+
+// ApplyDelta reconstructs the full report a delta describes. For a reset
+// delta the base is ignored (Added is the complete list); otherwise base
+// must be the report whose fingerprint the delta was computed against.
+// The result is byte-identical to what GET .../report would have
+// returned for the same state — fingerprint included — which the
+// property tests assert by marshaling both.
+func ApplyDelta(base *Report, d *ReportDelta) (*Report, error) {
+	out := &Report{
+		Envelope:   d.Envelope,
+		ReportBody: d.ReportBody,
+	}
+	out.Schema = SchemaReport
+	if d.Reset {
+		out.Violations = append([]Violation{}, d.Added...)
+		return out, nil
+	}
+	if base == nil {
+		return nil, errors.New("apply delta: no base report for a non-reset delta")
+	}
+	if base.Fingerprint != d.Base {
+		return nil, fmt.Errorf("apply delta: base fingerprint %s does not match delta base %s",
+			base.Fingerprint, d.Base)
+	}
+	vs, err := patchViolations(base.Violations, d.Added, d.Removed)
+	if err != nil {
+		return nil, err
+	}
+	out.Violations = vs
+	return out, nil
+}
+
+// patchViolations merges a sorted base sequence with a sorted diff:
+// every removed entry must match one base entry (multiset semantics),
+// added entries interleave by the wire total order.
+func patchViolations(base, added, removed []Violation) ([]Violation, error) {
+	kept := make([]Violation, 0, len(base))
+	ri := 0
+	for i := range base {
+		if ri < len(removed) && compareWireViolations(&base[i], &removed[ri]) == 0 {
+			ri++
+			continue
+		}
+		kept = append(kept, base[i])
+	}
+	if ri != len(removed) {
+		return nil, fmt.Errorf("apply delta: %d removed violations not present in base", len(removed)-ri)
+	}
+	out := make([]Violation, 0, len(kept)+len(added))
+	i, j := 0, 0
+	for i < len(kept) && j < len(added) {
+		if compareWireViolations(&kept[i], &added[j]) <= 0 {
+			out = append(out, kept[i])
+			i++
+		} else {
+			out = append(out, added[j])
+			j++
+		}
+	}
+	out = append(out, kept[i:]...)
+	out = append(out, added[j:]...)
+	return out, nil
 }
 
 // CountRules tallies wire violations by rule name (the summary the CLI

@@ -34,31 +34,31 @@ func TestPanicPoisonsOnlyItsSession(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	srv, c := newTestServer(t, Config{Debounce: time.Hour, TestHooks: true})
 
-	victim, err := c.Create(CreateRequest{Name: "victim", CIF: text, Tech: "cmos"})
+	victim, err := c.SessionCreate(context.Background(), CreateRequest{Name: "victim", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bystander, err := c.Create(CreateRequest{Name: "bystander", CIF: text, Tech: "cmos"})
+	bystander, err := c.SessionCreate(context.Background(), CreateRequest{Name: "bystander", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	if err := c.Inject(victim.ID, InjectRequest{PanicCount: 1}); err != nil {
+	if err := c.SessionInject(context.Background(), victim.ID, InjectRequest{PanicCount: 1}); err != nil {
 		t.Fatal(err)
 	}
-	_, err = c.Edit(victim.ID, breakEdits())
+	_, err = c.SessionEdit(context.Background(), victim.ID, breakEdits())
 	apiErr := apiStatus(t, err)
 	if apiErr.Status != http.StatusInternalServerError || apiErr.Class != ClassPanic {
 		t.Fatalf("injected panic: got %d/%s, want 500/%s", apiErr.Status, apiErr.Class, ClassPanic)
 	}
 
 	// The victim is quarantined from here on.
-	_, err = c.Report(victim.ID)
+	_, err = c.SessionReport(context.Background(), victim.ID)
 	apiErr = apiStatus(t, err)
 	if apiErr.Status != http.StatusInternalServerError || apiErr.Class != ClassPoisoned {
 		t.Fatalf("poisoned report: got %d/%s, want 500/%s", apiErr.Status, apiErr.Class, ClassPoisoned)
 	}
-	st, err := c.Stats(victim.ID)
+	st, err := c.SessionStats(context.Background(), victim.ID)
 	if err != nil {
 		t.Fatalf("stats must answer for poisoned sessions: %v", err)
 	}
@@ -67,10 +67,10 @@ func TestPanicPoisonsOnlyItsSession(t *testing.T) {
 	}
 
 	// The sibling is untouched and the daemon is healthy.
-	if _, err := c.Edit(bystander.ID, breakEdits()); err != nil {
+	if _, err := c.SessionEdit(context.Background(), bystander.ID, breakEdits()); err != nil {
 		t.Fatal(err)
 	}
-	if rep, err := c.Report(bystander.ID); err != nil || rep.Clean {
+	if rep, err := c.SessionReport(context.Background(), bystander.ID); err != nil || rep.Clean {
 		t.Fatalf("bystander report: err=%v clean=%v", err, rep != nil && rep.Clean)
 	}
 	resp, err := http.Get(c.BaseURL + "/healthz")
@@ -79,7 +79,7 @@ func TestPanicPoisonsOnlyItsSession(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	gst, err := c.ServerStats()
+	gst, err := c.ServerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,19 +102,19 @@ func TestDeadlineExpiry503(t *testing.T) {
 	})
 	noRetry(c)
 
-	created, err := c.Create(CreateRequest{Name: "slow", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "slow", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Edit(created.ID, breakEdits()); err != nil {
+	if _, err := c.SessionEdit(context.Background(), created.ID, breakEdits()); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Inject(created.ID, InjectRequest{SlowMS: 2000, SlowCount: 1}); err != nil {
+	if err := c.SessionInject(context.Background(), created.ID, InjectRequest{SlowMS: 2000, SlowCount: 1}); err != nil {
 		t.Fatal(err)
 	}
 
 	before := runtime.NumGoroutine()
-	_, err = c.Report(created.ID)
+	_, err = c.SessionReport(context.Background(), created.ID)
 	apiErr := apiStatus(t, err)
 	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Class != ClassTimeout {
 		t.Fatalf("slow report: got %d/%s, want 503/%s", apiErr.Status, apiErr.Class, ClassTimeout)
@@ -125,7 +125,7 @@ func TestDeadlineExpiry503(t *testing.T) {
 
 	// The injected slowness was consumed by the aborted run; the retry the
 	// Retry-After invited must succeed and still see the edit.
-	rep, err := c.Report(created.ID)
+	rep, err := c.SessionReport(context.Background(), created.ID)
 	if err != nil {
 		t.Fatalf("report after expiry did not recover: %v", err)
 	}
@@ -159,32 +159,32 @@ func TestAdmissionQueueFull429(t *testing.T) {
 	})
 	noRetry(c)
 
-	a, err := c.Create(CreateRequest{Name: "hog", CIF: text, Tech: "cmos"})
+	a, err := c.SessionCreate(context.Background(), CreateRequest{Name: "hog", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c.Create(CreateRequest{Name: "starved", CIF: text, Tech: "cmos"})
+	b, err := c.SessionCreate(context.Background(), CreateRequest{Name: "starved", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, id := range []string{a.ID, b.ID} {
-		if _, err := c.Edit(id, breakEdits()); err != nil {
+		if _, err := c.SessionEdit(context.Background(), id, breakEdits()); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Inject(a.ID, InjectRequest{SlowMS: 1500, SlowCount: 1}); err != nil {
+	if err := c.SessionInject(context.Background(), a.ID, InjectRequest{SlowMS: 1500, SlowCount: 1}); err != nil {
 		t.Fatal(err)
 	}
 
 	hogDone := make(chan error, 1)
 	go func() {
-		_, err := c.Report(a.ID)
+		_, err := c.SessionReport(context.Background(), a.ID)
 		hogDone <- err
 	}()
 	// Wait until the hog actually holds the slot.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		gst, err := c.ServerStats()
+		gst, err := c.ServerStats(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +197,7 @@ func TestAdmissionQueueFull429(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	_, err = c.Report(b.ID)
+	_, err = c.SessionReport(context.Background(), b.ID)
 	apiErr := apiStatus(t, err)
 	if apiErr.Status != http.StatusTooManyRequests || apiErr.Class != ClassOverload {
 		t.Fatalf("saturated report: got %d/%s, want 429/%s", apiErr.Status, apiErr.Class, ClassOverload)
@@ -209,7 +209,7 @@ func TestAdmissionQueueFull429(t *testing.T) {
 		t.Fatalf("hog report failed: %v", err)
 	}
 
-	gst, err := c.ServerStats()
+	gst, err := c.ServerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +217,7 @@ func TestAdmissionQueueFull429(t *testing.T) {
 		t.Fatalf("rejection not counted: %+v", gst)
 	}
 	// Once the hog drains, the starved session must get through.
-	if rep, err := c.Report(b.ID); err != nil || rep.Clean {
+	if rep, err := c.SessionReport(context.Background(), b.ID); err != nil || rep.Clean {
 		t.Fatalf("post-saturation report: err=%v", err)
 	}
 }
@@ -229,7 +229,7 @@ func TestBodyTooLarge413(t *testing.T) {
 	_, c := newTestServer(t, Config{Debounce: time.Hour, MaxBodyBytes: 2048})
 
 	big := CreateRequest{Name: "big", CIF: text + strings.Repeat(" ", 4096), Tech: "cmos"}
-	_, err := c.Create(big)
+	_, err := c.SessionCreate(context.Background(), big)
 	apiErr := apiStatus(t, err)
 	if apiErr.Status != http.StatusRequestEntityTooLarge || apiErr.Class != ClassTooLarge {
 		t.Fatalf("oversize create: got %d/%s, want 413/%s", apiErr.Status, apiErr.Class, ClassTooLarge)
@@ -243,7 +243,7 @@ func TestEvictedMidRequest410(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	srv, c := newTestServer(t, Config{Debounce: time.Hour})
 
-	created, err := c.Create(CreateRequest{Name: "doomed", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "doomed", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,11 +268,11 @@ func TestInjectRequiresTestHooks(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	_, c := newTestServer(t, Config{Debounce: time.Hour}) // TestHooks off
 
-	created, err := c.Create(CreateRequest{Name: "prod", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "prod", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	err = c.Inject(created.ID, InjectRequest{PanicCount: 1})
+	err = c.SessionInject(context.Background(), created.ID, InjectRequest{PanicCount: 1})
 	apiErr := apiStatus(t, err)
 	if apiErr.Status != http.StatusNotFound {
 		t.Fatalf("inject without -test-hooks: got %d, want 404", apiErr.Status)

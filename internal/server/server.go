@@ -51,6 +51,12 @@ type Config struct {
 	// requests get 413 (default 64 MiB).
 	MaxBodyBytes int64
 
+	// ReportHistory is the per-session bounded ring of recent report
+	// states the delta path (GET /v1/sessions/{id}/report?since=F) can
+	// diff against (default 8; negative disables deltas — every ?since=
+	// request answers with a reset).
+	ReportHistory int
+
 	// StateDir, when set, enables crash-safe session snapshots: restore
 	// on boot (RestoreFromDisk), snapshot on Close, periodic snapshots
 	// every SnapshotEvery, and snapshot-then-close eviction.
@@ -60,7 +66,7 @@ type Config struct {
 	SnapshotEvery time.Duration
 
 	// TestHooks registers the fault-injection endpoint
-	// (POST /sessions/{id}/inject). Never enable it in production.
+	// (POST /v1/sessions/{id}/inject). Never enable it in production.
 	TestHooks bool
 }
 
@@ -89,10 +95,16 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.ReportHistory == 0 {
+		c.ReportHistory = 8
+	}
+	if c.ReportHistory < 0 {
+		c.ReportHistory = 0
+	}
 	return c
 }
 
-// serverStats are the daemon-wide counters behind GET /stats.
+// serverStats are the daemon-wide counters behind GET /v1/stats.
 type serverStats struct {
 	PanicsRecovered   uint64
 	SessionsPoisoned  uint64
@@ -100,6 +112,8 @@ type serverStats struct {
 	EvictionsIdle     uint64
 	SnapshotsSaved    uint64
 	SnapshotsRestored uint64
+	DeltasServed      uint64
+	DeltaResets       uint64
 }
 
 // Server is the check service: a session table behind an http.Handler.
@@ -141,20 +155,26 @@ func New(cfg Config) *Server {
 		stop:     make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /sessions", s.handleCreate)
-	mux.HandleFunc("GET /sessions", s.handleList)
-	mux.HandleFunc("GET /sessions/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /sessions/{id}/stats", s.handleStats)
-	mux.HandleFunc("POST /sessions/{id}/edits", s.handleEdits)
-	mux.HandleFunc("DELETE /sessions/{id}", s.handleDelete)
-	mux.HandleFunc("GET /stats", s.handleServerStats)
-	mux.HandleFunc("POST /snapshot", s.handleSnapshotNow)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleEdits)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleServerStats)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshotNow)
 	if cfg.TestHooks {
-		mux.HandleFunc("POST /sessions/{id}/inject", s.handleInject)
+		mux.HandleFunc("POST /v1/sessions/{id}/inject", s.handleInject)
 	}
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	// The unprefixed paths are deprecated for one release: thin 308
+	// redirects to /v1 (308, not 301, so POST/DELETE keep their method and
+	// body). See README's Operations section for the removal schedule.
+	for _, p := range []string{"/sessions", "/sessions/", "/healthz", "/stats", "/snapshot"} {
+		mux.HandleFunc(p, redirectV1)
+	}
 	s.mux = mux
 	if s.cfg.IdleTTL > 0 {
 		go s.janitor()
@@ -163,6 +183,16 @@ func New(cfg Config) *Server {
 		go s.snapshotLoop()
 	}
 	return s
+}
+
+// redirectV1 answers a deprecated unprefixed path with a 308 to the same
+// path under /v1, query string included.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.EscapedPath()
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 }
 
 // ServeHTTP implements http.Handler. The outermost recovery is the
@@ -448,7 +478,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	origin := sessionOrigin{Tech: req.Tech, Deck: req.Deck, Metric: req.Metric, NoConstruct: req.NoConstruct}
-	sess, err := newSession(ctx, id, req.Name, d, tc, opts, origin, s.adm, s.cfg.Debounce, s.now())
+	sess, err := newSession(ctx, id, req.Name, d, tc, opts, origin, s.adm, s.cfg.Debounce, s.cfg.ReportHistory, s.now())
 	s.adm.release()
 	if err != nil {
 		writeSvcErr(w, classifyRunErr(fmt.Errorf("initial check: %w", err)))
@@ -553,6 +583,29 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	defer sess.inflight.Add(-1)
 	ctx, cancel := opCtx(r, s.cfg.CheckTimeout)
 	defer cancel()
+	if r.URL.Query().Has("since") {
+		// Delta mode: ?since=<fingerprint> answers with added/removed
+		// against that base; ?since= (empty) is the cold-client form and
+		// always resets.
+		var delta *ReportDelta
+		serr := s.guardSession(sess, func() *svcError {
+			var serr *svcError
+			delta, serr = sess.reportDelta(ctx, r.URL.Query().Get("since"))
+			return serr
+		})
+		if serr != nil {
+			writeSvcErr(w, serr)
+			return
+		}
+		s.mu.Lock()
+		s.stats.DeltasServed++
+		if delta.Reset {
+			s.stats.DeltaResets++
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, delta)
+		return
+	}
 	var rep *Report
 	serr := s.guardSession(sess, func() *svcError {
 		var serr *svcError
@@ -594,7 +647,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.close()
 	s.removeSnapshot(id)
-	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+	writeJSON(w, http.StatusOK, DeleteResponse{Deleted: id})
+}
+
+// DeleteResponse acknowledges a session deletion.
+type DeleteResponse struct {
+	Deleted string `json:"deleted"`
 }
 
 // InjectRequest arms the fault-injection test hook on one session (only
@@ -653,6 +711,12 @@ type ServerStatsResponse struct {
 	SnapshotsSaved    uint64 `json:"snapshots_saved"`
 	SnapshotsRestored uint64 `json:"snapshots_restored"`
 
+	// DeltasServed counts ?since= report responses; DeltaResets the subset
+	// that degraded to a reset (full list) because the base fingerprint
+	// was unknown or evicted.
+	DeltasServed uint64 `json:"deltas_served"`
+	DeltaResets  uint64 `json:"delta_resets"`
+
 	Goroutines    int    `json:"goroutines"`
 	HeapAllocByte uint64 `json:"heap_alloc_bytes"`
 	UptimeNS      int64  `json:"uptime_ns"`
@@ -677,6 +741,8 @@ func (s *Server) handleServerStats(w http.ResponseWriter, r *http.Request) {
 		EvictionsIdle:     st.EvictionsIdle,
 		SnapshotsSaved:    st.SnapshotsSaved,
 		SnapshotsRestored: st.SnapshotsRestored,
+		DeltasServed:      st.DeltasServed,
+		DeltaResets:       st.DeltaResets,
 		Goroutines:        runtime.NumGoroutine(),
 		UptimeNS:          time.Since(s.start).Nanoseconds(),
 	}

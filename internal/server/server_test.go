@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestSessionLifecycleParity(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	_, c := newTestServer(t, Config{Debounce: time.Hour})
 
-	created, err := c.Create(CreateRequest{Name: "smoke", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "smoke", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,10 +88,10 @@ func TestSessionLifecycleParity(t *testing.T) {
 
 	// Break: the accidental transistor must appear, identically on both
 	// sides.
-	if _, err := c.Edit(created.ID, breakEdits()); err != nil {
+	if _, err := c.SessionEdit(context.Background(), created.ID, breakEdits()); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := c.Report(created.ID)
+	rep, err := c.SessionReport(context.Background(), created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +119,10 @@ func TestSessionLifecycleParity(t *testing.T) {
 	}
 
 	// Revert: clean again, and byte-identical to the initial state.
-	if _, err := c.Edit(created.ID, revertEdits()); err != nil {
+	if _, err := c.SessionEdit(context.Background(), created.ID, revertEdits()); err != nil {
 		t.Fatal(err)
 	}
-	rep, err = c.Report(created.ID)
+	rep, err = c.SessionReport(context.Background(), created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,10 +143,10 @@ func TestSessionLifecycleParity(t *testing.T) {
 		t.Fatalf("reverted fingerprint mismatch: served %s offline %s", got, want)
 	}
 
-	if err := c.Delete(created.ID); err != nil {
+	if err := c.SessionDelete(context.Background(), created.ID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Report(created.ID); err == nil {
+	if _, err := c.SessionReport(context.Background(), created.ID); err == nil {
 		t.Fatal("report on deleted session succeeded")
 	}
 }
@@ -160,7 +161,7 @@ func TestDebounceBatching(t *testing.T) {
 	// recheck.
 	_, c := newTestServer(t, Config{Debounce: time.Hour})
 
-	created, err := c.Create(CreateRequest{Name: "burst", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "burst", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,20 +172,20 @@ func TestDebounceBatching(t *testing.T) {
 		if i%2 == 1 {
 			dy = -100
 		}
-		if _, err := c.Edit(created.ID, []layout.Edit{{
+		if _, err := c.SessionEdit(context.Background(), created.ID, []layout.Edit{{
 			Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: dy,
 		}}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rep, err := c.Report(created.ID)
+	rep, err := c.SessionReport(context.Background(), created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Clean {
 		t.Fatalf("burst end state not clean: %+v", rep.Violations)
 	}
-	st, err := c.Stats(created.ID)
+	st, err := c.SessionStats(context.Background(), created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,18 +211,18 @@ func TestDebounceTimerFlush(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	_, c := newTestServer(t, Config{Debounce: 10 * time.Millisecond})
 
-	created, err := c.Create(CreateRequest{Name: "timer", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "timer", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Edit(created.ID, []layout.Edit{{
+	if _, err := c.SessionEdit(context.Background(), created.ID, []layout.Edit{{
 		Op: layout.OpMoveElement, Symbol: "chip", Index: -1, DY: 100,
 	}}); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		st, err := c.Stats(created.ID)
+		st, err := c.SessionStats(context.Background(), created.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func TestLRUEviction(t *testing.T) {
 
 	var ids []string
 	for _, name := range []string{"a", "b", "c"} {
-		created, err := c.Create(CreateRequest{Name: name, CIF: text, Tech: "cmos"})
+		created, err := c.SessionCreate(context.Background(), CreateRequest{Name: name, CIF: text, Tech: "cmos"})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,15 +250,15 @@ func TestLRUEviction(t *testing.T) {
 		// Distinct lastUsed stamps even on a coarse clock.
 		time.Sleep(2 * time.Millisecond)
 	}
-	if _, err := c.Report(ids[0]); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := c.SessionReport(context.Background(), ids[0]); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("oldest session not evicted: %v", err)
 	}
 	for _, id := range ids[1:] {
-		if _, err := c.Report(id); err != nil {
+		if _, err := c.SessionReport(context.Background(), id); err != nil {
 			t.Fatalf("session %s evicted: %v", id, err)
 		}
 	}
-	infos, err := c.List()
+	infos, err := c.SessionList(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestIdleEviction(t *testing.T) {
 	text, _ := cmosCIF(t, 1, 1)
 	srv, c := newTestServer(t, Config{IdleTTL: time.Minute, Debounce: time.Hour})
 
-	created, err := c.Create(CreateRequest{Name: "idle", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "idle", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,7 +281,7 @@ func TestIdleEviction(t *testing.T) {
 	if n := srv.SweepIdle(time.Now().Add(2 * time.Minute)); n != 1 {
 		t.Fatalf("idle sweep removed %d sessions", n)
 	}
-	if _, err := c.Report(created.ID); err == nil {
+	if _, err := c.SessionReport(context.Background(), created.ID); err == nil {
 		t.Fatal("idle session still reachable")
 	}
 }
@@ -294,11 +295,11 @@ func TestCreateFromDeck(t *testing.T) {
 	deckSrc := deck.Write(tech.ToDeck(tc))
 	_, c := newTestServer(t, Config{Debounce: time.Hour})
 
-	byName, err := c.Create(CreateRequest{Name: "reg", CIF: text, Tech: "cmos"})
+	byName, err := c.SessionCreate(context.Background(), CreateRequest{Name: "reg", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	byDeck, err := c.Create(CreateRequest{Name: "reg", DesignName: "reg", CIF: text, Deck: deckSrc})
+	byDeck, err := c.SessionCreate(context.Background(), CreateRequest{Name: "reg", DesignName: "reg", CIF: text, Deck: deckSrc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestCreateErrors(t *testing.T) {
 		{"bad deck", CreateRequest{CIF: "E", Deck: "tech garbage {"}},
 	}
 	for _, cse := range cases {
-		if _, err := c.Create(cse.req); err == nil {
+		if _, err := c.SessionCreate(context.Background(), cse.req); err == nil {
 			t.Errorf("%s: create succeeded", cse.name)
 		}
 	}
@@ -333,14 +334,14 @@ func TestCreateErrors(t *testing.T) {
 func TestEditErrorKeepsSessionUsable(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	_, c := newTestServer(t, Config{Debounce: time.Hour})
-	created, err := c.Create(CreateRequest{Name: "err", CIF: text, Tech: "cmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "err", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Edit(created.ID, []layout.Edit{{Op: "explode", Symbol: "chip"}}); err == nil {
+	if _, err := c.SessionEdit(context.Background(), created.ID, []layout.Edit{{Op: "explode", Symbol: "chip"}}); err == nil {
 		t.Fatal("bad edit accepted")
 	}
-	rep, err := c.Report(created.ID)
+	rep, err := c.SessionReport(context.Background(), created.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestWidthClassRoundTrip(t *testing.T) {
 	}
 
 	_, c := newTestServer(t, Config{Debounce: time.Hour})
-	created, err := c.Create(CreateRequest{Name: "narrow", CIF: text, Tech: "nmos"})
+	created, err := c.SessionCreate(context.Background(), CreateRequest{Name: "narrow", CIF: text, Tech: "nmos"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,6 +81,16 @@ type Session struct {
 	pendingBatches int
 	pendingEdits   int
 
+	// history is the bounded ring of recent completed states (newest
+	// last, current state always present) that the report-delta path
+	// diffs against: a client presenting any fingerprint still in the
+	// ring gets added/removed instead of the full list. Entries retain
+	// the completed reports' violation slices — the engine never mutates
+	// a published report, so no copies are made. Snapshot-persisted, so
+	// deltas survive a daemon restart.
+	history []reportState
+	histCap int
+
 	// snapGen/snapClean record the edit generation and dirtiness the last
 	// written snapshot captured, so periodic snapshotting skips sessions
 	// that have not changed since.
@@ -116,11 +126,25 @@ type SessionStats struct {
 	// recent recheck coalesced — how much work one debounce window absorbed.
 	LastFlushBatches int `json:"last_flush_batches"`
 	LastFlushEdits   int `json:"last_flush_edits"`
+
+	// DeltaReports counts ?since= report requests; DeltaResets the subset
+	// that fell back to a reset (fingerprint unknown or evicted from the
+	// history ring). A reset ratio near 1 means the ring is too small for
+	// the client's polling cadence.
+	DeltaReports int `json:"delta_reports"`
+	DeltaResets  int `json:"delta_resets"`
+}
+
+// reportState is one history-ring entry: a completed run's fingerprint
+// and its sorted violation sequence — everything a merge-diff needs.
+type reportState struct {
+	fp string
+	vs []core.Violation
 }
 
 // newSession parses nothing — the server constructs it with a validated
 // design and technology — and runs the initial cold check under ctx.
-func newSession(ctx context.Context, id, name string, d *layout.Design, tc *tech.Technology, opts core.Options, origin sessionOrigin, adm *admission, debounce time.Duration, now time.Time) (*Session, error) {
+func newSession(ctx context.Context, id, name string, d *layout.Design, tc *tech.Technology, opts core.Options, origin sessionOrigin, adm *admission, debounce time.Duration, histCap int, now time.Time) (*Session, error) {
 	s := &Session{
 		ID:       id,
 		Name:     name,
@@ -130,6 +154,7 @@ func newSession(ctx context.Context, id, name string, d *layout.Design, tc *tech
 		origin:   origin,
 		adm:      adm,
 		debounce: debounce,
+		histCap:  histCap,
 		lastUsed: now,
 		created:  now,
 	}
@@ -142,7 +167,41 @@ func newSession(ctx context.Context, id, name string, d *layout.Design, tc *tech
 	s.stats.Rechecks = 1
 	s.stats.LastRecheckNS = time.Since(start).Nanoseconds()
 	s.stats.TotalRecheckNS = s.stats.LastRecheckNS
+	s.pushHistoryLocked()
 	return s, nil
+}
+
+// pushHistoryLocked records the current report in the bounded history
+// ring. A run that reproduced the previous state exactly (same
+// fingerprint) is not re-pushed — it would only waste a slot on a state
+// the ring already covers.
+func (s *Session) pushHistoryLocked() {
+	if s.histCap <= 0 || s.rep == nil {
+		return
+	}
+	fp := core.FingerprintDigest(s.rep)
+	if n := len(s.history); n > 0 && s.history[n-1].fp == fp {
+		return
+	}
+	s.history = append(s.history, reportState{fp: fp, vs: s.rep.Violations})
+	if len(s.history) > s.histCap {
+		// Shift rather than reslice so the evicted head's backing report
+		// becomes collectible.
+		copy(s.history, s.history[1:])
+		s.history[len(s.history)-1] = reportState{}
+		s.history = s.history[:len(s.history)-1]
+	}
+}
+
+// lookupHistoryLocked finds a fingerprint in the ring, newest first (a
+// polling client's `since` is almost always the newest entry).
+func (s *Session) lookupHistoryLocked(fp string) ([]core.Violation, bool) {
+	for i := len(s.history) - 1; i >= 0; i-- {
+		if s.history[i].fp == fp {
+			return s.history[i].vs, true
+		}
+	}
+	return nil, false
 }
 
 // gateLocked is the state check every operation starts with: a closed
@@ -315,6 +374,7 @@ func (s *Session) flushLocked(ctx context.Context) error {
 	s.stats.TotalRecheckNS += s.stats.LastRecheckNS
 	s.stats.LastFlushBatches, s.pendingBatches = s.pendingBatches, 0
 	s.stats.LastFlushEdits, s.pendingEdits = s.pendingEdits, 0
+	s.pushHistoryLocked()
 	return nil
 }
 
@@ -352,6 +412,38 @@ func (s *Session) report(ctx context.Context) (*Report, *svcError) {
 		s.stats.ReportFlushes++
 	}
 	return BuildReport(s.rep, s.eng), nil
+}
+
+// reportDelta answers GET .../report?since=<fp>: the current state as a
+// delta against the client's base fingerprint. Like report it flushes
+// pending edits first, so the delta always reflects every acknowledged
+// batch. An unknown or evicted base (or the empty fingerprint a cold
+// client sends) degrades to a reset delta carrying the full list.
+func (s *Session) reportDelta(ctx context.Context, since string) (*ReportDelta, *svcError) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.gateLocked(); err != nil {
+		return nil, err
+	}
+	s.faultPointLocked()
+	if s.dirty {
+		if s.adm != nil {
+			if serr := s.adm.acquire(ctx); serr != nil {
+				return nil, serr
+			}
+			defer s.adm.release()
+		}
+		if err := s.flushLocked(ctx); err != nil {
+			return nil, classifyRunErr(err)
+		}
+		s.stats.ReportFlushes++
+	}
+	s.stats.DeltaReports++
+	if prev, ok := s.lookupHistoryLocked(since); ok && since != "" {
+		return BuildDelta(since, prev, s.rep, s.eng), nil
+	}
+	s.stats.DeltaResets++
+	return BuildResetDelta(s.rep, s.eng), nil
 }
 
 // StatsResponse is the /stats payload: service counters plus the engine's

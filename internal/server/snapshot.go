@@ -25,26 +25,39 @@ const SnapshotVersion = 1
 // named <id>.snap, in the configured state directory.
 const snapshotExt = ".snap"
 
-// SessionSnapshot is the versioned on-disk form of one session: enough
-// to rebuild the design (as CIF — the upload format, so the restore path
-// is the create path), the technology (by registry name or by the
-// original deck source), the check options, and the fingerprint of the
-// last completed report. Restore runs a cold check and refuses the
-// snapshot unless the recheck's fingerprint matches — a restored session
-// is bit-for-bit the session that was saved, or it is nothing.
+// SessionSnapshot is the versioned on-disk form of one session (schema
+// snapshot/v1 in the shared Envelope): enough to rebuild the design (as
+// CIF — the upload format, so the restore path is the create path), the
+// technology (by registry name or by the original deck source), the
+// check options, and the envelope of the last completed report. Restore
+// runs a cold check and refuses the snapshot unless the recheck's
+// fingerprint matches — a restored session is bit-for-bit the session
+// that was saved, or it is nothing.
+//
+// History carries the session's delta ring (see Session.history), so a
+// client polling ?since= across a daemon restart still gets a delta, not
+// a reset.
 type SessionSnapshot struct {
-	Version     int    `json:"version"`
-	ID          string `json:"id"`
-	Name        string `json:"name,omitempty"`
-	DesignName  string `json:"design_name"`
-	Tech        string `json:"tech,omitempty"`
-	Deck        string `json:"deck,omitempty"`
-	Metric      string `json:"metric,omitempty"`
-	NoConstruct bool   `json:"noconstruct,omitempty"`
-	Fingerprint string `json:"fingerprint"`
-	Generation  int    `json:"generation"` // edit batches absorbed into this state
-	SavedUnixNS int64  `json:"saved_unix_ns"`
-	CIF         string `json:"cif"`
+	Version int `json:"version"`
+	Envelope
+	ID          string         `json:"id"`
+	Name        string         `json:"name,omitempty"`
+	DesignName  string         `json:"design_name"`
+	Tech        string         `json:"tech,omitempty"`
+	Deck        string         `json:"deck,omitempty"`
+	Metric      string         `json:"metric,omitempty"`
+	NoConstruct bool           `json:"noconstruct,omitempty"`
+	Generation  int            `json:"generation"` // edit batches absorbed into this state
+	SavedUnixNS int64          `json:"saved_unix_ns"`
+	CIF         string         `json:"cif"`
+	History     []HistoryEntry `json:"history,omitempty"`
+}
+
+// HistoryEntry is one persisted delta-ring state, oldest first; the
+// newest entry is always the snapshot's own state.
+type HistoryEntry struct {
+	Fingerprint string      `json:"fingerprint"`
+	Violations  []Violation `json:"violations"`
 }
 
 // Snapshot serializes the session's current state. Pending edits are
@@ -71,8 +84,13 @@ func (s *Session) Snapshot(now time.Time) (*SessionSnapshot, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serialize design: %w", err)
 	}
+	hist := make([]HistoryEntry, 0, len(s.history))
+	for _, h := range s.history {
+		hist = append(hist, HistoryEntry{Fingerprint: h.fp, Violations: violationsWire(h.vs)})
+	}
 	return &SessionSnapshot{
 		Version:     SnapshotVersion,
+		Envelope:    buildEnvelope(SchemaSnapshot, s.rep),
 		ID:          s.ID,
 		Name:        s.Name,
 		DesignName:  s.design.Name,
@@ -80,10 +98,10 @@ func (s *Session) Snapshot(now time.Time) (*SessionSnapshot, error) {
 		Deck:        s.origin.Deck,
 		Metric:      s.origin.Metric,
 		NoConstruct: s.origin.NoConstruct,
-		Fingerprint: core.FingerprintDigest(s.rep),
 		Generation:  s.stats.EditBatches,
 		SavedUnixNS: now.UnixNano(),
 		CIF:         text,
+		History:     hist,
 	}, nil
 }
 
@@ -144,6 +162,9 @@ func ReadSnapshotFile(path string) (*SessionSnapshot, error) {
 	if snap.Version != SnapshotVersion {
 		return nil, fmt.Errorf("%s: snapshot version %d (supported: %d)", path, snap.Version, SnapshotVersion)
 	}
+	if snap.Schema != "" && snap.Schema != SchemaSnapshot {
+		return nil, fmt.Errorf("%s: snapshot schema %q (supported: %q)", path, snap.Schema, SchemaSnapshot)
+	}
 	if snap.ID == "" || snap.CIF == "" || snap.Fingerprint == "" {
 		return nil, fmt.Errorf("%s: snapshot missing id/cif/fingerprint", path)
 	}
@@ -156,7 +177,7 @@ func ReadSnapshotFile(path string) (*SessionSnapshot, error) {
 // the crash. A mismatch refuses the session — serving a state that
 // diverges from what the client last saw would break the parity
 // contract silently.
-func RestoreSession(ctx context.Context, snap *SessionSnapshot, adm *admission, debounce time.Duration, workers int, now time.Time) (*Session, error) {
+func RestoreSession(ctx context.Context, snap *SessionSnapshot, adm *admission, debounce time.Duration, histCap, workers int, now time.Time) (*Session, error) {
 	req := CreateRequest{
 		Name:        snap.Name,
 		DesignName:  snap.DesignName,
@@ -175,13 +196,29 @@ func RestoreSession(ctx context.Context, snap *SessionSnapshot, adm *admission, 
 		return nil, fmt.Errorf("restore %s: parse cif: %w", snap.ID, err)
 	}
 	origin := sessionOrigin{Tech: snap.Tech, Deck: snap.Deck, Metric: snap.Metric, NoConstruct: snap.NoConstruct}
-	sess, err := newSession(ctx, snap.ID, snap.Name, d, tc, opts, origin, adm, debounce, now)
+	sess, err := newSession(ctx, snap.ID, snap.Name, d, tc, opts, origin, adm, debounce, histCap, now)
 	if err != nil {
 		return nil, fmt.Errorf("restore %s: recheck: %w", snap.ID, err)
 	}
 	if got := core.FingerprintDigest(sess.rep); got != snap.Fingerprint {
 		return nil, fmt.Errorf("restore %s: fingerprint mismatch: recheck %s, snapshot %s",
 			snap.ID, got, snap.Fingerprint)
+	}
+	// Rebuild the delta ring: the persisted entries older than the current
+	// state slot in ahead of the entry the cold check just pushed, so a
+	// client's pre-crash `since` fingerprint still resolves to a delta.
+	if sess.histCap > 0 {
+		var older []reportState
+		for _, h := range snap.History {
+			if h.Fingerprint == snap.Fingerprint {
+				continue
+			}
+			older = append(older, reportState{fp: h.Fingerprint, vs: violationsCore(h.Violations)})
+		}
+		sess.history = append(older, sess.history...)
+		if n := len(sess.history); n > sess.histCap {
+			sess.history = append([]reportState(nil), sess.history[n-sess.histCap:]...)
+		}
 	}
 	sess.restored = true
 	sess.snapDone, sess.snapGen = true, 0
@@ -290,7 +327,7 @@ func (s *Server) RestoreFromDisk(ctx context.Context) (restored int, errs []erro
 			errs = append(errs, fmt.Errorf("%s: already live, not restored", snap.ID))
 			continue
 		}
-		sess, err := RestoreSession(ctx, snap, s.adm, s.cfg.Debounce, s.cfg.Workers, s.now())
+		sess, err := RestoreSession(ctx, snap, s.adm, s.cfg.Debounce, s.cfg.ReportHistory, s.cfg.Workers, s.now())
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -339,7 +376,13 @@ func (s *Server) snapshotLoop() {
 	}
 }
 
-// handleSnapshotNow is POST /snapshot: force a snapshot sweep now and
+// SnapshotSweepResponse reports what a forced snapshot sweep wrote.
+type SnapshotSweepResponse struct {
+	Saved  int      `json:"saved"`
+	Errors []string `json:"errors,omitempty"`
+}
+
+// handleSnapshotNow is POST /v1/snapshot: force a snapshot sweep now and
 // report what was written — how scripted drills make "the state on disk"
 // a known quantity before pulling the plug.
 func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
@@ -348,10 +391,7 @@ func (s *Server) handleSnapshotNow(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	saved, errs := s.SnapshotAll(s.now())
-	resp := struct {
-		Saved  int      `json:"saved"`
-		Errors []string `json:"errors,omitempty"`
-	}{Saved: saved}
+	resp := SnapshotSweepResponse{Saved: saved}
 	for _, err := range errs {
 		resp.Errors = append(resp.Errors, err.Error())
 	}

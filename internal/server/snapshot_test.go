@@ -69,7 +69,7 @@ func TestSnapshotRoundTripProperty(t *testing.T) {
 		}
 		origin := sessionOrigin{Tech: "cmos"}
 		sess, err := newSession(context.Background(), fmt.Sprintf("s%d", trial+1), "prop", d, tc,
-			core.Options{}, origin, nil, -1, time.Now())
+			core.Options{}, origin, nil, -1, 8, time.Now())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -89,7 +89,7 @@ func TestSnapshotRoundTripProperty(t *testing.T) {
 			t.Fatalf("trial %d: snapshot fingerprint %s != live %s", trial, snap.Fingerprint, liveFP)
 		}
 
-		restored, err := RestoreSession(context.Background(), snap, nil, -1, 0, time.Now())
+		restored, err := RestoreSession(context.Background(), snap, nil, -1, 8, 0, time.Now())
 		if err != nil {
 			t.Fatalf("trial %d: restore: %v", trial, err)
 		}
@@ -132,7 +132,7 @@ func TestSnapshotFileAtomicity(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess, err := newSession(context.Background(), "s1", "disk", d, tc,
-		core.Options{}, sessionOrigin{Tech: "cmos"}, nil, -1, time.Now())
+		core.Options{}, sessionOrigin{Tech: "cmos"}, nil, -1, 8, time.Now())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,22 +197,22 @@ func TestBootRestore(t *testing.T) {
 	ts1 := httptest.NewServer(srv1)
 	c1 := NewClient(ts1.URL)
 
-	a, err := c1.Create(CreateRequest{Name: "alpha", CIF: text, Tech: "cmos"})
+	a, err := c1.SessionCreate(context.Background(), CreateRequest{Name: "alpha", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := c1.Create(CreateRequest{Name: "beta", CIF: text, Tech: "cmos"})
+	b, err := c1.SessionCreate(context.Background(), CreateRequest{Name: "beta", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.Edit(a.ID, breakEdits()); err != nil {
+	if _, err := c1.SessionEdit(context.Background(), a.ID, breakEdits()); err != nil {
 		t.Fatal(err)
 	}
-	repA, err := c1.Report(a.ID)
+	repA, err := c1.SessionReport(context.Background(), a.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c1.SnapshotNow(); err != nil {
+	if _, err := c1.SnapshotAll(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// kill -9: no Close, no shutdown snapshot — what's on disk is all
@@ -231,33 +231,33 @@ func TestBootRestore(t *testing.T) {
 		t.Fatalf("restored %d sessions, want 2", restored)
 	}
 
-	gotA, err := c2.Report(a.ID)
+	gotA, err := c2.SessionReport(context.Background(), a.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gotA.Fingerprint != repA.Fingerprint {
 		t.Fatalf("restored fingerprint %s != pre-kill %s", gotA.Fingerprint, repA.Fingerprint)
 	}
-	st, err := c2.Stats(a.ID)
+	st, err := c2.SessionStats(context.Background(), a.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !st.Restored {
 		t.Fatal("restored session not flagged as restored")
 	}
-	if _, err := c2.Report(b.ID); err != nil {
+	if _, err := c2.SessionReport(context.Background(), b.ID); err != nil {
 		t.Fatal(err)
 	}
 
 	// New sessions must not collide with restored ids.
-	cNew, err := c2.Create(CreateRequest{Name: "gamma", CIF: text, Tech: "cmos"})
+	cNew, err := c2.SessionCreate(context.Background(), CreateRequest{Name: "gamma", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cNew.ID == a.ID || cNew.ID == b.ID {
 		t.Fatalf("id collision after restore: %s", cNew.ID)
 	}
-	gst, err := c2.ServerStats()
+	gst, err := c2.ServerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -274,25 +274,25 @@ func TestEvictionSnapshotsThenCloses(t *testing.T) {
 	text, _ := cmosCIF(t, 2, 2)
 	srv, c := newTestServer(t, Config{Debounce: time.Hour, MaxSessions: 1, StateDir: dir})
 
-	a, err := c.Create(CreateRequest{Name: "old", CIF: text, Tech: "cmos"})
+	a, err := c.SessionCreate(context.Background(), CreateRequest{Name: "old", CIF: text, Tech: "cmos"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Edit(a.ID, breakEdits()); err != nil {
+	if _, err := c.SessionEdit(context.Background(), a.ID, breakEdits()); err != nil {
 		t.Fatal(err)
 	}
-	repA, err := c.Report(a.ID)
+	repA, err := c.SessionReport(context.Background(), a.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Create(CreateRequest{Name: "new", CIF: text, Tech: "cmos"}); err != nil {
+	if _, err := c.SessionCreate(context.Background(), CreateRequest{Name: "new", CIF: text, Tech: "cmos"}); err != nil {
 		t.Fatal(err)
 	}
 
 	if _, err := os.Stat(filepath.Join(dir, a.ID+snapshotExt)); err != nil {
 		t.Fatalf("evicted session left no snapshot: %v", err)
 	}
-	gst, err := c.ServerStats()
+	gst, err := c.ServerStats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,12 +309,12 @@ func TestEvictionSnapshotsThenCloses(t *testing.T) {
 	}
 
 	// DELETE removes the snapshot too — the user asked for it to not exist.
-	infos, err := c.List()
+	infos, err := c.SessionList(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, info := range infos {
-		if err := c.Delete(info.ID); err != nil {
+		if err := c.SessionDelete(context.Background(), info.ID); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := os.Stat(filepath.Join(dir, info.ID+snapshotExt)); !os.IsNotExist(err) {

@@ -6,7 +6,10 @@
 # sub-minimum-width wire (the WIDTH.CM region kernel fires and the
 # per-class summary counts it) — asserting fingerprint parity with
 # offline runs replaying the same edit script at every step, plus the
-# debounce bound (an edit burst costs at most 2 rechecks).
+# report-delta path (?since= answers only added/removed, fingerprint-
+# asserted against the offline replay), the one-release 308 redirects
+# from the unprefixed paths, and the debounce bound (an edit burst
+# costs at most 2 rechecks).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,7 +51,7 @@ for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
 [ -s "$work/addr" ] || fail "daemon never wrote its address"
 base="http://$(cat "$work/addr")"
 echo "   daemon at $base"
-curl -sf "$base/healthz" > /dev/null || fail "healthz"
+curl -sf "$base/v1/healthz" > /dev/null || fail "healthz"
 
 # Step 1: offline baseline — clean chip, exit 0, fingerprint A.
 echo "== offline baseline"
@@ -123,18 +126,65 @@ fp_offline_narrow=$(field "$work/offline-narrow.json" fingerprint)
 "$bin/dicheck" -serve "$base" -session smoke -edits "$work/revert.json" -json > /dev/null \
   || fail "narrow revert exited $?"
 
-# Step 6: debounce — a 10-edit no-net-motion burst straight at the API
+# Step 6: report deltas — break the session again and fetch the change
+# as a delta against the clean fingerprint. The delta must carry only
+# the new finding (added, nothing removed), name its base, and its
+# envelope fingerprint must match the offline replay of the same edit —
+# the contract that base + delta reconstructs the full report. Then
+# revert and diff the other way (removed, nothing added), and finally
+# probe the reset fallback with a fingerprint the daemon never served.
+echo "== report deltas"
+sid=$(curl -sf "$base/v1/sessions" | sed -n 's/^    "id": "\(s[0-9]*\)",$/\1/p' | head -1)
+[ -n "$sid" ] || fail "no session id in listing"
+curl -sf "$base/v1/sessions/$sid/report" > "$work/delta-base.json"
+fp_base=$(field "$work/delta-base.json" fingerprint)
+[ "$fp_base" = "$fp_offline_clean" ] || fail "delta base fingerprint $fp_base is not the clean state"
+curl -sf -X POST "$base/v1/sessions/$sid/edits" \
+  -d '{"edits":[{"op":"add_wire","symbol":"chip","layer":"poly","width":200,"path":[3200,-400,3200,400]}]}' \
+  > /dev/null || fail "delta break edit"
+curl -sf "$base/v1/sessions/$sid/report?since=$fp_base" > "$work/delta-fwd.json" || fail "delta fetch"
+grep -q '"schema": "report-delta/v1"' "$work/delta-fwd.json" || fail "delta lacks its schema tag"
+[ "$(field "$work/delta-fwd.json" base)" = "$fp_base" ] || fail "delta does not name its base"
+grep -q '"reset": true' "$work/delta-fwd.json" && fail "known base answered a reset delta"
+grep -q '"rule": "DEV.ACCIDENTAL"' "$work/delta-fwd.json" || fail "delta does not add DEV.ACCIDENTAL"
+grep -q '"removed": \[\]' "$work/delta-fwd.json" || fail "forward delta removed something from a clean base"
+fp_delta=$(field "$work/delta-fwd.json" fingerprint)
+[ "$fp_delta" = "$fp_offline_broken" ] \
+  || fail "delta fingerprint $fp_delta != offline broken replay $fp_offline_broken"
+curl -sf -X POST "$base/v1/sessions/$sid/edits" \
+  -d '{"edits":[{"op":"delete_element","symbol":"chip","index":-1}]}' > /dev/null || fail "delta revert edit"
+curl -sf "$base/v1/sessions/$sid/report?since=$fp_delta" > "$work/delta-rev.json" || fail "reverse delta fetch"
+grep -q '"added": \[\]' "$work/delta-rev.json" || fail "reverse delta added something"
+grep -q '"rule": "DEV.ACCIDENTAL"' "$work/delta-rev.json" || fail "reverse delta does not remove DEV.ACCIDENTAL"
+[ "$(field "$work/delta-rev.json" fingerprint)" = "$fp_offline_clean" ] \
+  || fail "reverse delta fingerprint is not the clean state"
+curl -sf "$base/v1/sessions/$sid/report?since=no-such-fingerprint" > "$work/delta-reset.json" \
+  || fail "reset delta fetch"
+grep -q '"reset": true' "$work/delta-reset.json" || fail "unknown base did not answer a reset delta"
+[ "$(field "$work/delta-reset.json" fingerprint)" = "$fp_offline_clean" ] \
+  || fail "reset delta fingerprint is not the full current state"
+
+# Step 7: the unprefixed paths stay up for one deprecation release as
+# 308 redirects that preserve method, path, and query string.
+echo "== deprecated unprefixed paths answer 308"
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/healthz")
+[ "$code" = 308 ] || fail "unprefixed /healthz answered $code, want 308"
+loc=$(curl -s -D - -o /dev/null "$base/sessions/$sid/report?since=$fp_base" \
+  | sed -n 's/^[Ll]ocation: \(.*\)$/\1/p' | tr -d '\r')
+[ "$loc" = "/v1/sessions/$sid/report?since=$fp_base" ] \
+  || fail "redirect Location '$loc' does not preserve path and query"
+curl -sfL "$base/healthz" > /dev/null || fail "redirect-following client cannot reach healthz"
+
+# Step 8: debounce — a 10-edit no-net-motion burst straight at the API
 # must cost at most 2 rechecks (observable via /stats).
 echo "== debounce burst"
-sid=$(curl -sf "$base/sessions" | sed -n 's/^    "id": "\(s[0-9]*\)",$/\1/p' | head -1)
-[ -n "$sid" ] || fail "no session id in listing"
-before=$(curl -sf "$base/sessions/$sid/stats" | sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p')
+before=$(curl -sf "$base/v1/sessions/$sid/stats" | sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p')
 for i in $(seq 5); do
-  curl -sf -X POST "$base/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":100}]}' > /dev/null
-  curl -sf -X POST "$base/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":-100}]}' > /dev/null
+  curl -sf -X POST "$base/v1/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":100}]}' > /dev/null
+  curl -sf -X POST "$base/v1/sessions/$sid/edits" -d '{"edits":[{"op":"move_element","symbol":"chip","index":-1,"dy":-100}]}' > /dev/null
 done
-curl -sf "$base/sessions/$sid/report" > "$work/burst-report.json"
-curl -sf "$base/sessions/$sid/stats" > "$work/burst-stats.json"
+curl -sf "$base/v1/sessions/$sid/report" > "$work/burst-report.json"
+curl -sf "$base/v1/sessions/$sid/stats" > "$work/burst-stats.json"
 after=$(sed -n 's/^    "rechecks": \([0-9]*\),\{0,1\}$/\1/p' "$work/burst-stats.json")
 burst=$((after - before))
 [ "$burst" -le 2 ] || fail "10-edit burst cost $burst rechecks (want <= 2)"
@@ -152,9 +202,9 @@ flush_batches=$(sed -n 's/^    "last_flush_batches": \([0-9]*\),\{0,1\}$/\1/p' "
 grep -q '"ctx_hits":' "$work/burst-stats.json" || fail "stats lack ctx_hits"
 grep -q '"ctx_misses":' "$work/burst-stats.json" || fail "stats lack ctx_misses"
 
-# Step 7: lifecycle cleanup through the API.
+# Step 9: lifecycle cleanup through the API.
 echo "== delete session"
-curl -sf -X DELETE "$base/sessions/$sid" > /dev/null || fail "delete"
-curl -s "$base/sessions/$sid/report" | grep -q '"error"' || fail "deleted session still serves reports"
+curl -sf -X DELETE "$base/v1/sessions/$sid" > /dev/null || fail "delete"
+curl -s "$base/v1/sessions/$sid/report" | grep -q '"error"' || fail "deleted session still serves reports"
 
-echo "PASS: integration smoke (clean -> violating -> clean, fingerprint parity, burst cost $burst rechecks)"
+echo "PASS: integration smoke (clean -> violating -> clean, fingerprint parity, deltas, burst cost $burst rechecks)"

@@ -38,7 +38,7 @@ start_daemon() {
   for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
   [ -s "$work/addr" ] || fail "daemon never wrote its address"
   base="http://$(cat "$work/addr")"
-  curl -sf "$base/healthz" > /dev/null || fail "healthz"
+  curl -sf "$base/v1/healthz" > /dev/null || fail "healthz"
 }
 
 echo "== start daemon (first life)"
@@ -55,12 +55,12 @@ set -e
 [ "$rc" = 1 ] || fail "broken check exited $rc, want 1"
 fp_prekill=$(field "$work/pre-kill.json" fingerprint)
 [ -n "$fp_prekill" ] || fail "no pre-kill fingerprint"
-curl -sf -X POST "$base/snapshot" > "$work/snap.json" || fail "POST /snapshot"
+curl -sf -X POST "$base/v1/snapshot" > "$work/snap.json" || fail "POST /snapshot"
 grep -q '"saved": 1' "$work/snap.json" || fail "snapshot sweep saved nothing: $(cat "$work/snap.json")"
 
 echo "== post-snapshot burst, then kill -9 mid-burst"
 for i in 1 2 3; do
-  curl -s -X POST "$base/sessions/s1/edits" -d \
+  curl -s -X POST "$base/v1/sessions/s1/edits" -d \
     '{"edits":[{"op":"add_box","symbol":"chip","layer":"metal","box":[-50000,0,-49000,1000]}]}' \
     > /dev/null &
 done
@@ -75,7 +75,7 @@ echo "   daemon at $base"
 grep -q "restored 1 session" "$work/daemon.log" || fail "daemon did not report restoring the session"
 
 echo "== restored report vs offline replay"
-curl -sf "$base/sessions/s1/report" > "$work/post-restore.json" || fail "restored report"
+curl -sf "$base/v1/sessions/s1/report" > "$work/post-restore.json" || fail "restored report"
 fp_restored=$(field "$work/post-restore.json" fingerprint)
 [ "$fp_restored" = "$fp_prekill" ] \
   || fail "restored fingerprint $fp_restored != pre-kill $fp_prekill"
@@ -88,8 +88,21 @@ fp_offline=$(field "$work/offline.json" fingerprint)
 [ "$fp_restored" = "$fp_offline" ] \
   || fail "restored fingerprint $fp_restored != offline replay $fp_offline"
 
+# The delta index survives the crash too: a client that last saw the
+# pre-kill fingerprint gets an empty non-reset delta from the restored
+# daemon, not a full-report reset.
+echo "== delta continuity across the crash"
+curl -sf "$base/v1/sessions/s1/report?since=$fp_prekill" > "$work/post-restore-delta.json" \
+  || fail "post-restore delta fetch"
+grep -q '"reset": true' "$work/post-restore-delta.json" \
+  && fail "restored daemon forgot the pre-kill fingerprint (reset delta)"
+grep -q '"added": \[\]' "$work/post-restore-delta.json" || fail "post-restore delta added something"
+grep -q '"removed": \[\]' "$work/post-restore-delta.json" || fail "post-restore delta removed something"
+[ "$(field "$work/post-restore-delta.json" fingerprint)" = "$fp_prekill" ] \
+  || fail "post-restore delta fingerprint drifted"
+
 echo "== restored session keeps working"
-curl -sf "$base/sessions/s1/stats" > "$work/stats.json" || fail "restored stats"
+curl -sf "$base/v1/sessions/s1/stats" > "$work/stats.json" || fail "restored stats"
 grep -q '"restored": true' "$work/stats.json" || fail "session not flagged restored"
 set +e
 "$bin/dicheck" -serve "$base" -session drill -edits "$work/break.json" -json > /dev/null

@@ -12,8 +12,15 @@
 #   - the daemon's goroutine count stays bounded
 #   - the daemon shuts down cleanly (SIGTERM -> exit 0) afterwards
 #
+# Then a second, delta-mode run against a fresh daemon: sessions seeded
+# with deliberate violations (so full reports are heavy) polling via
+# ?since= on an inert-edit loop, with session churn mixed in. The extra
+# SLO is the whole point of the delta path: p99 delta payload bytes must
+# be a small fraction of p99 full-report bytes.
+#
 # drcload exits nonzero on any SLO violation; this script adds the
-# daemon-side assertions (no recovered panics, clean shutdown).
+# daemon-side assertions (no recovered panics, deltas actually served,
+# clean shutdown).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,48 +42,88 @@ SESSIONS="${SESSIONS:-4}"
 DURATION="${DURATION:-5s}"
 SLO_P99="${SLO_P99:-8s}"
 SLO_GOROUTINES="${SLO_GOROUTINES:-300}"
+DELTA_SESSIONS="${DELTA_SESSIONS:-16}"
+DELTA_DURATION="${DELTA_DURATION:-5s}"
+DELTA_VIOLATIONS="${DELTA_VIOLATIONS:-40}"
+SLO_DELTA_RATIO="${SLO_DELTA_RATIO:-0.25}"
 
 echo "== build"
 mkdir -p "$bin"
 go build -o "$bin/" ./cmd/dicheckd ./cmd/drcload
 
+start_daemon() { # start_daemon EXTRA_ARGS...
+  rm -f "$work/addr"
+  "$bin/dicheckd" -addr 127.0.0.1:0 -addr-file "$work/addr" "$@" &
+  daemon_pid=$!
+  for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
+  [ -s "$work/addr" ] || fail "daemon never wrote its address"
+  addr=$(cat "$work/addr")
+  curl -sf "http://$addr/v1/healthz" > /dev/null || fail "healthz"
+}
+
+stop_daemon() { # stop_daemon LABEL
+  kill -TERM "$daemon_pid"
+  local rc=0
+  wait "$daemon_pid" || rc=$?
+  daemon_pid=""
+  [ "$rc" = 0 ] || fail "daemon exited $rc on SIGTERM after the $1 run"
+}
+
 echo "== start daemon (test hooks + snapshots on)"
-"$bin/dicheckd" -addr 127.0.0.1:0 -addr-file "$work/addr" \
-  -debounce 25ms -check-timeout 5s -edit-timeout 5s \
-  -state-dir "$work/state" -snapshot-every 500ms -test-hooks &
-daemon_pid=$!
-for _ in $(seq 100); do [ -s "$work/addr" ] && break; sleep 0.1; done
-[ -s "$work/addr" ] || fail "daemon never wrote its address"
-addr=$(cat "$work/addr")
+start_daemon -debounce 25ms -check-timeout 5s -edit-timeout 5s \
+  -state-dir "$work/state" -snapshot-every 500ms -test-hooks
 echo "   daemon at http://$addr"
-curl -sf "http://$addr/healthz" > /dev/null || fail "healthz"
 
 echo "== chaos load: $SESSIONS sessions for $DURATION"
+mkdir -p "$work/out-chaos"
 "$bin/drcload" -addr "$addr" -sessions "$SESSIONS" -duration "$DURATION" \
-  -chaos -slo-p99 "$SLO_P99" -slo-goroutines "$SLO_GOROUTINES" -o "$work" \
+  -chaos -slo-p99 "$SLO_P99" -slo-goroutines "$SLO_GOROUTINES" -o "$work/out-chaos" \
   || fail "drcload reported SLO violations"
 
-snap=$(ls "$work"/BENCH_LOAD_*.json 2>/dev/null | head -1)
+snap=$(ls "$work"/out-chaos/BENCH_LOAD_*.json 2>/dev/null | head -1)
 [ -n "$snap" ] || fail "no BENCH_LOAD artifact written"
 echo "   artifact: $(basename "$snap")"
-# Keep the artifact past this script's cleanup when asked to (CI uploads it).
-if [ -n "${ARTIFACT_DIR:-}" ]; then
-  mkdir -p "$ARTIFACT_DIR"
-  cp "$snap" "$ARTIFACT_DIR/"
-fi
 
-echo "== daemon-side assertions"
-curl -sf "http://$addr/stats" > "$work/stats.json" || fail "GET /stats"
+echo "== daemon-side assertions (chaos)"
+curl -sf "http://$addr/v1/stats" > "$work/stats.json" || fail "GET /v1/stats"
 panics=$(field "$work/stats.json" panics_recovered)
 [ "$panics" = 0 ] || fail "daemon recovered $panics panics under chaos load"
 poisoned=$(field "$work/stats.json" sessions_poisoned)
 [ "$poisoned" = 0 ] || fail "$poisoned sessions were poisoned under chaos load"
 
-echo "== clean shutdown"
-kill -TERM "$daemon_pid"
-shutdown_rc=0
-wait "$daemon_pid" || shutdown_rc=$?
-daemon_pid=""
-[ "$shutdown_rc" = 0 ] || fail "daemon exited $shutdown_rc on SIGTERM"
+echo "== clean shutdown (chaos)"
+stop_daemon chaos
 
-echo "PASS: chaos load met every SLO and the daemon shut down cleanly"
+echo "== delta load: $DELTA_SESSIONS sessions for $DELTA_DURATION (p99 delta bytes <= $SLO_DELTA_RATIO x full)"
+start_daemon -debounce 5ms -check-timeout 30s -edit-timeout 10s \
+  -max-sessions "$((DELTA_SESSIONS + 8))"
+echo "   daemon at http://$addr"
+mkdir -p "$work/out-delta"
+"$bin/drcload" -addr "$addr" -sessions "$DELTA_SESSIONS" -duration "$DELTA_DURATION" \
+  -rows 1 -cols 2 -violations "$DELTA_VIOLATIONS" -delta -churn-every 2s \
+  -slo-p99 "$SLO_P99" -slo-goroutines "$SLO_GOROUTINES" \
+  -slo-delta-ratio "$SLO_DELTA_RATIO" -o "$work/out-delta" \
+  || fail "drcload delta run reported SLO violations"
+dsnap=$(ls "$work"/out-delta/BENCH_LOAD_*.json 2>/dev/null | head -1)
+[ -n "$dsnap" ] || fail "no delta-mode BENCH_LOAD artifact written"
+echo "   artifact: $(basename "$dsnap") (delta mode)"
+
+echo "== daemon-side assertions (delta)"
+curl -sf "http://$addr/v1/stats" > "$work/stats-delta.json" || fail "GET /v1/stats"
+served=$(field "$work/stats-delta.json" deltas_served)
+[ -n "$served" ] && [ "$served" -gt 0 ] || fail "daemon served no deltas in delta mode"
+panics=$(field "$work/stats-delta.json" panics_recovered)
+[ "$panics" = 0 ] || fail "daemon recovered $panics panics under delta load"
+
+echo "== clean shutdown (delta)"
+stop_daemon delta
+
+# Keep the artifacts past this script's cleanup when asked to (CI uploads
+# them). The delta run's snapshot is renamed so the two do not collide.
+if [ -n "${ARTIFACT_DIR:-}" ]; then
+  mkdir -p "$ARTIFACT_DIR"
+  cp "$snap" "$ARTIFACT_DIR/"
+  cp "$dsnap" "$ARTIFACT_DIR/$(basename "$dsnap" .json).delta.json"
+fi
+
+echo "PASS: chaos and delta loads met every SLO and the daemon shut down cleanly"
